@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared infrastructure for the table/figure reproduction binaries.
+//
+// Every bench binary is a plain executable that regenerates one table or
+// figure of the paper (scaled to a CPU-minute budget; EXPERIMENTS.md maps
+// paper scale -> bench scale) and prints the same rows/series the paper
+// reports.  Environment knobs:
+//   OARSMTRL_MODEL        — selector checkpoint path (default models/pretrained.bin)
+//   OARSMTRL_BENCH_SCALE  — extra workload multiplier (default 1; >1 = more layouts)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oarsmtrl.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace oar::bench {
+
+inline double env_scale() {
+  if (const char* s = std::getenv("OARSMTRL_BENCH_SCALE"); s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::shared_ptr<rl::SteinerSelector> bench_selector() {
+  // Benches must never train for minutes: fall back to 2 quick stages.
+  return core::load_or_train_pretrained(/*fallback_stages=*/2);
+}
+
+/// Cheaper Lin18 configuration so the strongest baseline fits the bench
+/// budget on the larger scaled subsets.
+inline steiner::Lin18Config bench_lin18_config() {
+  steiner::Lin18Config cfg;
+  cfg.max_evaluations_per_round = 12;
+  cfg.neighbors_per_terminal = 3;
+  cfg.max_rounds = 12;
+  return cfg;
+}
+
+inline steiner::Liu14Config bench_liu14_config() {
+  steiner::Liu14Config cfg;
+  cfg.max_evaluations = 16;
+  cfg.neighbors_per_terminal = 3;
+  return cfg;
+}
+
+inline void print_rule(int width = 96) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+/// Win/loss bookkeeping for Table 2.
+struct CostDuel {
+  util::RunningStats base_cost;
+  util::RunningStats ours_cost;
+  util::RunningStats improvement_ratio;  // per-layout (base - ours) / base
+  int wins = 0, losses = 0, ties = 0;
+
+  void add(double base, double ours) {
+    base_cost.add(base);
+    ours_cost.add(ours);
+    if (base > 0.0) improvement_ratio.add((base - ours) / base);
+    const double eps = 1e-9 * std::max(base, ours);
+    if (ours < base - eps) ++wins;
+    else if (ours > base + eps) ++losses;
+    else ++ties;
+  }
+
+  double diff_percent() const {
+    return base_cost.mean() > 0.0
+               ? 100.0 * (base_cost.mean() - ours_cost.mean()) / base_cost.mean()
+               : 0.0;
+  }
+  double avg_imp_percent() const { return 100.0 * improvement_ratio.mean(); }
+  double win_rate() const {
+    const int n = wins + losses + ties;
+    return n == 0 ? 0.0 : 100.0 * wins / n;
+  }
+  double loss_rate() const {
+    const int n = wins + losses + ties;
+    return n == 0 ? 0.0 : 100.0 * losses / n;
+  }
+};
+
+}  // namespace oar::bench

@@ -1,0 +1,50 @@
+// Fig. 11 reproduction: ST-to-MST ratio vs training time for the three
+// policy-optimization schemes on fixed-size layouts.
+//
+// Paper scale: 24x24x4 layouts, hours of training, 10K eval layouts per
+// pin count.  Bench scale: 8x8x2 layouts, ~18 s per trainer, 16 eval
+// layouts per range; the out-of-range eval uses 7-10 pins (paper: 7-12).
+//
+// Extra ablation rows (DESIGN.md Sec. 6): the terminal pruning rules of the
+// combinatorial MCTS toggled off, to show their effect on sample time.
+
+#include "bench_training_curves.hpp"
+
+int main() {
+  using namespace oar;
+
+  bench::CurveConfig cfg;
+  cfg.figure_name = "Fig. 11";
+  cfg.h = 8;
+  cfg.v = 8;
+  cfg.m = 2;
+  cfg.out_min_pins = 7;
+  cfg.out_max_pins = 10;
+  bench::run_training_curves(cfg);
+
+  // --- ablation: terminal pruning rules of combinatorial MCTS ---
+  std::printf("\nablation: combinatorial-MCTS terminal rules (sample time, one"
+              " stage of 4 layouts)\n");
+  rl::TrainConfig train;
+  train.sizes = {{cfg.h, cfg.v, cfg.m}};
+  train.layouts_per_size = 4;
+  train.epochs_per_stage = 1;
+  train.augment_count = 1;
+  train.mcts.iterations_per_move = 128;
+  train.curriculum_stages = 0;
+  train.seed = 0xab1a;
+
+  for (const bool prune : {true, false}) {
+    rl::SelectorConfig sel_cfg = core::pretrained_selector_config();
+    sel_cfg.unet.seed = 0xad;
+    rl::SteinerSelector selector(sel_cfg);
+    rl::TrainConfig t = train;
+    t.mcts.stop_on_cost_increase = prune;
+    t.mcts.flat_cost_patience = prune ? 3 : 1000000;
+    rl::CombTrainer trainer(selector, t);
+    const auto report = trainer.run_stage();
+    std::printf("  pruning %-3s : %.3f s/sample\n", prune ? "on" : "off",
+                report.seconds_per_sample);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fig. 12 reproduction: the Fig. 11 experiment at the larger fixed layout
+// size (paper: 32x32x4; bench: 10x10x3), where the paper reports the
+// combinatorial MCTS's lead over the AlphaGo-like trainer widening and the
+// inference speedup of the one-shot selector growing (1.67x for 3-6 pins,
+// 3.54x for 7-12 pins at full scale).
+
+#include "bench_training_curves.hpp"
+
+int main() {
+  oar::bench::CurveConfig cfg;
+  cfg.figure_name = "Fig. 12";
+  cfg.h = 10;
+  cfg.v = 10;
+  cfg.m = 3;
+  cfg.out_min_pins = 7;
+  cfg.out_max_pins = 12;
+  cfg.seconds_per_trainer = 36.0;
+  cfg.layouts_per_stage = 4;
+  oar::bench::run_training_curves(cfg);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations behind
+// the paper's runtime claims: maze routing, OARMST construction (with the
+// redundant-Steiner-removal ablation from DESIGN.md Sec. 6), feature
+// encoding, U-Net inference across layout sizes (the "mild growth of
+// Steiner-point selection runtime" of Table 3), the actor's eq.-(1) policy,
+// and one combinatorial-MCTS search.
+
+#include <benchmark/benchmark.h>
+
+#include "core/oarsmtrl.hpp"
+
+namespace {
+
+using namespace oar;
+
+hanan::HananGrid make_grid(std::int32_t dim, std::int32_t m, std::int32_t pins,
+                           std::uint64_t seed = 11) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = spec.v = dim;
+  spec.m = m;
+  spec.min_pins = spec.max_pins = pins;
+  spec.min_obstacles = spec.max_obstacles = std::max(1, dim * dim * m / 40);
+  return gen::random_grid(spec, rng);
+}
+
+void BM_MazeFlood(benchmark::State& state) {
+  const auto grid = make_grid(std::int32_t(state.range(0)), 4, 4);
+  route::MazeRouter maze(grid);
+  for (auto _ : state) {
+    maze.run({grid.pins().front()});
+    benchmark::DoNotOptimize(maze.dist(grid.pins().back()));
+  }
+  state.SetComplexityN(grid.num_vertices());
+}
+BENCHMARK(BM_MazeFlood)->Arg(16)->Arg(32)->Arg(64)->Complexity(benchmark::oNLogN);
+
+void BM_OarmstBuild(benchmark::State& state) {
+  const auto grid = make_grid(24, 4, std::int32_t(state.range(0)));
+  route::OarmstRouter router(grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.build(grid.pins()).cost);
+  }
+}
+BENCHMARK(BM_OarmstBuild)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OarmstRedundancyRemoval(benchmark::State& state) {
+  // Ablation: cost of the removal+rebuild passes with 6 Steiner points.
+  const auto grid = make_grid(24, 4, 8);
+  route::OarmstConfig cfg;
+  cfg.remove_redundant_steiner = state.range(0) != 0;
+  route::OarmstRouter router(grid, cfg);
+  util::Rng rng(3);
+  std::vector<hanan::Vertex> steiner;
+  while (steiner.size() < 6) {
+    const auto v = hanan::Vertex(rng.uniform_int(0, grid.num_vertices() - 1));
+    if (!grid.is_blocked(v) && !grid.is_pin(v)) steiner.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.build(grid.pins(), steiner).cost);
+  }
+}
+BENCHMARK(BM_OarmstRedundancyRemoval)->Arg(0)->Arg(1);
+
+void BM_FeatureEncoding(benchmark::State& state) {
+  const auto grid = make_grid(std::int32_t(state.range(0)), 4, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hanan::encode_features(grid).data.data());
+  }
+}
+BENCHMARK(BM_FeatureEncoding)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SelectorInference(benchmark::State& state) {
+  // One full Steiner-point selection inference (Table 3's "Spoint select").
+  const auto grid = make_grid(std::int32_t(state.range(0)), 4, 6);
+  rl::SteinerSelector selector(core::pretrained_selector_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.infer_fsp(grid).front());
+  }
+  state.SetComplexityN(grid.num_vertices());
+}
+BENCHMARK(BM_SelectorInference)->Arg(8)->Arg(16)->Arg(32)->Complexity(benchmark::oN);
+
+void BM_ActorPolicyEq1(benchmark::State& state) {
+  const auto grid = make_grid(16, 4, 5);
+  rl::SteinerSelector selector(core::pretrained_selector_config());
+  mcts::ActorCritic ac(selector, grid);
+  const auto fsp = ac.fsp({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac.policy({}, -1, fsp).size());
+  }
+}
+BENCHMARK(BM_ActorPolicyEq1);
+
+void BM_CombMctsSample(benchmark::State& state) {
+  // One full training-sample generation (search tree + label), the unit of
+  // the paper's "1.16 s per sample" claim.
+  const auto grid = make_grid(8, 2, 4, 21);
+  rl::SelectorConfig cfg = core::pretrained_selector_config();
+  rl::SteinerSelector selector(cfg);
+  mcts::CombMctsConfig mcfg;
+  mcfg.iterations_per_move = 24;
+  mcfg.max_children = 16;
+  for (auto _ : state) {
+    mcts::CombMcts search(selector, mcfg);
+    benchmark::DoNotOptimize(search.run(grid).label.size());
+  }
+}
+BENCHMARK(BM_CombMctsSample)->Unit(benchmark::kMillisecond);
+
+void BM_SeqMctsSample(benchmark::State& state) {
+  // Conventional-MCTS counterpart of BM_CombMctsSample (the 3.48x claim).
+  const auto grid = make_grid(8, 2, 4, 21);
+  rl::SelectorConfig cfg = core::pretrained_selector_config();
+  rl::SteinerSelector selector(cfg);
+  mcts::CombMctsConfig mcfg;
+  mcfg.iterations_per_move = 24;
+  mcfg.max_children = 16;
+  for (auto _ : state) {
+    mcts::SeqMcts search(selector, mcfg);
+    benchmark::DoNotOptimize(search.run(grid).samples.size());
+  }
+}
+BENCHMARK(BM_SeqMctsSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

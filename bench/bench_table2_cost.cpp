@@ -1,0 +1,61 @@
+// Table 2 reproduction: routing-cost comparison between the strongest
+// algorithmic baseline ([14]-class Lin18Router) and the RL router on the
+// randomly generated test subsets of Table 1.
+//
+// Paper scale: subsets T32..T512 with up to 50,000 layouts each (the
+// baseline alone needed a 24 h budget).  Bench scale: the same generator at
+// dimension scale 1/4 with tens of layouts per subset, so the binary
+// finishes in about a minute on a laptop CPU.  EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace oar;
+
+  auto selector = bench::bench_selector();
+  core::RlRouter ours(selector);
+  core::RlRouter ours_sweep(selector, core::RlRouterConfig{true});
+  steiner::Lin18Router lin18(bench::bench_lin18_config());
+
+  const auto subsets = gen::paper_test_subsets(/*scale=*/8);
+  // Layout counts per subset, shaped like the paper's decreasing budgets.
+  const std::vector<int> base_counts = {24, 16, 10, 8, 6, 4, 3};
+  const double scale = bench::env_scale();
+
+  std::printf("Table 2: routing-cost comparison ([14]-class baseline vs ours)\n");
+  std::printf("(subset dims are the paper's divided by 8; counts scaled to a CPU budget)\n\n");
+  std::printf("%-8s %4s %9s | %12s %12s %8s | %9s | %6s %6s | %12s %8s\n",
+              "subset", "n", "HxV", "lin18 (a)", "ours (b)", "(a-b)/a", "avg.imp",
+              "win%", "loss%", "ours+sweep", "(a-c)/a");
+  bench::print_rule(120);
+
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    const auto& subset = subsets[i];
+    const int count = std::max(1, int(base_counts[i] * scale));
+    util::Rng rng(0x7ab1e2 + std::uint64_t(i));
+    bench::CostDuel duel;
+    bench::CostDuel duel_sweep;
+    for (int l = 0; l < count; ++l) {
+      // Cap the per-layout layer count at 6 to keep the baseline budget sane.
+      gen::TestSubsetSpec capped = subset;
+      capped.max_m = 6;
+      const hanan::HananGrid grid = gen::random_subset_grid(capped, rng);
+      const auto base = lin18.route(grid);
+      const auto mine = ours.route(grid);
+      const auto swept = ours_sweep.route(grid);
+      if (!base.connected || !mine.connected || !swept.connected) continue;
+      duel.add(base.cost, mine.cost);
+      duel_sweep.add(base.cost, swept.cost);
+    }
+    std::printf("%-8s %4zu %4dx%-4d | %12.0f %12.0f %7.3f%% | %8.3f%% | %5.1f%% %5.1f%% | %12.0f %7.3f%%\n",
+                subset.name.c_str(), duel.base_cost.count(), subset.spec.h,
+                subset.spec.v, duel.base_cost.mean(), duel.ours_cost.mean(),
+                duel.diff_percent(), duel.avg_imp_percent(), duel.win_rate(),
+                duel.loss_rate(), duel_sweep.ours_cost.mean(),
+                duel_sweep.diff_percent());
+  }
+  std::printf("\npaper (full scale): diff 2.26%%..2.68%% in ours' favor, win rate"
+              " 64.7%%..100%%\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#pragma once
+
+// Shared driver for the Fig. 11 / Fig. 12 reproductions: train three
+// routers — combinatorial MCTS (ours), AlphaGo-like sequential MCTS, and
+// PPO — on fixed-size layouts under the same wall-clock budget, and report
+// the average ST-to-MST ratio over held-out layouts versus training time,
+// for both the training pin range (3-6) and an out-of-range set (the
+// paper's 7-12 pins, scaled with the layout).
+//
+// Also prints the paper's Sec. 4.2 side claims at bench scale: seconds per
+// MCTS training sample (combinatorial vs conventional is the 3.48x claim)
+// and inference counts/time of the one-shot vs sequential selector (the
+// 1.67x / 3.54x inference speedup claim).
+
+#include "bench_common.hpp"
+
+namespace oar::bench {
+
+struct CurveConfig {
+  const char* figure_name;
+  std::int32_t h, v, m;           // fixed training size
+  std::int32_t in_min_pins = 3, in_max_pins = 6;
+  std::int32_t out_min_pins = 7, out_max_pins = 10;
+  double seconds_per_trainer = 30.0;
+  int eval_layouts = 20;
+  int layouts_per_stage = 6;
+  /// Paper alpha (2000 @ 16x16x4), scaled per grid by the trainer.
+  int mcts_iterations = 2000;
+  int report_rows = 6;            // eval checkpoints per trainer
+};
+
+inline void run_training_curves(const CurveConfig& cfg) {
+  using namespace oar;
+
+  const double scale = env_scale();
+  const double budget = cfg.seconds_per_trainer * scale;
+
+  // Held-out evaluation sets (same for all trainers).
+  auto make_eval = [&](std::int32_t min_pins, std::int32_t max_pins) {
+    util::Rng rng(0xe7a1 + std::uint64_t(min_pins));
+    std::vector<hanan::HananGrid> grids;
+    for (int i = 0; i < cfg.eval_layouts; ++i) {
+      const auto spec = rl::training_spec({cfg.h, cfg.v, cfg.m}, 0.10, min_pins, max_pins);
+      grids.push_back(gen::random_grid(spec, rng));
+    }
+    return grids;
+  };
+  const auto eval_in = make_eval(cfg.in_min_pins, cfg.in_max_pins);
+  const auto eval_out = make_eval(cfg.out_min_pins, cfg.out_max_pins);
+  const double report_every = budget / double(std::max(1, cfg.report_rows));
+
+  rl::SelectorConfig sel_cfg = core::pretrained_selector_config();
+
+  rl::TrainConfig train;
+  train.sizes = {{cfg.h, cfg.v, cfg.m}};
+  train.layouts_per_size = cfg.layouts_per_stage;
+  train.epochs_per_stage = 2;
+  train.batch_size = 16;
+  train.augment_count = 8;
+  train.mcts.iterations_per_move = cfg.mcts_iterations;
+  train.curriculum_stages = 4;  // fixed-pin bootstrap, as in the paper
+  train.min_pins = cfg.in_min_pins;
+  train.max_pins = cfg.in_max_pins;
+  train.seed = 0xf119;
+
+  std::printf("%s: ST-to-MST ratio vs training time on %dx%dx%d layouts\n",
+              cfg.figure_name, cfg.h, cfg.v, cfg.m);
+  std::printf("(budget %.0f s per trainer; eval: %d layouts each for %d-%d and %d-%d pins)\n\n",
+              budget, cfg.eval_layouts, cfg.in_min_pins, cfg.in_max_pins,
+              cfg.out_min_pins, cfg.out_max_pins);
+  std::printf("%-14s %10s | %12s %12s | %10s | %10s %10s\n", "trainer",
+              "time[s]", "ST/MST in", "ST/MST out", "search", "sec/sample",
+              "eval infs");
+  print_rule(92);
+
+  util::RunningStats comb_sample_time, seq_sample_time;
+  double comb_infer = 1.0, seq_infer = 1.0;
+  double comb_select_s = 0.0, seq_select_s = 0.0;
+
+  // ---- combinatorial MCTS (ours) ----
+  {
+    sel_cfg.unet.seed = 0xc0;
+    rl::SteinerSelector selector(sel_cfg);
+    rl::CombTrainer trainer(selector, train);
+    util::Timer timer;
+    double next_report = report_every;
+    util::RunningStats search_quality;
+    while (timer.seconds() < budget) {
+      const auto report = trainer.run_stage();
+      comb_sample_time.add(report.seconds_per_sample);
+      search_quality.add(report.mean_mcts_st_mst);
+      if (timer.seconds() < next_report && timer.seconds() < budget) continue;
+      next_report += report_every;
+      const auto in = rl::evaluate_st_to_mst(selector, eval_in);
+      const auto out = rl::evaluate_st_to_mst(selector, eval_out);
+      comb_infer = in.mean_inferences;
+      comb_select_s = in.select_seconds / std::max(1, in.count);
+      std::printf("%-14s %10.1f | %12.4f %12.4f | %10.4f | %10.3f %10.1f\n",
+                  "comb-mcts", timer.seconds(), in.mean_st_mst_ratio,
+                  out.mean_st_mst_ratio, report.mean_mcts_st_mst,
+                  report.seconds_per_sample, in.mean_inferences);
+    }
+  }
+
+  // ---- AlphaGo-like sequential MCTS ----
+  {
+    sel_cfg.unet.seed = 0xa1;
+    rl::SteinerSelector selector(sel_cfg);
+    rl::SeqTrainer trainer(selector, train);
+    rl::EvalOptions seq_eval;
+    seq_eval.sequential = true;
+    seq_eval.seq_stop_threshold = 0.0;  // n-2 inferences, as in Sec. 4.2
+    util::Timer timer;
+    double next_report = report_every;
+    while (timer.seconds() < budget) {
+      const auto report = trainer.run_stage();
+      seq_sample_time.add(report.seconds_per_sample);
+      if (timer.seconds() < next_report && timer.seconds() < budget) continue;
+      next_report += report_every;
+      const auto in = rl::evaluate_st_to_mst(selector, eval_in, seq_eval);
+      const auto out = rl::evaluate_st_to_mst(selector, eval_out, seq_eval);
+      seq_infer = in.mean_inferences;
+      seq_select_s = in.select_seconds / std::max(1, in.count);
+      std::printf("%-14s %10.1f | %12.4f %12.4f | %10.4f | %10.3f %10.1f\n",
+                  "alphago-mcts", timer.seconds(), in.mean_st_mst_ratio,
+                  out.mean_st_mst_ratio, report.mean_mcts_st_mst,
+                  report.seconds_per_sample, in.mean_inferences);
+    }
+  }
+
+  // ---- PPO ----
+  {
+    sel_cfg.unet.seed = 0x99;
+    rl::SteinerSelector selector(sel_cfg);
+    rl::PpoConfig ppo;
+    ppo.episodes_per_iteration = 8;
+    ppo.min_pins = cfg.in_min_pins;
+    ppo.max_pins = cfg.in_max_pins;
+    rl::PpoTrainer trainer(selector, {{cfg.h, cfg.v, cfg.m}}, ppo);
+    rl::EvalOptions seq_eval;
+    seq_eval.sequential = true;
+    seq_eval.seq_stop_threshold = 0.0;
+    util::Timer timer;
+    double next_report = report_every;
+    double mean_return = 0.0;
+    while (timer.seconds() < budget) {
+      mean_return = trainer.run_iteration().mean_return;
+      if (timer.seconds() < next_report && timer.seconds() < budget) continue;
+      next_report += report_every;
+      const auto in = rl::evaluate_st_to_mst(selector, eval_in, seq_eval);
+      const auto out = rl::evaluate_st_to_mst(selector, eval_out, seq_eval);
+      std::printf("%-14s %10.1f | %12.4f %12.4f | %10.4f | %10s %10.1f\n", "ppo",
+                  timer.seconds(), in.mean_st_mst_ratio, out.mean_st_mst_ratio,
+                  1.0 - mean_return, "-", in.mean_inferences);
+    }
+  }
+
+  print_rule(92);
+  if (seq_sample_time.mean() > 0.0 && comb_sample_time.mean() > 0.0) {
+    std::printf("sample generation (mean over stages): comb %.3f s vs conventional"
+                " %.3f s -> %.2fx (paper: 1.16 s, 3.48x)\n", comb_sample_time.mean(),
+                seq_sample_time.mean(), seq_sample_time.mean() / comb_sample_time.mean());
+  }
+  if (comb_select_s > 0.0 && seq_select_s > 0.0) {
+    std::printf("inference: ours 1 inference (%.2f ms) vs sequential %.1f"
+                " inferences (%.2f ms) -> %.2fx\n", comb_select_s * 1e3, seq_infer,
+                seq_select_s * 1e3, seq_select_s / comb_select_s);
+  }
+  (void)comb_infer;
+  std::printf("paper shape: comb-mcts below alphago-mcts at every time point, ppo"
+              " far above both\n");
+}
+
+}  // namespace oar::bench

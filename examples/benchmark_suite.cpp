@@ -1,0 +1,56 @@
+// Run every registered router over the synthetic public-benchmark clones
+// and print a summary table — a one-command health check of the whole
+// library (and a user-facing template for custom sweeps).
+//
+// Usage: benchmark_suite [scale]
+//   scale divides the published benchmark dimensions (default 6, keeping
+//   the run under half a minute; the oracle is skipped above tiny sizes).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/oarsmtrl.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oar;
+
+  const std::int32_t scale = argc > 1 ? std::atoi(argv[1]) : 6;
+  auto& registry = core::RouterRegistry::instance();
+  const std::vector<std::string> router_names = {"lin08", "liu14", "lin18",
+                                                 "rl-ours"};
+
+  std::printf("benchmark suite at dimension scale 1/%d\n\n", scale);
+  std::printf("%-6s %9s %6s |", "case", "dims", "pins");
+  for (const auto& name : router_names) std::printf(" %16s |", name.c_str());
+  std::printf("\n");
+
+  std::map<std::string, double> totals;
+  for (const auto& info : gen::public_benchmark_table()) {
+    const auto scaled = gen::scaled_info(info, scale);
+    const hanan::HananGrid grid = gen::make_public_benchmark(info, scale);
+    char dims[32];
+    std::snprintf(dims, sizeof(dims), "%dx%dx%d", scaled.h, scaled.v, scaled.m);
+    std::printf("%-6s %9s %6d |", info.name.c_str(), dims, scaled.pins);
+    for (const auto& name : router_names) {
+      auto router = registry.create(name);
+      util::Timer timer;
+      const auto result = router->route(grid);
+      if (!result.connected) {
+        std::printf(" %16s |", "unroutable");
+        continue;
+      }
+      std::printf(" %8.0f %6.2fs |", result.cost, timer.seconds());
+      totals[name] += result.cost;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ntotal routed cost:");
+  for (const auto& name : router_names) {
+    std::printf("  %s %.0f", name.c_str(), totals[name]);
+  }
+  std::printf("\n");
+  return 0;
+}

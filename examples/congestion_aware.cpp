@@ -1,0 +1,94 @@
+// Congestion-aware routing: the Hanan-grid input lets every grid step carry
+// its own routing cost (paper Sec. 1: "can handle different routing costs
+// between adjacent grids").
+//
+// In the Hanan cost model steps are separable (a column's crossing cost is
+// the same at every row), so cost-awareness shows up in the tree TOPOLOGY:
+// an expensive column interval should be crossed once through a shared
+// trunk, not once per pin pair.  This example builds four pins forming a
+// rectangle around a congested channel; priced uniformly the cheapest tree
+// crosses the channel twice, priced with the real costs it must cross once.
+
+#include <cstdio>
+
+#include "core/oarsmtrl.hpp"
+
+namespace {
+
+int channel_crossings(const oar::hanan::HananGrid& grid,
+                      const oar::route::RouteTree& tree, std::int32_t lo,
+                      std::int32_t hi) {
+  int count = 0;
+  for (const auto& e : tree.edges()) {
+    const auto a = grid.cell(std::min(e.a, e.b));
+    const auto b = grid.cell(std::max(e.a, e.b));
+    if (b.h == a.h + 1 && a.h >= lo && a.h < hi) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace oar;
+
+  const std::int32_t H = 17, V = 17, M = 2;
+  std::vector<double> x_step(std::size_t(H - 1), 1.0);
+  std::vector<double> y_step(std::size_t(V - 1), 1.0);
+  // Congested channel: crossing columns 7..9 costs 20x the normal step.
+  for (std::int32_t h = 7; h <= 9; ++h) x_step[std::size_t(h)] = 20.0;
+
+  hanan::HananGrid grid(H, V, M, x_step, y_step, /*via_cost=*/2.0);
+  // Two pins on each side of the channel; the vertical span (12) exceeds
+  // the uniform horizontal span (8), so a cost-blind tree prefers two
+  // channel crossings over one crossing plus a vertical trunk.
+  grid.add_pin(grid.index(4, 2, 0));
+  grid.add_pin(grid.index(4, 14, 0));
+  grid.add_pin(grid.index(12, 2, 0));
+  grid.add_pin(grid.index(12, 14, 0));
+
+  // The same pin geometry priced uniformly — what a congestion-blind
+  // router optimizes.
+  hanan::HananGrid uniform(H, V, M, std::vector<double>(std::size_t(H - 1), 1.0),
+                           y_step, 2.0);
+  for (hanan::Vertex p : grid.pins()) uniform.add_pin(p);
+
+  std::printf("layout %dx%dx%d, congested columns 7..9 (crossing cost 65 vs 8)\n\n",
+              H, V, M);
+
+  steiner::Lin18Router lin18;
+  const auto aware = lin18.route(grid);
+  const auto blind = lin18.route(uniform);
+
+  // Price the congestion-blind tree at the real (congested) costs.
+  double blind_real_cost = 0.0;
+  for (const auto& e : blind.tree.edges()) {
+    blind_real_cost += grid.cost_between(e.a, e.b);
+  }
+
+  const int aware_x = channel_crossings(grid, aware.tree, 7, 10);
+  const int blind_x = channel_crossings(grid, blind.tree, 7, 10);
+  std::printf("congestion-aware tree : cost %6.1f, %d expensive steps crossed\n",
+              aware.cost, aware_x);
+  std::printf("congestion-blind tree : cost %6.1f at real prices, %d expensive"
+              " steps crossed\n", blind_real_cost, blind_x);
+  std::printf("penalty avoided       : %6.1f (%.0f%% of the blind cost)\n\n",
+              blind_real_cost - aware.cost,
+              100.0 * (blind_real_cost - aware.cost) / blind_real_cost);
+
+  // The RL selector consumes the same per-step costs through its feature
+  // channels (Fig. 3), so the learned router is cost-aware by construction.
+  auto selector = core::load_or_train_pretrained(2);
+  core::RlRouter rl_router(selector, core::RlRouterConfig{true});
+  const auto ours = rl_router.route(grid);
+  std::printf("RL router (real costs): cost %6.1f, %d expensive steps crossed\n",
+              ours.cost, channel_crossings(grid, ours.tree, 7, 10));
+
+  const bool demonstrated = aware_x < blind_x && aware.cost < blind_real_cost;
+  std::printf("\n%s\n", demonstrated
+                            ? "cost-aware routing shares one channel crossing; the"
+                              " blind tree pays for two."
+                            : "note: at this geometry both trees crossed equally"
+                              " often.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Command-line router: route an .oargrid layout file (see gen/grid_io.hpp)
+// with any registered router and optionally dump the routed tree as SVG.
+//
+// Usage:
+//   oarsmt_cli <layout.oargrid> [--router NAME] [--svg out.svg] [--list]
+//
+//   --list prints the registered router names and exits.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/oarsmtrl.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int list_routers() {
+  std::printf("registered routers:\n");
+  for (const auto& name : oar::core::RouterRegistry::instance().names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oar;
+
+  std::string layout_path, router_name = "lin18", svg_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) return list_routers();
+    if (std::strcmp(argv[i], "--router") == 0 && i + 1 < argc) {
+      router_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--svg") == 0 && i + 1 < argc) {
+      svg_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      layout_path = argv[i];
+    } else {
+      std::printf("unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (layout_path.empty()) {
+    std::printf("usage: %s <layout.oargrid> [--router NAME] [--svg out.svg] [--list]\n",
+                argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  const auto grid = gen::load_grid(layout_path, &error);
+  if (!grid) {
+    std::printf("failed to load %s: %s\n", layout_path.c_str(), error.c_str());
+    return 1;
+  }
+  if (const std::string problems = grid->validate(); !problems.empty()) {
+    std::printf("invalid layout: %s\n", problems.c_str());
+    return 1;
+  }
+
+  auto router = core::RouterRegistry::instance().create(router_name);
+  if (!router) {
+    std::printf("unknown router '%s'; use --list\n", router_name.c_str());
+    return 2;
+  }
+
+  std::printf("layout %dx%dx%d, %zu pins, %.1f%% blocked\n", grid->h_dim(),
+              grid->v_dim(), grid->m_dim(), grid->pins().size(),
+              100.0 * grid->blocked_ratio());
+  util::Timer timer;
+  const auto result = router->route(*grid);
+  const double seconds = timer.seconds();
+  if (!result.connected) {
+    std::printf("%s: UNROUTABLE (some pin is walled off)\n", router_name.c_str());
+    return 1;
+  }
+  const std::string check = result.tree.validate(grid->pins());
+  std::printf("%s: cost %.2f, %zu edges, %zu Steiner points, %.3f s%s\n",
+              router_name.c_str(), result.cost, result.tree.num_edges(),
+              result.kept_steiner.size(), seconds,
+              check.empty() ? "" : "  [INVALID TREE]");
+  if (!svg_path.empty()) {
+    if (gen::save_svg(svg_path, *grid, &result.tree, result.kept_steiner)) {
+      std::printf("wrote %s\n", svg_path.c_str());
+    } else {
+      std::printf("failed to write %s\n", svg_path.c_str());
+      return 1;
+    }
+  }
+  return check.empty() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Quickstart: describe a physical multi-layer layout, derive its 3D Hanan
+// grid graph, and route it with an algorithmic baseline and the RL router.
+//
+//   ./examples/quickstart
+//
+// Demonstrates the complete Fig.-2 flow of the paper on a small example.
+
+#include <cstdio>
+
+#include "core/oarsmtrl.hpp"
+
+int main() {
+  using namespace oar;
+
+  // A 200x200 layout with 3 routing layers and via cost 4.
+  geom::Layout layout(200, 200, 3, 4.0);
+  layout.add_pin(10, 10, 0);
+  layout.add_pin(180, 30, 1);
+  layout.add_pin(30, 170, 2);
+  layout.add_pin(160, 160, 0);
+  layout.add_pin(100, 90, 1);
+  // A macro on layer 0 and a routing blockage on layer 1.
+  layout.add_obstacle(geom::Rect(60, 60, 130, 130), 0);
+  layout.add_obstacle(geom::Rect(90, 10, 120, 60), 1);
+
+  if (const std::string problems = layout.validate(); !problems.empty()) {
+    std::printf("invalid layout: %s\n", problems.c_str());
+    return 1;
+  }
+
+  // Physical layout -> 3D Hanan grid graph (Sec. 2.2 of the paper).
+  const hanan::HananGrid grid = hanan::HananGrid::from_layout(layout);
+  std::printf("Hanan graph: %d x %d x %d (%lld vertices), %zu pins, %.1f%% blocked\n",
+              grid.h_dim(), grid.v_dim(), grid.m_dim(),
+              static_cast<long long>(grid.num_vertices()), grid.pins().size(),
+              100.0 * grid.blocked_ratio());
+
+  // Algorithmic baseline: the strongest previous router ([14]-class).
+  steiner::Lin18Router lin18;
+  const route::OarmstResult base = lin18.route(grid);
+  std::printf("lin18 baseline : cost %.1f, %zu Steiner points, %zu tree edges\n",
+              base.cost, base.kept_steiner.size(), base.tree.num_edges());
+
+  // RL router: one selector inference + OARMST (paper Fig. 2).  Loads the
+  // bundled checkpoint, or quick-trains a tiny selector if it is missing.
+  auto selector = core::load_or_train_pretrained(/*fallback_stages=*/2);
+  core::RlRouter rl_router(selector);
+  const route::OarmstResult ours = rl_router.route(grid);
+  std::printf("RL router      : cost %.1f, %zu Steiner points, %zu tree edges\n",
+              ours.cost, ours.kept_steiner.size(), ours.tree.num_edges());
+  std::printf("  selection %.3f ms, total %.3f ms (one network inference)\n",
+              rl_router.last_timing().select_seconds * 1e3,
+              rl_router.last_timing().total_seconds * 1e3);
+
+  // Every produced tree is checkable: connected, obstacle-free, acyclic.
+  const std::string report = ours.tree.validate(grid.pins());
+  std::printf("tree validation: %s\n", report.empty() ? "OK" : report.c_str());
+  return report.empty() ? 0 : 1;
+}

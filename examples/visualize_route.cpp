@@ -1,0 +1,57 @@
+// Route a layout with several routers and dump SVG renderings plus the
+// layout itself in the text format, so results can be inspected visually
+// and replayed.
+//
+// Usage: visualize_route [seed] [output_dir]
+//   defaults: seed 42, output_dir "." — writes layout.oargrid and one
+//   <router>.svg per router.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/oarsmtrl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oar;
+
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const std::string dir = argc > 2 ? argv[2] : ".";
+
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 14;
+  spec.v = 14;
+  spec.m = 2;
+  spec.min_pins = 6;
+  spec.max_pins = 8;
+  spec.min_obstacles = 10;
+  spec.max_obstacles = 16;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 4;
+  const hanan::HananGrid grid = gen::random_grid(spec, rng);
+
+  const std::string layout_path = dir + "/layout.oargrid";
+  if (!gen::save_grid(grid, layout_path)) {
+    std::printf("failed to write %s\n", layout_path.c_str());
+    return 1;
+  }
+  std::printf("layout: %dx%dx%d, %zu pins -> %s\n", grid.h_dim(), grid.v_dim(),
+              grid.m_dim(), grid.pins().size(), layout_path.c_str());
+
+  auto& registry = core::RouterRegistry::instance();
+  for (const std::string& name : {std::string("lin08"), std::string("lin18"),
+                                  std::string("rl-ours")}) {
+    auto router = registry.create(name);
+    const auto result = router->route(grid);
+    if (!result.connected) {
+      std::printf("%-8s UNROUTABLE\n", name.c_str());
+      continue;
+    }
+    const std::string svg_path = dir + "/" + name + ".svg";
+    gen::save_svg(svg_path, grid, &result.tree, result.kept_steiner);
+    std::printf("%-8s cost %8.1f, %2zu Steiner pts -> %s\n", name.c_str(),
+                result.cost, result.kept_steiner.size(), svg_path.c_str());
+  }
+  return 0;
+}

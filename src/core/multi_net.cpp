@@ -1,0 +1,90 @@
+#include "core/multi_net.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace oar::core {
+
+namespace {
+
+/// Order heuristic: pin count first, then bounding-volume extent.
+std::int64_t net_size_key(const hanan::HananGrid& grid, const Net& net) {
+  std::int32_t min_h = 1 << 30, max_h = -1, min_v = 1 << 30, max_v = -1;
+  for (hanan::Vertex p : net.pins) {
+    const auto c = grid.cell(p);
+    min_h = std::min(min_h, c.h);
+    max_h = std::max(max_h, c.h);
+    min_v = std::min(min_v, c.v);
+    max_v = std::max(max_v, c.v);
+  }
+  const std::int64_t extent =
+      net.pins.empty() ? 0 : std::int64_t(max_h - min_h) + (max_v - min_v);
+  return std::int64_t(net.pins.size()) * 100000 + extent;
+}
+
+}  // namespace
+
+MultiNetSummary route_nets(const hanan::HananGrid& grid,
+                           const std::vector<Net>& nets, steiner::Router& router,
+                           NetOrder order) {
+  MultiNetSummary summary;
+
+  std::vector<std::size_t> sequence(nets.size());
+  std::iota(sequence.begin(), sequence.end(), 0u);
+  if (order == NetOrder::kSmallestFirst) {
+    std::stable_sort(sequence.begin(), sequence.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return net_size_key(grid, nets[a]) < net_size_key(grid, nets[b]);
+                     });
+  }
+
+  // Wires routed so far, blocked for subsequent nets.
+  std::unordered_set<hanan::Vertex> used;
+
+  for (const std::size_t idx : sequence) {
+    const Net& net = nets[idx];
+    NetResult net_result;
+    net_result.name = net.name;
+
+    // Fresh per-net grid: original blockages + previously routed wires.
+    // Contract: the template grid carries no pins of its own (each net
+    // brings its pins).  The grid is kept alive in the result so the
+    // returned tree stays valid.
+    auto net_grid = std::make_shared<hanan::HananGrid>(grid);
+    bool pins_ok = !net.pins.empty();
+    for (hanan::Vertex p : net.pins) {
+      if (p < 0 || p >= net_grid->num_vertices() || net_grid->is_blocked(p) ||
+          used.count(p)) {
+        pins_ok = false;
+        break;
+      }
+    }
+    if (pins_ok) {
+      for (hanan::Vertex v : used) {
+        if (!net_grid->is_pin(v) && !net_grid->is_blocked(v)) {
+          net_grid->block_vertex(v);
+        }
+      }
+      for (hanan::Vertex p : net.pins) net_grid->add_pin(p);
+      route::OarmstResult routed = router.route(*net_grid);
+      if (routed.connected) {
+        for (hanan::Vertex v : routed.tree.vertices()) used.insert(v);
+        summary.total_cost += routed.cost;
+        routed.tree.rebind_grid(net_grid.get());
+        net_result.result = std::move(routed);
+        net_result.grid = std::move(net_grid);
+        net_result.routed = true;
+      }
+    }
+    if (net_result.routed) {
+      ++summary.routed;
+    } else {
+      ++summary.failed;
+    }
+    summary.nets.push_back(std::move(net_result));
+  }
+  return summary;
+}
+
+}  // namespace oar::core

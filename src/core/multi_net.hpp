@@ -1,0 +1,52 @@
+#pragma once
+
+// Multi-net routing on one Hanan grid.
+//
+// The paper's problem statement motivates ML-OARSMT with layouts where
+// "macros, routing blockages, or pre-routed wires are often encountered":
+// this utility routes a list of nets sequentially with any single-net
+// router; after each net is routed, its wires become blockages for the
+// following nets (the standard sequential global-routing scheme).  Nets can
+// be ordered as given or shortest-first (fewer pins / smaller bounding
+// volume first, which empirically reduces blocking).
+
+#include <memory>
+#include <vector>
+
+#include "steiner/router_base.hpp"
+
+namespace oar::core {
+
+struct Net {
+  std::string name;
+  std::vector<hanan::Vertex> pins;
+};
+
+struct NetResult {
+  std::string name;
+  route::OarmstResult result;
+  /// The per-net grid (original blockages + earlier nets' wires) the
+  /// result was routed on; result.tree is bound to it.
+  std::shared_ptr<hanan::HananGrid> grid;
+  bool routed = false;  // false: unroutable given earlier nets' blockages
+};
+
+enum class NetOrder { kAsGiven, kSmallestFirst };
+
+struct MultiNetSummary {
+  std::vector<NetResult> nets;
+  double total_cost = 0.0;
+  int routed = 0;
+  int failed = 0;
+};
+
+/// Routes `nets` on a copy of `grid` using `router`.  Each routed net's
+/// tree vertices are blocked before the next net is attempted (pins of
+/// not-yet-routed nets are never blocked; a net whose pins were swallowed
+/// by earlier wires reports routed = false).
+MultiNetSummary route_nets(const hanan::HananGrid& grid,
+                           const std::vector<Net>& nets,
+                           steiner::Router& router,
+                           NetOrder order = NetOrder::kAsGiven);
+
+}  // namespace oar::core

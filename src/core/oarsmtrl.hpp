@@ -1,0 +1,38 @@
+#pragma once
+
+// Umbrella header: the public API of the oarsmtrl library.
+//
+// Quick tour (see examples/quickstart.cpp):
+//   geom::Layout            — physical problem description
+//   hanan::HananGrid        — 3D Hanan grid graph (from_layout or direct)
+//   route::OarmstRouter     — OARMST construction over pins + Steiner points
+//   steiner::{Lin08,Liu14,Lin18}Router — algorithmic baselines
+//   rl::SteinerSelector     — the 3D-U-Net Steiner-point selector
+//   rl::CombTrainer         — combinatorial-MCTS training pipeline
+//   core::RlRouter          — the trained RL ML-OARSMT router
+//   core::pretrained_*      — bundled tiny checkpoint helpers
+
+#include "core/multi_net.hpp"
+#include "core/pretrained.hpp"
+#include "core/registry.hpp"
+#include "core/rl_router.hpp"
+#include "gen/grid_io.hpp"
+#include "gen/public_benchmarks.hpp"
+#include "gen/svg.hpp"
+#include "gen/random_layout.hpp"
+#include "geom/layout.hpp"
+#include "hanan/features.hpp"
+#include "hanan/hanan_grid.hpp"
+#include "mcts/comb_mcts.hpp"
+#include "mcts/seq_mcts.hpp"
+#include "rl/evaluate.hpp"
+#include "rl/ppo.hpp"
+#include "rl/selector.hpp"
+#include "rl/seq_trainer.hpp"
+#include "rl/trainer.hpp"
+#include "route/astar.hpp"
+#include "route/oarmst.hpp"
+#include "steiner/lin08.hpp"
+#include "steiner/oracle.hpp"
+#include "steiner/lin18.hpp"
+#include "steiner/liu14.hpp"

@@ -1,0 +1,63 @@
+#include "core/pretrained.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "rl/trainer.hpp"
+#include "util/logging.hpp"
+
+#ifndef OARSMTRL_SOURCE_DIR
+#define OARSMTRL_SOURCE_DIR "."
+#endif
+
+namespace oar::core {
+
+rl::SelectorConfig pretrained_selector_config() {
+  rl::SelectorConfig config;
+  config.unet.in_channels = 7;
+  config.unet.base_channels = 8;
+  config.unet.depth = 2;
+  config.unet.seed = 0x0a25;
+  return config;
+}
+
+std::string default_checkpoint_path() {
+  if (const char* env = std::getenv("OARSMTRL_MODEL"); env != nullptr && *env) {
+    return env;
+  }
+  return std::string(OARSMTRL_SOURCE_DIR) + "/models/pretrained.bin";
+}
+
+std::shared_ptr<rl::SteinerSelector> load_pretrained(const std::string& path) {
+  if (!std::filesystem::exists(path)) return nullptr;
+  auto selector = std::make_shared<rl::SteinerSelector>(pretrained_selector_config());
+  if (!selector->load(path)) {
+    util::log_warn("failed to load checkpoint ", path);
+    return nullptr;
+  }
+  return selector;
+}
+
+std::shared_ptr<rl::SteinerSelector> load_or_train_pretrained(
+    int fallback_stages, const std::string& path) {
+  if (auto selector = load_pretrained(path)) {
+    util::log_info("loaded pretrained selector from ", path);
+    return selector;
+  }
+  util::log_info("no checkpoint at ", path, "; quick-training ", fallback_stages,
+                 " stages");
+  auto selector = std::make_shared<rl::SteinerSelector>(pretrained_selector_config());
+  rl::TrainConfig config;
+  config.sizes = {{10, 10, 2}, {12, 12, 3}};
+  config.layouts_per_size = 6;
+  config.stages = fallback_stages;
+  config.epochs_per_stage = 2;
+  config.batch_size = 16;
+  config.mcts.iterations_per_move = 48;
+  config.curriculum_stages = std::max(1, fallback_stages / 2);
+  rl::CombTrainer trainer(*selector, config);
+  trainer.train();
+  return selector;
+}
+
+}  // namespace oar::core

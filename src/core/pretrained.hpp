@@ -1,0 +1,36 @@
+#pragma once
+
+// Bundled pretrained selector: benches and examples load the tiny
+// checkpoint under <repo>/models/pretrained.bin (trained by
+// examples/train_selector) when present, so table benches do not need to
+// retrain.  Falls back to a freshly initialized selector plus an optional
+// quick training burst.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rl/selector.hpp"
+
+namespace oar::core {
+
+/// The network configuration the bundled checkpoint was trained with.
+rl::SelectorConfig pretrained_selector_config();
+
+/// Default checkpoint location: $OARSMTRL_MODEL if set, otherwise
+/// <source-root>/models/pretrained.bin (source root baked in at compile
+/// time via OARSMTRL_SOURCE_DIR).
+std::string default_checkpoint_path();
+
+/// Loads the bundled checkpoint.  Returns nullptr when the file is missing
+/// or incompatible.
+std::shared_ptr<rl::SteinerSelector> load_pretrained(
+    const std::string& path = default_checkpoint_path());
+
+/// Loads the bundled checkpoint, or — when absent — trains a selector for
+/// `fallback_stages` quick stages so callers always get a usable agent.
+/// `quiet` suppresses the per-stage log lines.
+std::shared_ptr<rl::SteinerSelector> load_or_train_pretrained(
+    int fallback_stages = 2, const std::string& path = default_checkpoint_path());
+
+}  // namespace oar::core

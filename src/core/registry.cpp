@@ -1,0 +1,74 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+
+#include "core/pretrained.hpp"
+#include "core/rl_router.hpp"
+#include "steiner/lin08.hpp"
+#include "steiner/lin18.hpp"
+#include "steiner/liu14.hpp"
+#include "steiner/oracle.hpp"
+
+namespace oar::core {
+
+RouterRegistry& RouterRegistry::instance() {
+  static RouterRegistry registry = [] {
+    RouterRegistry r;
+    r.register_router("lin08", [] {
+      return std::unique_ptr<steiner::Router>(new steiner::Lin08Router());
+    });
+    r.register_router("liu14", [] {
+      return std::unique_ptr<steiner::Router>(new steiner::Liu14Router());
+    });
+    r.register_router("lin18", [] {
+      return std::unique_ptr<steiner::Router>(new steiner::Lin18Router());
+    });
+    r.register_router("oracle", [] {
+      return std::unique_ptr<steiner::Router>(new steiner::OracleRouter());
+    });
+    r.register_router("rl-ours", [] {
+      return std::unique_ptr<steiner::Router>(
+          new RlRouter(load_or_train_pretrained()));
+    });
+    r.register_router("rl-ours+sweep", [] {
+      return std::unique_ptr<steiner::Router>(
+          new RlRouter(load_or_train_pretrained(), RlRouterConfig{true}));
+    });
+    return r;
+  }();
+  return registry;
+}
+
+void RouterRegistry::register_router(const std::string& name, RouterFactory factory) {
+  for (auto& [existing, f] : factories_) {
+    if (existing == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<steiner::Router> RouterRegistry::create(const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory();
+  }
+  return nullptr;
+}
+
+bool RouterRegistry::contains(const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> RouterRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace oar::core

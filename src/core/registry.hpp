@@ -1,0 +1,39 @@
+#pragma once
+
+// Router registry: name -> factory, so benches, examples and user tools can
+// instantiate any router (baselines, oracle, RL) from a string.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "steiner/router_base.hpp"
+
+namespace oar::core {
+
+using RouterFactory = std::function<std::unique_ptr<steiner::Router>()>;
+
+class RouterRegistry {
+ public:
+  /// The default registry, pre-populated with every built-in router:
+  /// "lin08", "liu14", "lin18", "oracle", "rl-ours" (RL router backed by
+  /// the bundled checkpoint, quick-trained when absent).
+  static RouterRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void register_router(const std::string& name, RouterFactory factory);
+
+  /// Creates a router; nullptr for unknown names.
+  std::unique_ptr<steiner::Router> create(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, RouterFactory>> factories_;
+};
+
+}  // namespace oar::core

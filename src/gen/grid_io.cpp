@@ -1,0 +1,172 @@
+#include "gen/grid_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace oar::gen {
+
+namespace {
+
+void fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool write_grid(const hanan::HananGrid& grid, std::ostream& out) {
+  out << std::setprecision(17);  // lossless double round trip
+  out << "oargrid 1\n";
+  out << "dims " << grid.h_dim() << " " << grid.v_dim() << " " << grid.m_dim()
+      << "\n";
+  out << "via " << grid.via_cost() << "\n";
+  out << "xsteps";
+  for (std::int32_t h = 0; h + 1 < grid.h_dim(); ++h) out << " " << grid.x_step(h);
+  out << "\nysteps";
+  for (std::int32_t v = 0; v + 1 < grid.v_dim(); ++v) out << " " << grid.y_step(v);
+  out << "\n";
+
+  out << "pins";
+  for (hanan::Vertex p : grid.pins()) {
+    const auto c = grid.cell(p);
+    out << " " << c.h << " " << c.v << " " << c.m;
+  }
+  out << "\n";
+
+  out << "blocked";
+  for (hanan::Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (!grid.is_blocked(v)) continue;
+    const auto c = grid.cell(v);
+    out << " " << c.h << " " << c.v << " " << c.m;
+  }
+  out << "\nend\n";
+  return bool(out);
+}
+
+bool save_grid(const hanan::HananGrid& grid, const std::string& path) {
+  std::ofstream out(path);
+  return out && write_grid(grid, out);
+}
+
+std::optional<hanan::HananGrid> read_grid(std::istream& in, std::string* error) {
+  std::int32_t H = -1, V = -1, M = -1;
+  double via = 1.0;
+  std::vector<double> xsteps, ysteps;
+  std::vector<std::array<std::int32_t, 3>> pins, blocked;
+  bool saw_header = false, saw_end = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "oargrid") {
+      int version = 0;
+      ls >> version;
+      if (version != 1) {
+        fail(error, "unsupported oargrid version");
+        return std::nullopt;
+      }
+      saw_header = true;
+    } else if (keyword == "dims") {
+      if (!(ls >> H >> V >> M) || H < 1 || V < 1 || M < 1) {
+        fail(error, "bad dims line");
+        return std::nullopt;
+      }
+    } else if (keyword == "via") {
+      if (!(ls >> via) || via < 0.0) {
+        fail(error, "bad via line");
+        return std::nullopt;
+      }
+    } else if (keyword == "xsteps") {
+      double s;
+      while (ls >> s) xsteps.push_back(s);
+    } else if (keyword == "ysteps") {
+      double s;
+      while (ls >> s) ysteps.push_back(s);
+    } else if (keyword == "pins" || keyword == "blocked") {
+      auto& list = keyword == "pins" ? pins : blocked;
+      std::vector<std::int32_t> coords;
+      std::int32_t value;
+      while (ls >> value) coords.push_back(value);
+      if (!ls.eof() || coords.size() % 3 != 0) {
+        fail(error, "bad " + keyword + " line");
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i + 2 < coords.size(); i += 3) {
+        list.push_back({coords[i], coords[i + 1], coords[i + 2]});
+      }
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail(error, "unknown keyword: " + keyword);
+      return std::nullopt;
+    }
+  }
+
+  if (!saw_header || !saw_end) {
+    fail(error, "missing oargrid header or end marker");
+    return std::nullopt;
+  }
+  if (H < 1) {
+    fail(error, "missing dims");
+    return std::nullopt;
+  }
+  if (std::ssize(xsteps) != H - 1 || std::ssize(ysteps) != V - 1) {
+    fail(error, "step count does not match dims");
+    return std::nullopt;
+  }
+  for (double s : xsteps) {
+    if (s <= 0.0) {
+      fail(error, "non-positive x step");
+      return std::nullopt;
+    }
+  }
+  for (double s : ysteps) {
+    if (s <= 0.0) {
+      fail(error, "non-positive y step");
+      return std::nullopt;
+    }
+  }
+
+  hanan::HananGrid grid(H, V, M, std::move(xsteps), std::move(ysteps), via);
+  auto in_range = [&](const std::array<std::int32_t, 3>& c) {
+    return c[0] >= 0 && c[0] < H && c[1] >= 0 && c[1] < V && c[2] >= 0 && c[2] < M;
+  };
+  for (const auto& c : blocked) {
+    if (!in_range(c)) {
+      fail(error, "blocked vertex out of range");
+      return std::nullopt;
+    }
+    grid.block_vertex(grid.index(c[0], c[1], c[2]));
+  }
+  for (const auto& c : pins) {
+    if (!in_range(c)) {
+      fail(error, "pin out of range");
+      return std::nullopt;
+    }
+    const hanan::Vertex idx = grid.index(c[0], c[1], c[2]);
+    if (grid.is_blocked(idx)) {
+      fail(error, "pin on blocked vertex");
+      return std::nullopt;
+    }
+    grid.add_pin(idx);
+  }
+  return grid;
+}
+
+std::optional<hanan::HananGrid> load_grid(const std::string& path,
+                                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return read_grid(in, error);
+}
+
+}  // namespace oar::gen

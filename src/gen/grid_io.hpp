@@ -1,0 +1,40 @@
+#pragma once
+
+// Text serialization of Hanan-grid layouts.
+//
+// A simple line-oriented format so users can persist generated workloads,
+// exchange failing cases, and run the routers on externally produced
+// layouts (e.g. converted public benchmarks):
+//
+//   oargrid 1
+//   dims H V M
+//   via <cost>
+//   xsteps s0 s1 ... s(H-2)
+//   ysteps s0 s1 ... s(V-2)
+//   pins (h v m)*
+//   blocked (h v m)*          # repeated lines allowed for both sections
+//   end
+//
+// Lines starting with '#' are comments.  Writing is lossless for grid-world
+// layouts (geometric cut coordinates are not preserved).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::gen {
+
+/// Serializes `grid` to the text format.  Returns false on I/O failure.
+bool write_grid(const hanan::HananGrid& grid, std::ostream& out);
+bool save_grid(const hanan::HananGrid& grid, const std::string& path);
+
+/// Parses a grid from the text format.  Returns std::nullopt and fills
+/// `error` (when non-null) on malformed input.
+std::optional<hanan::HananGrid> read_grid(std::istream& in,
+                                          std::string* error = nullptr);
+std::optional<hanan::HananGrid> load_grid(const std::string& path,
+                                          std::string* error = nullptr);
+
+}  // namespace oar::gen

@@ -1,0 +1,69 @@
+#include "gen/public_benchmarks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/random_layout.hpp"
+
+namespace oar::gen {
+
+std::vector<PublicBenchmarkInfo> public_benchmark_table() {
+  // Table 4 of the paper.
+  return {
+      {"rt1", 45, 44, 10, 25, 10},
+      {"rt2", 136, 131, 10, 100, 20},
+      {"rt3", 294, 285, 10, 250, 50},
+      {"rt4", 458, 449, 10, 500, 50},
+      {"rt5", 702, 707, 4, 1000, 1000},
+      {"ind1", 33, 28, 4, 50, 6},
+      {"ind2", 83, 191, 5, 200, 85},
+      {"ind3", 221, 223, 9, 250, 13},
+  };
+}
+
+PublicBenchmarkInfo scaled_info(const PublicBenchmarkInfo& info, std::int32_t scale) {
+  if (scale <= 1) return info;
+  PublicBenchmarkInfo s = info;
+  s.h = std::max(8, info.h / scale);
+  s.v = std::max(8, info.v / scale);
+  const auto area_ratio = std::max<std::int64_t>(
+      1, (std::int64_t(info.h) * info.v) / (std::int64_t(s.h) * s.v));
+  s.pins = std::max<std::int32_t>(3, std::int32_t(info.pins / area_ratio));
+  s.obstacles = std::max<std::int32_t>(1, std::int32_t(info.obstacles / area_ratio));
+  return s;
+}
+
+hanan::HananGrid make_public_benchmark(const PublicBenchmarkInfo& info,
+                                       std::int32_t scale) {
+  const PublicBenchmarkInfo s = scaled_info(info, scale);
+
+  // Deterministic seed from the benchmark name.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  for (char c : info.name) seed = seed * 131 + std::uint64_t(std::uint8_t(c));
+  util::Rng rng(seed);
+
+  RandomGridSpec spec;
+  spec.h = s.h;
+  spec.v = s.v;
+  spec.m = s.m;
+  spec.min_pins = spec.max_pins = s.pins;
+  spec.min_obstacles = spec.max_obstacles = s.obstacles;
+  // Public benchmarks have physical rectangular blockages larger than the
+  // paper's tiny training obstacles; use runs of 2..6 cells.
+  spec.min_obstacle_len = 2;
+  spec.max_obstacle_len = 6;
+  // Table 4 uses via cost 3; uniform unit geometry (published benchmarks
+  // report plain wirelength).
+  spec.min_edge_cost = spec.max_edge_cost = 1;
+  spec.min_via_cost = spec.max_via_cost = 3.0;
+  return random_grid(spec, rng);
+}
+
+PublicBenchmarkInfo public_benchmark_info(const std::string& name) {
+  for (const auto& info : public_benchmark_table()) {
+    if (info.name == name) return info;
+  }
+  throw std::out_of_range("unknown public benchmark: " + name);
+}
+
+}  // namespace oar::gen

@@ -1,0 +1,43 @@
+#pragma once
+
+// Synthetic clones of the public ML-OARSMT benchmarks (rt1-rt5, ind1-ind3)
+// used in the paper's Table 4.  The original IBM/industry files are not
+// redistributable, so each clone is generated deterministically (fixed
+// seed per benchmark) to match the published statistics: Hanan-graph
+// dimensions H x V, layer count M, pin count and obstacle count, with via
+// cost 3 as in Table 4.  Obstacles are random rectangular vertex blocks
+// whose count equals the published "# obstacles" column.
+//
+// A `scale` > 1 shrinks dimensions and pin counts proportionally so that
+// the full Table 4 sweep stays within a CPU benchmark budget; scale = 1
+// reproduces the paper's sizes.
+
+#include <string>
+#include <vector>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::gen {
+
+struct PublicBenchmarkInfo {
+  std::string name;
+  std::int32_t h = 0, v = 0, m = 0;
+  std::int32_t pins = 0;
+  std::int32_t obstacles = 0;
+};
+
+/// The eight Table 4 rows with their published statistics.
+std::vector<PublicBenchmarkInfo> public_benchmark_table();
+
+/// Statistics after downscaling by `scale` (dimension divisor).
+PublicBenchmarkInfo scaled_info(const PublicBenchmarkInfo& info, std::int32_t scale);
+
+/// Deterministic synthetic clone of a Table 4 benchmark at `scale`.
+hanan::HananGrid make_public_benchmark(const PublicBenchmarkInfo& info,
+                                       std::int32_t scale = 1);
+
+/// Lookup by name ("rt1".."rt5", "ind1".."ind3"); throws std::out_of_range
+/// for unknown names.
+PublicBenchmarkInfo public_benchmark_info(const std::string& name);
+
+}  // namespace oar::gen

@@ -1,0 +1,164 @@
+#include "gen/random_layout.hpp"
+
+#include <algorithm>
+
+#include "route/maze.hpp"
+
+namespace oar::gen {
+
+namespace {
+
+/// True when every pin reaches every other pin (single maze flood).
+bool routable(const HananGrid& grid) {
+  if (grid.pins().size() < 2) return true;
+  route::MazeRouter maze(grid);
+  maze.run({grid.pins().front()});
+  for (Vertex p : grid.pins()) {
+    if (maze.dist(p) == route::MazeRouter::kInf) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> random_blocked(const RandomGridSpec& spec, util::Rng& rng) {
+  const std::size_t n = std::size_t(spec.h) * spec.v * spec.m;
+  std::vector<std::uint8_t> blocked(n, 0);
+  const auto num_obstacles =
+      std::int32_t(rng.uniform_int(spec.min_obstacles, spec.max_obstacles));
+  for (std::int32_t i = 0; i < num_obstacles; ++i) {
+    const auto len =
+        std::int32_t(rng.uniform_int(spec.min_obstacle_len, spec.max_obstacle_len));
+    const bool horizontal = rng.chance(0.5);
+    const auto m = std::int32_t(rng.uniform_int(0, spec.m - 1));
+    if (horizontal) {
+      const auto h0 = std::int32_t(rng.uniform_int(0, std::max(0, spec.h - len)));
+      const auto v0 = std::int32_t(rng.uniform_int(0, spec.v - 1));
+      for (std::int32_t d = 0; d < len && h0 + d < spec.h; ++d) {
+        blocked[std::size_t((std::int64_t(m) * spec.v + v0) * spec.h + h0 + d)] = 1;
+      }
+    } else {
+      const auto h0 = std::int32_t(rng.uniform_int(0, spec.h - 1));
+      const auto v0 = std::int32_t(rng.uniform_int(0, std::max(0, spec.v - len)));
+      for (std::int32_t d = 0; d < len && v0 + d < spec.v; ++d) {
+        blocked[std::size_t((std::int64_t(m) * spec.v + v0 + d) * spec.h + h0)] = 1;
+      }
+    }
+  }
+  return blocked;
+}
+
+}  // namespace
+
+HananGrid random_grid(const RandomGridSpec& spec, util::Rng& rng) {
+  std::vector<double> x_step(std::size_t(spec.h - 1));
+  std::vector<double> y_step(std::size_t(spec.v - 1));
+  for (auto& s : x_step) s = double(rng.uniform_int(spec.min_edge_cost, spec.max_edge_cost));
+  for (auto& s : y_step) s = double(rng.uniform_int(spec.min_edge_cost, spec.max_edge_cost));
+  const double via = rng.uniform(spec.min_via_cost, spec.max_via_cost);
+
+  const int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    auto blocked = random_blocked(spec, rng);
+    HananGrid grid(spec.h, spec.v, spec.m, x_step, y_step, via, std::move(blocked));
+
+    const auto num_pins = std::int32_t(rng.uniform_int(spec.min_pins, spec.max_pins));
+    std::int32_t placed = 0;
+    for (int tries = 0; placed < num_pins && tries < num_pins * 50; ++tries) {
+      const auto idx = Vertex(rng.uniform_int(0, grid.num_vertices() - 1));
+      if (grid.is_blocked(idx) || grid.is_pin(idx)) continue;
+      grid.add_pin(idx);
+      ++placed;
+    }
+    if (placed < 2) continue;  // pathological obstacle density; re-draw
+    if (!spec.ensure_routable || routable(grid) || attempt == kMaxAttempts - 1) {
+      return grid;
+    }
+  }
+  // Unreachable: the loop always returns on its final attempt.
+  return HananGrid(spec.h, spec.v, spec.m, x_step, y_step, via);
+}
+
+std::vector<TestSubsetSpec> paper_test_subsets(std::int32_t scale) {
+  // Paper Table 1 rows: {name, H, V, pin range, obstacle range}.
+  struct Row {
+    const char* name;
+    std::int32_t h, v, min_pins, max_pins, min_obs, max_obs;
+  };
+  static constexpr Row kRows[] = {
+      {"T32", 32, 32, 3, 10, 128, 640},
+      {"T64", 64, 64, 12, 40, 512, 2560},
+      {"T128", 128, 128, 48, 160, 2048, 10240},
+      {"T128_2", 128, 256, 96, 320, 4096, 20480},
+      {"T256", 256, 256, 192, 640, 8192, 40960},
+      {"T256_2", 256, 512, 384, 1280, 16384, 81920},
+      {"T512", 512, 512, 768, 2560, 32768, 163840},
+  };
+  std::vector<TestSubsetSpec> subsets;
+  for (const Row& row : kRows) {
+    TestSubsetSpec subset;
+    subset.name = row.name;
+    RandomGridSpec& s = subset.spec;
+    const std::int32_t sc = std::max<std::int32_t>(1, scale);
+    // Dimensions scale by `scale`; pins/obstacles scale with the area
+    // (scale^2) to preserve the paper's densities.
+    s.h = std::max<std::int32_t>(8, row.h / sc);
+    s.v = std::max<std::int32_t>(8, row.v / sc);
+    const std::int64_t area_ratio =
+        std::max<std::int64_t>(1, (std::int64_t(row.h) * row.v) /
+                                      (std::int64_t(s.h) * s.v));
+    s.min_pins = std::max<std::int32_t>(3, std::int32_t(row.min_pins / area_ratio));
+    s.max_pins = std::max<std::int32_t>(s.min_pins, std::int32_t(row.max_pins / area_ratio));
+    s.min_obstacles = std::max<std::int32_t>(1, std::int32_t(row.min_obs / area_ratio));
+    s.max_obstacles =
+        std::max<std::int32_t>(s.min_obstacles, std::int32_t(row.max_obs / area_ratio));
+    subsets.push_back(std::move(subset));
+  }
+  return subsets;
+}
+
+geom::Layout random_layout(const RandomLayoutSpec& spec, util::Rng& rng) {
+  geom::Layout layout(spec.width, spec.height, spec.layers,
+                      rng.uniform(spec.min_via_cost, spec.max_via_cost));
+
+  const auto num_obstacles =
+      std::int32_t(rng.uniform_int(spec.min_obstacles, spec.max_obstacles));
+  for (std::int32_t i = 0; i < num_obstacles; ++i) {
+    const auto w = std::int32_t(
+        rng.uniform(spec.min_obstacle_frac, spec.max_obstacle_frac) * spec.width);
+    const auto h = std::int32_t(
+        rng.uniform(spec.min_obstacle_frac, spec.max_obstacle_frac) * spec.height);
+    if (w < 1 || h < 1) continue;
+    const auto x0 = std::int32_t(rng.uniform_int(0, std::max(0, spec.width - w)));
+    const auto y0 = std::int32_t(rng.uniform_int(0, std::max(0, spec.height - h)));
+    const auto layer = std::int32_t(rng.uniform_int(0, spec.layers - 1));
+    layout.add_obstacle(geom::Rect(x0, y0, x0 + w, y0 + h), layer);
+  }
+
+  const auto num_pins = std::int32_t(rng.uniform_int(spec.min_pins, spec.max_pins));
+  std::int32_t placed = 0;
+  for (int tries = 0; placed < num_pins && tries < num_pins * 100; ++tries) {
+    const geom::Point3 pin{std::int32_t(rng.uniform_int(0, spec.width)),
+                           std::int32_t(rng.uniform_int(0, spec.height)),
+                           std::int32_t(rng.uniform_int(0, spec.layers - 1))};
+    bool buried = false;
+    for (const auto& o : layout.obstacles()) {
+      if (o.layer == pin.layer &&
+          o.rect.strictly_contains(geom::Point2{pin.x, pin.y})) {
+        buried = true;
+        break;
+      }
+    }
+    if (buried) continue;
+    layout.add_pin(pin);
+    ++placed;
+  }
+  return layout;
+}
+
+HananGrid random_subset_grid(const TestSubsetSpec& subset, util::Rng& rng) {
+  RandomGridSpec spec = subset.spec;
+  // Paper: M ranges 4..10 per layout; keep even layer counts for variety.
+  spec.m = std::int32_t(rng.uniform_int(subset.min_m, subset.max_m));
+  return random_grid(spec, rng);
+}
+
+}  // namespace oar::gen

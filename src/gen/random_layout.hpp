@@ -1,0 +1,89 @@
+#pragma once
+
+// Random layout generation.
+//
+// Matches the paper's data distributions:
+//  * Training (Sec. 3.6): H x V in {16, 24, 32}^2, M in {4, 6, 8, 10},
+//    edge costs 1..1000, via cost 3..5, obstacles of size 1x3 or 1x4
+//    (horizontal or vertical, overlaps allowed), 3..6 pins.
+//  * Testing (Table 1): dimensions 32..512, 4..10 layers, pins and obstacle
+//    counts scaling with size.
+// Layouts are generated directly in "grid world" — as Hanan grid graphs
+// with the given dimensions — exactly as the paper specifies its random
+// subsets by their Hanan-graph size.
+
+#include <optional>
+
+#include "hanan/hanan_grid.hpp"
+#include "util/rng.hpp"
+
+namespace oar::gen {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+struct RandomGridSpec {
+  std::int32_t h = 16;
+  std::int32_t v = 16;
+  std::int32_t m = 4;
+  std::int32_t min_pins = 3;
+  std::int32_t max_pins = 6;
+  std::int32_t min_obstacles = 32;
+  std::int32_t max_obstacles = 64;
+  /// Obstacle run lengths (paper: 1x3 or 1x4).
+  std::int32_t min_obstacle_len = 3;
+  std::int32_t max_obstacle_len = 4;
+  /// Integer edge-cost range (paper: 1..1000).
+  std::int32_t min_edge_cost = 1;
+  std::int32_t max_edge_cost = 1000;
+  /// Via cost range (paper: 3..5).
+  double min_via_cost = 3.0;
+  double max_via_cost = 5.0;
+  /// Resample pins until every pin can reach every other (maze check);
+  /// gives up after a few attempts and returns the last layout regardless.
+  bool ensure_routable = true;
+};
+
+/// One random Hanan-grid layout drawn from `spec`.
+HananGrid random_grid(const RandomGridSpec& spec, util::Rng& rng);
+
+/// The paper's Table 1 subsets, scaled for CPU benchmarking: same relative
+/// pin/obstacle densities, smaller absolute dimensions.  `scale` divides
+/// the paper's H/V dimensions (scale=1 reproduces the paper's settings).
+struct TestSubsetSpec {
+  std::string name;
+  RandomGridSpec spec;   // m is chosen uniformly in [4, 10] per layout
+  std::int32_t min_m = 4;
+  std::int32_t max_m = 10;
+};
+
+/// Builds the T32..T512 subset table at the given downscale factor.
+std::vector<TestSubsetSpec> paper_test_subsets(std::int32_t scale);
+
+/// Random *geometric* layouts (physical coordinates, rectangular per-layer
+/// obstacles).  Exercises the HananGrid::from_layout path end to end; the
+/// grid-world generator above matches the paper's subsets, this one models
+/// macro/blockage floorplans.
+struct RandomLayoutSpec {
+  std::int32_t width = 1000;
+  std::int32_t height = 1000;
+  std::int32_t layers = 4;
+  std::int32_t min_pins = 4;
+  std::int32_t max_pins = 8;
+  std::int32_t min_obstacles = 2;
+  std::int32_t max_obstacles = 6;
+  /// Obstacle edge lengths as a fraction of the layout span.
+  double min_obstacle_frac = 0.05;
+  double max_obstacle_frac = 0.30;
+  double min_via_cost = 3.0;
+  double max_via_cost = 5.0;
+};
+
+/// One random geometric layout; pins are re-drawn until none is buried
+/// strictly inside an obstacle.
+geom::Layout random_layout(const RandomLayoutSpec& spec, util::Rng& rng);
+
+/// Draw one layout from a subset spec (randomizing M within its range).
+HananGrid random_subset_grid(const TestSubsetSpec& subset, util::Rng& rng);
+
+}  // namespace oar::gen

@@ -1,0 +1,125 @@
+#include "gen/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace oar::gen {
+
+namespace {
+
+struct PanelGeometry {
+  double cell, margin, gap, panel_w, panel_h;
+
+  double x(std::int32_t layer, std::int32_t h) const {
+    return margin + double(layer) * (panel_w + gap) + double(h) * cell + cell / 2;
+  }
+  double y(std::int32_t v_dim, std::int32_t v) const {
+    // SVG y grows downward; flip so that v grows upward like a floorplan.
+    return margin + double(v_dim - 1 - v) * cell + cell / 2;
+  }
+};
+
+}  // namespace
+
+std::string render_svg(const hanan::HananGrid& grid, const route::RouteTree* tree,
+                       const std::vector<hanan::Vertex>& steiner_points,
+                       const SvgOptions& options) {
+  const std::int32_t H = grid.h_dim(), V = grid.v_dim(), M = grid.m_dim();
+  PanelGeometry g{options.cell_size, options.margin, options.layer_gap,
+                  double(H) * options.cell_size, double(V) * options.cell_size};
+  const double width = 2 * g.margin + double(M) * g.panel_w + double(M - 1) * g.gap;
+  const double height = 2 * g.margin + g.panel_h + 16.0;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Panels: frame, optional grid lines, obstacles.
+  for (std::int32_t m = 0; m < M; ++m) {
+    const double px = g.margin + double(m) * (g.panel_w + g.gap);
+    svg << "<rect x=\"" << px << "\" y=\"" << g.margin << "\" width=\"" << g.panel_w
+        << "\" height=\"" << g.panel_h
+        << "\" fill=\"none\" stroke=\"#999\" stroke-width=\"1\"/>\n";
+    svg << "<text x=\"" << px + 4 << "\" y=\"" << g.margin + g.panel_h + 14
+        << "\" font-size=\"12\" fill=\"#333\">layer " << m << "</text>\n";
+    if (options.draw_grid_lines) {
+      svg << "<g stroke=\"#eee\" stroke-width=\"0.5\">\n";
+      for (std::int32_t h = 0; h < H; ++h) {
+        const double x = g.x(m, h);
+        svg << "<line x1=\"" << x << "\" y1=\"" << g.margin << "\" x2=\"" << x
+            << "\" y2=\"" << g.margin + g.panel_h << "\"/>\n";
+      }
+      for (std::int32_t v = 0; v < V; ++v) {
+        const double y = g.y(V, v);
+        svg << "<line x1=\"" << px << "\" y1=\"" << y << "\" x2=\"" << px + g.panel_w
+            << "\" y2=\"" << y << "\"/>\n";
+      }
+      svg << "</g>\n";
+    }
+  }
+
+  // Obstacles.
+  svg << "<g fill=\"#bbb\">\n";
+  for (hanan::Vertex idx = 0; idx < grid.num_vertices(); ++idx) {
+    if (!grid.is_blocked(idx)) continue;
+    const auto c = grid.cell(idx);
+    svg << "<rect x=\"" << g.x(c.m, c.h) - g.cell * 0.4 << "\" y=\""
+        << g.y(V, c.v) - g.cell * 0.4 << "\" width=\"" << g.cell * 0.8
+        << "\" height=\"" << g.cell * 0.8 << "\"/>\n";
+  }
+  svg << "</g>\n";
+
+  // Tree edges.
+  if (tree != nullptr) {
+    svg << "<g stroke=\"" << options.wire_color << "\" stroke-width=\"2\">\n";
+    for (const auto& e : tree->edges()) {
+      const auto a = grid.cell(e.a);
+      const auto b = grid.cell(e.b);
+      if (a.m == b.m) {
+        svg << "<line x1=\"" << g.x(a.m, a.h) << "\" y1=\"" << g.y(V, a.v)
+            << "\" x2=\"" << g.x(b.m, b.h) << "\" y2=\"" << g.y(V, b.v) << "\"/>\n";
+      }
+    }
+    svg << "</g>\n<g fill=\"" << options.via_color << "\">\n";
+    for (const auto& e : tree->edges()) {
+      const auto a = grid.cell(e.a);
+      const auto b = grid.cell(e.b);
+      if (a.m == b.m) continue;
+      for (const auto& c : {a, b}) {
+        svg << "<rect x=\"" << g.x(c.m, c.h) - 3 << "\" y=\"" << g.y(V, c.v) - 3
+            << "\" width=\"6\" height=\"6\"/>\n";
+      }
+    }
+    svg << "</g>\n";
+  }
+
+  // Steiner points and pins on top.
+  svg << "<g fill=\"" << options.steiner_color << "\">\n";
+  for (hanan::Vertex s : steiner_points) {
+    const auto c = grid.cell(s);
+    svg << "<circle cx=\"" << g.x(c.m, c.h) << "\" cy=\"" << g.y(V, c.v)
+        << "\" r=\"4\"/>\n";
+  }
+  svg << "</g>\n<g fill=\"black\">\n";
+  for (hanan::Vertex p : grid.pins()) {
+    const auto c = grid.cell(p);
+    svg << "<circle cx=\"" << g.x(c.m, c.h) << "\" cy=\"" << g.y(V, c.v)
+        << "\" r=\"3.5\"/>\n";
+  }
+  svg << "</g>\n</svg>\n";
+  return svg.str();
+}
+
+bool save_svg(const std::string& path, const hanan::HananGrid& grid,
+              const route::RouteTree* tree,
+              const std::vector<hanan::Vertex>& steiner_points,
+              const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_svg(grid, tree, steiner_points, options);
+  return bool(out);
+}
+
+}  // namespace oar::gen

@@ -1,0 +1,39 @@
+#pragma once
+
+// SVG rendering of Hanan-grid layouts and routed trees.
+//
+// Produces one SVG per routing layer, laid out side by side: obstacles as
+// gray cells, pins as black dots, Steiner points as orange dots, in-plane
+// tree edges as colored segments, and vias as small squares on both layers
+// they connect.  Used by the examples to make results inspectable.
+
+#include <string>
+
+#include "route/route_tree.hpp"
+
+namespace oar::gen {
+
+struct SvgOptions {
+  double cell_size = 16.0;   // pixels per grid cell
+  double margin = 12.0;      // outer margin in pixels
+  double layer_gap = 24.0;   // horizontal gap between layer panels
+  bool draw_grid_lines = true;
+  std::string wire_color = "#1f77b4";
+  std::string via_color = "#d62728";
+  std::string steiner_color = "#ff7f0e";
+};
+
+/// Renders `grid` (and optionally a routed tree and its kept Steiner
+/// points) into an SVG document string.
+std::string render_svg(const hanan::HananGrid& grid,
+                       const route::RouteTree* tree = nullptr,
+                       const std::vector<hanan::Vertex>& steiner_points = {},
+                       const SvgOptions& options = {});
+
+/// Convenience: render and write to `path`.  Returns false on I/O failure.
+bool save_svg(const std::string& path, const hanan::HananGrid& grid,
+              const route::RouteTree* tree = nullptr,
+              const std::vector<hanan::Vertex>& steiner_points = {},
+              const SvgOptions& options = {});
+
+}  // namespace oar::gen

@@ -1,0 +1,96 @@
+#include "geom/layout.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace oar::geom {
+
+double Layout::obstacle_ratio() const {
+  if (width_ <= 0 || height_ <= 0 || num_layers_ <= 0) return 0.0;
+  // Sweep per layer: decompose the union of obstacle rects into x-slabs.
+  double covered = 0.0;
+  for (std::int32_t layer = 0; layer < num_layers_; ++layer) {
+    std::vector<const Rect*> rects;
+    for (const auto& o : obstacles_) {
+      if (o.layer == layer && o.rect.area() > 0) rects.push_back(&o.rect);
+    }
+    if (rects.empty()) continue;
+    std::vector<std::int32_t> xs;
+    for (const Rect* r : rects) {
+      xs.push_back(r->lo.x);
+      xs.push_back(r->hi.x);
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      const std::int32_t x0 = xs[i], x1 = xs[i + 1];
+      // Union of y-intervals of rects overlapping this slab.
+      std::vector<std::pair<std::int32_t, std::int32_t>> ys;
+      for (const Rect* r : rects) {
+        if (r->lo.x <= x0 && r->hi.x >= x1) ys.emplace_back(r->lo.y, r->hi.y);
+      }
+      std::sort(ys.begin(), ys.end());
+      std::int64_t len = 0;
+      std::int32_t cur_lo = 0, cur_hi = 0;
+      bool open = false;
+      for (const auto& [lo, hi] : ys) {
+        if (!open) {
+          cur_lo = lo;
+          cur_hi = hi;
+          open = true;
+        } else if (lo <= cur_hi) {
+          cur_hi = std::max(cur_hi, hi);
+        } else {
+          len += cur_hi - cur_lo;
+          cur_lo = lo;
+          cur_hi = hi;
+        }
+      }
+      if (open) len += cur_hi - cur_lo;
+      covered += double(x1 - x0) * double(len);
+    }
+  }
+  const double total = double(width_) * double(height_) * double(num_layers_);
+  return covered / total;
+}
+
+bool Layout::has_buried_pin() const {
+  for (const auto& pin : pins_) {
+    for (const auto& o : obstacles_) {
+      if (o.layer == pin.layer && o.rect.strictly_contains(Point2{pin.x, pin.y})) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Layout::validate() const {
+  std::ostringstream problems;
+  if (width_ <= 0 || height_ <= 0) problems << "non-positive layout dimensions; ";
+  if (num_layers_ <= 0) problems << "non-positive layer count; ";
+  if (via_cost_ < 0.0) problems << "negative via cost; ";
+  if (pins_.size() < 2) problems << "fewer than 2 pins; ";
+  for (const auto& pin : pins_) {
+    if (pin.x < 0 || pin.x > width_ || pin.y < 0 || pin.y > height_) {
+      problems << "pin " << pin.x << "," << pin.y << " out of bounds; ";
+    }
+    if (pin.layer < 0 || pin.layer >= num_layers_) {
+      problems << "pin layer " << pin.layer << " out of range; ";
+    }
+  }
+  for (const auto& o : obstacles_) {
+    if (o.layer < 0 || o.layer >= num_layers_) {
+      problems << "obstacle layer " << o.layer << " out of range; ";
+    }
+    if (o.rect.lo.x < 0 || o.rect.hi.x > width_ || o.rect.lo.y < 0 ||
+        o.rect.hi.y > height_) {
+      problems << "obstacle out of bounds; ";
+    }
+  }
+  if (has_buried_pin()) problems << "pin strictly inside an obstacle; ";
+  return problems.str();
+}
+
+}  // namespace oar::geom

@@ -1,0 +1,72 @@
+#pragma once
+
+// Geometric description of a multi-layer routing problem instance: pins to
+// connect, rectangular obstacles per layer, and a uniform via cost.  This is
+// the "physical" view; routers operate on the derived 3D Hanan grid graph
+// (hanan/hanan_grid.hpp).
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace oar::geom {
+
+/// Rectangular blockage on a single routing layer.
+struct Obstacle {
+  Rect rect;
+  std::int32_t layer = 0;
+
+  friend auto operator<=>(const Obstacle&, const Obstacle&) = default;
+};
+
+/// A multi-layer ML-OARSMT problem instance in physical coordinates.
+class Layout {
+ public:
+  Layout() = default;
+  Layout(std::int32_t width, std::int32_t height, std::int32_t num_layers,
+         double via_cost)
+      : width_(width), height_(height), num_layers_(num_layers), via_cost_(via_cost) {}
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  std::int32_t num_layers() const { return num_layers_; }
+  double via_cost() const { return via_cost_; }
+  void set_via_cost(double c) { via_cost_ = c; }
+
+  const std::vector<Point3>& pins() const { return pins_; }
+  const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+
+  void add_pin(Point3 pin) { pins_.push_back(pin); }
+  void add_pin(std::int32_t x, std::int32_t y, std::int32_t layer) {
+    pins_.push_back(Point3{x, y, layer});
+  }
+  void add_obstacle(Obstacle obstacle) { obstacles_.push_back(obstacle); }
+  void add_obstacle(Rect rect, std::int32_t layer) {
+    obstacles_.push_back(Obstacle{rect, layer});
+  }
+
+  /// Total obstacle area over total routable area (all layers), the
+  /// "obstacle ratio" of the paper's Fig. 10.  Overlapping obstacles are
+  /// counted once per covered cell.
+  double obstacle_ratio() const;
+
+  /// True when a pin coordinate lies strictly inside any obstacle on its
+  /// layer (such a pin would be unroutable).
+  bool has_buried_pin() const;
+
+  /// Validates bounds, layer indices, pin/obstacle consistency.  Returns an
+  /// empty string when valid, otherwise a human-readable problem report.
+  std::string validate() const;
+
+ private:
+  std::int32_t width_ = 0;
+  std::int32_t height_ = 0;
+  std::int32_t num_layers_ = 0;
+  double via_cost_ = 1.0;
+  std::vector<Point3> pins_;
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace oar::geom

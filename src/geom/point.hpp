@@ -1,0 +1,41 @@
+#pragma once
+
+// Basic integer geometry shared by layouts and routers.
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace oar::geom {
+
+/// 2D integer point (layout coordinates).
+struct Point2 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend auto operator<=>(const Point2&, const Point2&) = default;
+};
+
+/// 3D integer point: layout coordinates plus routing layer.
+struct Point3 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t layer = 0;
+
+  friend auto operator<=>(const Point3&, const Point3&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point2& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, const Point3& p) {
+  return os << "(" << p.x << "," << p.y << ",L" << p.layer << ")";
+}
+
+/// Manhattan distance in the plane.
+inline std::int64_t manhattan(const Point2& a, const Point2& b) {
+  return std::int64_t(a.x > b.x ? a.x - b.x : b.x - a.x) +
+         std::int64_t(a.y > b.y ? a.y - b.y : b.y - a.y);
+}
+
+}  // namespace oar::geom

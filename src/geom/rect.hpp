@@ -1,0 +1,59 @@
+#pragma once
+
+// Axis-aligned rectangles.  Obstacles are closed rectangles [lo.x, hi.x] x
+// [lo.y, hi.y]; routing may touch the boundary but not cross the open
+// interior, matching the usual OARSMT convention that wires can hug
+// blockage edges.
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/point.hpp"
+
+namespace oar::geom {
+
+struct Rect {
+  Point2 lo;
+  Point2 hi;
+
+  Rect() = default;
+  Rect(Point2 lo_, Point2 hi_) : lo(lo_), hi(hi_) {
+    assert(lo.x <= hi.x && lo.y <= hi.y);
+  }
+  Rect(std::int32_t x0, std::int32_t y0, std::int32_t x1, std::int32_t y1)
+      : Rect(Point2{x0, y0}, Point2{x1, y1}) {}
+
+  friend auto operator<=>(const Rect&, const Rect&) = default;
+
+  std::int32_t width() const { return hi.x - lo.x; }
+  std::int32_t height() const { return hi.y - lo.y; }
+  std::int64_t area() const { return std::int64_t(width()) * height(); }
+
+  /// Point inside the closed rectangle (boundary included).
+  bool contains(const Point2& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Point strictly inside the open interior (boundary excluded).
+  bool strictly_contains(const Point2& p) const {
+    return p.x > lo.x && p.x < hi.x && p.y > lo.y && p.y < hi.y;
+  }
+
+  /// Closed rectangles share at least a point.
+  bool intersects(const Rect& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  /// Open interiors overlap (touching boundaries do not count).
+  bool interior_intersects(const Rect& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y;
+  }
+
+  /// Smallest rectangle covering both.
+  Rect united(const Rect& o) const {
+    return Rect(Point2{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)},
+                Point2{std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)});
+  }
+};
+
+}  // namespace oar::geom

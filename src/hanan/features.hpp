@@ -1,0 +1,49 @@
+#pragma once
+
+// Input feature encoding of a Hanan-grid layout (paper Fig. 3).
+//
+// Every vertex gets 7 channels:
+//   0: is a pin (previously selected Steiner points are passed in as extra
+//      pins by the MCTS, matching the paper's "treated as normal pins")
+//   1: is an obstacle
+//   2: routing cost to the vertex immediately to the right (+x)
+//   3: routing cost to the left (-x)
+//   4: routing cost upstairs (+y)
+//   5: routing cost downstairs (-y)
+//   6: via cost
+// The five cost channels are normalized by the maximum cost value of the
+// layout so they lie in [0, 1]; a direction with no usable edge encodes 0.
+
+#include <cstdint>
+#include <vector>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::hanan {
+
+inline constexpr std::int32_t kNumFeatureChannels = 7;
+
+/// Dense C x H x V x M float volume, m fastest-varying:
+/// data[((c*H + h)*V + v)*M + m].
+struct FeatureVolume {
+  std::int32_t c = 0, h = 0, v = 0, m = 0;
+  std::vector<float> data;
+
+  std::size_t offset(std::int32_t ci, std::int32_t hi, std::int32_t vi,
+                     std::int32_t mi) const {
+    return std::size_t(((std::int64_t(ci) * h + hi) * v + vi) * m + mi);
+  }
+  float at(std::int32_t ci, std::int32_t hi, std::int32_t vi, std::int32_t mi) const {
+    return data[offset(ci, hi, vi, mi)];
+  }
+  float& at(std::int32_t ci, std::int32_t hi, std::int32_t vi, std::int32_t mi) {
+    return data[offset(ci, hi, vi, mi)];
+  }
+};
+
+/// Encode `grid` into the 7-channel feature volume.  `extra_pins` are
+/// additional vertices (selected Steiner points) encoded as pins.
+FeatureVolume encode_features(const HananGrid& grid,
+                              const std::vector<Vertex>& extra_pins = {});
+
+}  // namespace oar::hanan

@@ -1,0 +1,150 @@
+#pragma once
+
+// 3D Hanan grid graph (Sec. 2.2 of the paper).
+//
+// The grid has H columns (x cuts), V rows (y cuts) and M routing layers.
+// A vertex is addressed either by its (h, v, m) cell coordinate or by a
+// flat index.  Edge costs are separable: moving between columns h and h+1
+// costs x_step(h) on every row/layer, moving between rows v and v+1 costs
+// y_step(v), and moving between adjacent layers costs the layout-wide via
+// cost.  Obstacles are blocked vertices; additionally, individual edges can
+// be blocked (needed when an obstacle spans two adjacent cuts with no cut
+// strictly inside it, so that neither endpoint is blocked but the segment
+// still crosses the obstacle interior).
+//
+// Two construction paths:
+//   * HananGrid::from_layout(layout): geometric construction — consolidate
+//     pins/obstacle boundaries of all layers into one set of x/y cuts, then
+//     place objects back on their layers (paper Sec. 2.2).
+//   * the direct constructor: "grid world" used by the random-layout
+//     generator, which (like the paper's Table 1 subsets) specifies layouts
+//     directly by their Hanan-graph dimensions and per-step costs.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geom/layout.hpp"
+
+namespace oar::hanan {
+
+using Vertex = std::int32_t;
+constexpr Vertex kInvalidVertex = -1;
+
+/// (h, v, m) cell coordinate of a Hanan vertex.
+struct Cell {
+  std::int32_t h = 0;
+  std::int32_t v = 0;
+  std::int32_t m = 0;
+
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+/// Direction of the "positive" edge leaving a vertex; used for edge blocks.
+enum class Dir : std::uint8_t { kPosX = 0, kPosY = 1, kPosZ = 2 };
+
+class HananGrid {
+ public:
+  HananGrid() = default;
+
+  /// Grid-world constructor.  `x_step` has size H-1, `y_step` size V-1; all
+  /// steps must be positive.  `blocked` (if non-empty) has size H*V*M.
+  HananGrid(std::int32_t H, std::int32_t V, std::int32_t M,
+            std::vector<double> x_step, std::vector<double> y_step,
+            double via_cost, std::vector<std::uint8_t> blocked = {},
+            std::vector<Vertex> pins = {});
+
+  /// Geometric construction from a physical layout (Sec. 2.2).
+  static HananGrid from_layout(const geom::Layout& layout);
+
+  std::int32_t h_dim() const { return h_; }
+  std::int32_t v_dim() const { return v_; }
+  std::int32_t m_dim() const { return m_; }
+  std::int64_t num_vertices() const { return std::int64_t(h_) * v_ * m_; }
+
+  double via_cost() const { return via_cost_; }
+  double x_step(std::int32_t h) const { return x_step_[std::size_t(h)]; }
+  double y_step(std::int32_t v) const { return y_step_[std::size_t(v)]; }
+
+  /// Flat index of cell (h, v, m); layer-major so that one layer is a
+  /// contiguous H*V slab.
+  Vertex index(std::int32_t h, std::int32_t v, std::int32_t m) const {
+    return Vertex((std::int64_t(m) * v_ + v) * h_ + h);
+  }
+  Vertex index(const Cell& c) const { return index(c.h, c.v, c.m); }
+
+  Cell cell(Vertex idx) const {
+    const std::int32_t h = idx % h_;
+    const std::int32_t rest = idx / h_;
+    return Cell{h, rest % v_, rest / v_};
+  }
+
+  bool is_blocked(Vertex idx) const { return blocked_[std::size_t(idx)] != 0; }
+  bool is_pin(Vertex idx) const { return pin_mask_[std::size_t(idx)] != 0; }
+  const std::vector<Vertex>& pins() const { return pins_; }
+
+  void add_pin(Vertex idx);
+  void block_vertex(Vertex idx);
+  void block_edge(Vertex idx, Dir dir);
+
+  /// True when the positive edge leaving `idx` in `dir` exists in-bounds,
+  /// is not explicitly blocked, and neither endpoint is a blocked vertex.
+  bool edge_usable(Vertex idx, Dir dir) const;
+
+  /// Cost of the positive edge leaving `idx` in `dir` (unchecked).
+  double edge_cost(Vertex idx, Dir dir) const;
+
+  /// Cost between two adjacent vertices (asserts adjacency).
+  double cost_between(Vertex a, Vertex b) const;
+
+  /// Invoke fn(neighbor, cost) for every usable incident edge.
+  template <typename Fn>
+  void for_each_neighbor(Vertex idx, Fn&& fn) const {
+    const Cell c = cell(idx);
+    if (c.h + 1 < h_ && edge_usable(idx, Dir::kPosX)) fn(idx + 1, x_step_[std::size_t(c.h)]);
+    if (c.h > 0 && edge_usable(idx - 1, Dir::kPosX)) fn(idx - 1, x_step_[std::size_t(c.h - 1)]);
+    if (c.v + 1 < v_ && edge_usable(idx, Dir::kPosY)) fn(idx + h_, y_step_[std::size_t(c.v)]);
+    if (c.v > 0 && edge_usable(idx - h_, Dir::kPosY)) fn(idx - h_, y_step_[std::size_t(c.v - 1)]);
+    const Vertex layer_stride = Vertex(h_) * v_;
+    if (c.m + 1 < m_ && edge_usable(idx, Dir::kPosZ)) fn(idx + layer_stride, via_cost_);
+    if (c.m > 0 && edge_usable(idx - layer_stride, Dir::kPosZ)) fn(idx - layer_stride, via_cost_);
+  }
+
+  /// Lexicographic (h, v, m) selection priority used by the combinatorial
+  /// MCTS action ordering.  Lower value = higher priority.
+  std::int64_t priority_of(Vertex idx) const {
+    const Cell c = cell(idx);
+    return (std::int64_t(c.h) * v_ + c.v) * m_ + c.m;
+  }
+  Vertex vertex_at_priority(std::int64_t p) const {
+    const std::int32_t m = std::int32_t(p % m_);
+    const std::int64_t rest = p / m_;
+    return index(std::int32_t(rest / v_), std::int32_t(rest % v_), m);
+  }
+
+  /// Fraction of blocked vertices (grid-world analogue of Fig. 10's
+  /// obstacle ratio).
+  double blocked_ratio() const;
+
+  /// Geometric cut coordinates when constructed from a layout (empty in
+  /// grid world, where cut k is simply at the cumulative step distance).
+  const std::vector<double>& x_cuts() const { return x_cuts_; }
+  const std::vector<double>& y_cuts() const { return y_cuts_; }
+
+  /// Empty string when internally consistent, else a problem report.
+  std::string validate() const;
+
+ private:
+  std::int32_t h_ = 0, v_ = 0, m_ = 0;
+  std::vector<double> x_step_;   // size h_-1
+  std::vector<double> y_step_;   // size v_-1
+  double via_cost_ = 1.0;
+  std::vector<std::uint8_t> blocked_;     // per vertex
+  std::vector<std::uint8_t> edge_block_;  // per vertex, bit per Dir
+  std::vector<std::uint8_t> pin_mask_;    // per vertex
+  std::vector<Vertex> pins_;
+  std::vector<double> x_cuts_, y_cuts_;
+};
+
+}  // namespace oar::hanan

@@ -1,0 +1,70 @@
+#include "mcts/actor_critic.hpp"
+
+#include <unordered_set>
+
+namespace oar::mcts {
+
+namespace {
+route::OarmstConfig raw_config() {
+  route::OarmstConfig cfg;
+  cfg.remove_redundant_steiner = false;
+  return cfg;
+}
+}  // namespace
+
+ActorCritic::ActorCritic(rl::SteinerSelector& selector, const HananGrid& grid)
+    : selector_(selector),
+      grid_(grid),
+      final_router_(grid),
+      raw_router_(grid, raw_config()) {}
+
+std::vector<double> ActorCritic::fsp(const std::vector<Vertex>& selected) {
+  return selector_.infer_fsp(grid_, selected);
+}
+
+std::vector<std::pair<Vertex, double>> ActorCritic::policy(
+    const std::vector<Vertex>& selected, std::int64_t last_priority,
+    const std::vector<double>& fsp_map) const {
+  std::unordered_set<Vertex> taken(selected.begin(), selected.end());
+
+  std::vector<std::pair<Vertex, double>> out;
+  double running_product = 1.0;
+  double total = 0.0;
+  // Walk vertices in priority order after the last selected point; eq. (1)
+  // multiplies (1 - fsp) of every *valid* vertex passed over.
+  for (std::int64_t p = last_priority + 1; p < grid_.num_vertices(); ++p) {
+    const Vertex v = grid_.vertex_at_priority(p);
+    if (grid_.is_blocked(v) || grid_.is_pin(v) || taken.count(v)) continue;
+    const double f = fsp_map[std::size_t(p)];
+    const double weighted = f * running_product;
+    out.emplace_back(v, weighted);
+    total += weighted;
+    running_product *= (1.0 - f);
+  }
+  if (total > 0.0) {
+    for (auto& [v, prob] : out) prob /= total;
+  } else if (!out.empty()) {
+    const double uniform = 1.0 / double(out.size());
+    for (auto& [v, prob] : out) prob = uniform;
+  }
+  return out;
+}
+
+double ActorCritic::critic_cost(const std::vector<Vertex>& selected,
+                                std::int32_t steiner_budget,
+                                const std::vector<double>& fsp_map) const {
+  const std::int32_t remaining = steiner_budget - std::int32_t(selected.size());
+  std::vector<Vertex> completed = selected;
+  if (remaining > 0) {
+    const std::vector<Vertex> extra =
+        rl::SteinerSelector::top_k_valid(grid_, fsp_map, remaining, selected);
+    completed.insert(completed.end(), extra.begin(), extra.end());
+  }
+  return final_router_.cost(grid_.pins(), completed);
+}
+
+double ActorCritic::exact_cost(const std::vector<Vertex>& selected) const {
+  return raw_router_.cost(grid_.pins(), selected);
+}
+
+}  // namespace oar::mcts

@@ -1,0 +1,66 @@
+#pragma once
+
+// Actor and critic built on top of the Steiner-point selector (paper
+// Sec. 3.4, Fig. 5).
+//
+// The selector outputs the *final selected probability* fsp(v) of every
+// vertex — a multi-label map whose sum exceeds 1 — which cannot directly be
+// a step policy.  The actor converts it (eq. (1)): a valid vertex u (after
+// the last selected point w in priority order) gets weighted probability
+//     p'(u) = fsp(u) * prod_{w < v < u, v valid} (1 - fsp(v)),
+// normalized over all valid u.  The critic estimates the final routing
+// cost of a partial state by completing the selection with the selector's
+// top-(budget - selected) vertices and running the OARMST router.
+
+#include <utility>
+#include <vector>
+
+#include "route/oarmst.hpp"
+#include "rl/selector.hpp"
+
+namespace oar::mcts {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+class ActorCritic {
+ public:
+  /// `grid` must outlive the ActorCritic.  The critic's router uses
+  /// tree-vertex attachment and redundant-Steiner removal, mirroring the
+  /// final inference flow of Fig. 2.
+  ActorCritic(rl::SteinerSelector& selector, const HananGrid& grid);
+
+  /// One selector inference for the state (selected points become pins).
+  std::vector<double> fsp(const std::vector<Vertex>& selected);
+
+  /// Action policy per eq. (1).  `last_priority` is the selection priority
+  /// of the most recently placed Steiner point (-1 at the root).  Valid
+  /// vertices: priority > last_priority, not a pin/obstacle/already
+  /// selected.  Returns (vertex, normalized probability) pairs in priority
+  /// order; empty when no valid action exists.
+  std::vector<std::pair<Vertex, double>> policy(
+      const std::vector<Vertex>& selected, std::int64_t last_priority,
+      const std::vector<double>& fsp_map) const;
+
+  /// Critic estimate (Fig. 5, orange box): complete the state to
+  /// `steiner_budget` points using the top-fsp valid vertices, route, and
+  /// return the resulting total cost.
+  double critic_cost(const std::vector<Vertex>& selected, std::int32_t steiner_budget,
+                     const std::vector<double>& fsp_map) const;
+
+  /// Exact routing cost of a state (no completion): OARMST over
+  /// pins + selected, *without* redundant-point removal so that a useless
+  /// point shows up as a cost increase (used for terminal criteria and the
+  /// curriculum's exact value function).
+  double exact_cost(const std::vector<Vertex>& selected) const;
+
+  const HananGrid& grid() const { return grid_; }
+
+ private:
+  rl::SteinerSelector& selector_;
+  const HananGrid& grid_;
+  route::OarmstRouter final_router_;  // removal on (critic / final flow)
+  route::OarmstRouter raw_router_;    // removal off (state costs)
+};
+
+}  // namespace oar::mcts

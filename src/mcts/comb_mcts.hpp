@@ -1,0 +1,93 @@
+#pragma once
+
+// Combinatorial Monte-Carlo tree search (paper Sec. 3.4-3.5) — the core
+// contribution: an MCTS over *combinations* of Steiner points.
+//
+// Compared to conventional MCTS:
+//  * actions are ordered by the lexicographic (h, v, m) selection priority,
+//    so every tree node corresponds to a unique Steiner-point combination
+//    (no permutation duplicates) and the search space is compacted;
+//  * the training label is collected once per search tree — the label of
+//    vertex v is L_fsp(v) = n_sel(v) / n_opp(v) (eq. (3)) accumulated over
+//    every UCT selection step of the whole search, teaching the selector
+//    the probability of v belonging to the *final* combination.
+//
+// Terminal states (Sec. 3.4): (1) n-2 Steiner points placed, (2) the last
+// action increased the routing cost, (3) cost flat for three consecutive
+// actions.
+
+#include <cstdint>
+
+#include "mcts/actor_critic.hpp"
+
+namespace oar::mcts {
+
+struct CombMctsConfig {
+  /// UCT iterations per executed root move (the paper's alpha; 2000 for a
+  /// 16x16x4 layout, scaled proportionally to layout size by callers —
+  /// see scaled_iterations()).
+  std::int32_t iterations_per_move = 128;
+  /// Exploration constant multiplying U(s, a) (eq. (2)).
+  double c_puct = 1.0;
+  /// false: curriculum mode — the value of a leaf is computed from the
+  /// exact routing cost of its own state instead of the critic completion
+  /// (paper Sec. 3.6, first four stages).
+  bool use_critic = true;
+  /// Terminal rule (2): stop below a node whose action increased the cost.
+  bool stop_on_cost_increase = true;
+  /// Terminal rule (3): consecutive flat-cost actions allowed.
+  std::int32_t flat_cost_patience = 3;
+  /// Relative tolerance for "cost stayed the same".
+  double flat_eps = 1e-9;
+  /// Keep only the top-k prior children at expansion (0 = all valid).
+  /// Performance knob for larger training layouts.
+  std::int32_t max_children = 0;
+  /// Exploration floor: expansion priors are mixed with a uniform
+  /// distribution, P' = (1-mix)*P + mix/K (the AlphaGo root-noise idea in
+  /// deterministic form).  Without it, eq. (1)'s running product assigns
+  /// practically zero prior to high-priority-index vertices under an
+  /// untrained selector and UCT never explores them.
+  double prior_uniform_mix = 0.15;
+};
+
+/// Paper: alpha = 2000 for 16x16x4, proportional to size for larger.
+std::int32_t scaled_iterations(std::int32_t base_iterations,
+                               const hanan::HananGrid& grid);
+
+struct CombMctsStats {
+  std::int64_t iterations = 0;
+  std::int64_t expansions = 0;
+  std::int64_t simulations = 0;   // critic/exact evaluations of leaves
+  std::int64_t nodes = 0;
+  std::int64_t executed_moves = 0;
+  double seconds = 0.0;
+};
+
+struct CombMctsResult {
+  /// L_fsp per vertex in priority order (size = grid.num_vertices()).
+  std::vector<float> label;
+  /// Mask: 1 where the vertex had at least one selection opportunity or is
+  /// a valid empty location; 0 on pins/obstacles.  Used to weight the BCE.
+  std::vector<float> label_mask;
+  /// Steiner points actually executed by the search.
+  std::vector<Vertex> selected;
+  double initial_cost = 0.0;  // rc_{s0}: cost with no Steiner points
+  double final_cost = 0.0;    // exact cost of the executed terminal state
+  double best_cost = 0.0;     // best exact cost along the executed path
+  CombMctsStats stats;
+};
+
+class CombMcts {
+ public:
+  CombMcts(rl::SteinerSelector& selector, CombMctsConfig config = {});
+
+  /// Builds one MC search tree on `grid` and returns the training label
+  /// plus the executed combination (one sample per layout, Sec. 3.5).
+  CombMctsResult run(const HananGrid& grid);
+
+ private:
+  rl::SteinerSelector& selector_;
+  CombMctsConfig config_;
+};
+
+}  // namespace oar::mcts

@@ -1,0 +1,270 @@
+#include "mcts/seq_mcts.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace oar::mcts {
+
+namespace {
+
+struct Edge {
+  Vertex action = hanan::kInvalidVertex;
+  double prior = 0.0;
+  std::int64_t visits = 0;
+  double total_value = 0.0;
+  std::int32_t child = -1;
+
+  double q() const { return visits == 0 ? 0.0 : total_value / double(visits); }
+};
+
+struct Node {
+  std::int32_t parent = -1;
+  Vertex action = hanan::kInvalidVertex;
+  std::int32_t level = 0;
+  std::int32_t flat_run = 0;
+  double cost = -1.0;
+  bool expanded = false;
+  bool terminal = false;
+  std::vector<Edge> edges;
+};
+
+/// Unordered policy: fsp normalized over all valid vertices.
+std::vector<std::pair<Vertex, double>> unordered_policy(
+    const HananGrid& grid, const std::vector<Vertex>& selected,
+    const std::vector<double>& fsp_map) {
+  std::unordered_set<Vertex> taken(selected.begin(), selected.end());
+  std::vector<std::pair<Vertex, double>> out;
+  double total = 0.0;
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (grid.is_blocked(v) || grid.is_pin(v) || taken.count(v)) continue;
+    const double f = fsp_map[std::size_t(grid.priority_of(v))];
+    out.emplace_back(v, f);
+    total += f;
+  }
+  if (total > 0.0) {
+    for (auto& [v, p] : out) p /= total;
+  } else if (!out.empty()) {
+    const double uniform = 1.0 / double(out.size());
+    for (auto& [v, p] : out) p = uniform;
+  }
+  return out;
+}
+
+}  // namespace
+
+SeqMcts::SeqMcts(rl::SteinerSelector& selector, CombMctsConfig config)
+    : selector_(selector), config_(config) {}
+
+SeqMctsResult SeqMcts::run(const HananGrid& grid) {
+  util::Timer timer;
+  SeqMctsResult result;
+  const auto n_vertices = std::size_t(grid.num_vertices());
+
+  ActorCritic ac(selector_, grid);
+  const std::int32_t budget =
+      std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
+
+  std::vector<Node> nodes;
+  nodes.reserve(1024);
+  nodes.emplace_back();
+  nodes[0].cost = ac.exact_cost({});
+  result.initial_cost = nodes[0].cost;
+  result.final_cost = nodes[0].cost;
+  result.best_cost = nodes[0].cost;
+  const double rc0 = std::max(nodes[0].cost, 1e-12);
+
+  auto state_of = [&](std::int32_t node) {
+    std::vector<Vertex> selected;
+    for (std::int32_t cur = node; cur != 0; cur = nodes[std::size_t(cur)].parent) {
+      selected.push_back(nodes[std::size_t(cur)].action);
+    }
+    std::reverse(selected.begin(), selected.end());
+    return selected;
+  };
+
+  auto mark_terminal_rules = [&](Node& node, const Node& parent) {
+    if (node.level >= budget) node.terminal = true;
+    if (config_.stop_on_cost_increase &&
+        node.cost > parent.cost * (1.0 + config_.flat_eps)) {
+      node.terminal = true;
+    }
+    if (std::abs(node.cost - parent.cost) <= parent.cost * config_.flat_eps) {
+      node.flat_run = parent.flat_run + 1;
+      if (node.flat_run >= config_.flat_cost_patience) node.terminal = true;
+    } else {
+      node.flat_run = 0;
+    }
+  };
+
+  if (budget == 0) nodes[0].terminal = true;
+
+  std::int32_t root = 0;
+  while (!nodes[std::size_t(root)].terminal) {
+    for (std::int32_t iter = 0; iter < config_.iterations_per_move; ++iter) {
+      ++result.stats.iterations;
+      std::int32_t cur = root;
+      struct Step {
+        std::int32_t node;
+        std::size_t edge;
+      };
+      std::vector<Step> path;
+      while (nodes[std::size_t(cur)].expanded && !nodes[std::size_t(cur)].terminal) {
+        Node& node = nodes[std::size_t(cur)];
+        std::int64_t total_visits = 0;
+        for (const Edge& e : node.edges) total_visits += e.visits;
+        const double sqrt_total = std::sqrt(double(total_visits));
+        std::size_t best = 0;
+        double best_score = -1e300;
+        for (std::size_t i = 0; i < node.edges.size(); ++i) {
+          const Edge& e = node.edges[i];
+          double score =
+              e.q() + config_.c_puct * e.prior * sqrt_total / (1.0 + double(e.visits));
+          if (total_visits == 0) score = e.prior;
+          if (score > best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+        path.push_back({cur, best});
+        Edge& edge = node.edges[best];
+        if (edge.child < 0) {
+          Node child;
+          child.parent = cur;
+          child.action = edge.action;
+          child.level = node.level + 1;
+          edge.child = std::int32_t(nodes.size());
+          nodes.push_back(child);
+          ++result.stats.nodes;
+        }
+        cur = nodes[std::size_t(path.back().node)].edges[path.back().edge].child;
+      }
+
+      Node& leaf = nodes[std::size_t(cur)];
+      const std::vector<Vertex> selected = state_of(cur);
+      if (leaf.cost < 0.0) {
+        leaf.cost = ac.exact_cost(selected);
+        mark_terminal_rules(leaf, nodes[std::size_t(leaf.parent)]);
+        result.best_cost = std::min(result.best_cost, leaf.cost);
+      }
+
+      double value;
+      if (leaf.terminal) {
+        value = (rc0 - leaf.cost) / rc0;
+      } else if (!leaf.expanded) {
+        const std::vector<double> fsp = ac.fsp(selected);
+        auto policy = unordered_policy(grid, selected, fsp);
+        if (config_.max_children > 0 && std::ssize(policy) > config_.max_children) {
+          std::partial_sort(
+              policy.begin(), policy.begin() + config_.max_children, policy.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+          policy.resize(std::size_t(config_.max_children));
+          double total = 0.0;
+          for (const auto& [v, p] : policy) total += p;
+          if (total > 0.0) {
+            for (auto& [v, p] : policy) p /= total;
+          }
+        }
+        if (policy.empty()) {
+          leaf.terminal = true;
+          value = (rc0 - leaf.cost) / rc0;
+        } else {
+          const double mix = config_.prior_uniform_mix;
+          const double uniform = 1.0 / double(policy.size());
+          leaf.edges.reserve(policy.size());
+          for (const auto& [v, p] : policy) {
+            Edge e;
+            e.action = v;
+            e.prior = (1.0 - mix) * p + mix * uniform;
+            leaf.edges.push_back(e);
+          }
+          leaf.expanded = true;
+          ++result.stats.expansions;
+          ++result.stats.simulations;
+          const double predicted = config_.use_critic
+                                       ? ac.critic_cost(selected, budget, fsp)
+                                       : leaf.cost;
+          value = (rc0 - predicted) / rc0;
+        }
+      } else {
+        value = (rc0 - leaf.cost) / rc0;
+      }
+
+      for (const Step& step : path) {
+        Edge& e = nodes[std::size_t(step.node)].edges[step.edge];
+        e.visits += 1;
+        e.total_value += value;
+      }
+    }
+
+    Node& root_node = nodes[std::size_t(root)];
+    if (!root_node.expanded || root_node.edges.empty()) break;
+
+    // Per-move training sample: root visit distribution (conventional
+    // MCTS labeling — one sample per executed node).
+    SeqSample sample;
+    sample.state_selected = state_of(root);
+    sample.label.assign(n_vertices, 0.0f);
+    sample.label_mask.assign(n_vertices, 0.0f);
+    std::int64_t total_visits = 0;
+    for (const Edge& e : root_node.edges) total_visits += e.visits;
+    for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+      if (!grid.is_blocked(v) && !grid.is_pin(v)) {
+        sample.label_mask[std::size_t(grid.priority_of(v))] = 1.0f;
+      }
+    }
+    for (const Vertex v : sample.state_selected) {
+      sample.label_mask[std::size_t(grid.priority_of(v))] = 0.0f;
+    }
+    if (total_visits > 0) {
+      for (const Edge& e : root_node.edges) {
+        sample.label[std::size_t(grid.priority_of(e.action))] =
+            float(double(e.visits) / double(total_visits));
+      }
+    }
+    result.samples.push_back(std::move(sample));
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < root_node.edges.size(); ++i) {
+      if (root_node.edges[i].visits > root_node.edges[best].visits) best = i;
+    }
+    Edge& chosen = root_node.edges[best];
+    if (chosen.child < 0) break;
+    root = chosen.child;
+    ++result.stats.executed_moves;
+    Node& new_root = nodes[std::size_t(root)];
+    if (new_root.cost < 0.0) {
+      new_root.cost = ac.exact_cost(state_of(root));
+      mark_terminal_rules(new_root, nodes[std::size_t(new_root.parent)]);
+    }
+    result.best_cost = std::min(result.best_cost, new_root.cost);
+  }
+
+  result.selected = state_of(root);
+  result.final_cost = nodes[std::size_t(root)].cost;
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+SeqInferenceResult sequential_select(rl::SteinerSelector& selector,
+                                     const HananGrid& grid, double stop_threshold) {
+  SeqInferenceResult result;
+  const std::int32_t budget =
+      std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
+  for (std::int32_t i = 0; i < budget; ++i) {
+    const std::vector<double> fsp = selector.infer_fsp(grid, result.selected);
+    ++result.inferences;
+    const std::vector<Vertex> best =
+        rl::SteinerSelector::top_k_valid(grid, fsp, 1, result.selected);
+    if (best.empty()) break;
+    const double p = fsp[std::size_t(grid.priority_of(best.front()))];
+    if (p < stop_threshold) break;
+    result.selected.push_back(best.front());
+  }
+  return result;
+}
+
+}  // namespace oar::mcts

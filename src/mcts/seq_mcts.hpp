@@ -1,0 +1,66 @@
+#pragma once
+
+// Conventional, AlphaGo-like sequential MCTS baseline (paper Sec. 4.2).
+//
+// Differences from the combinatorial MCTS:
+//  * actions are unordered — any valid vertex can be chosen at any level,
+//    so permutations of the same combination occupy distinct subtrees
+//    (the redundancy the combinatorial variant eliminates);
+//  * the agent is a *sequential* selector: one training sample is produced
+//    per executed root move, whose label is the root visit-count
+//    distribution (learn the best NEXT Steiner point, not the final
+//    combination);
+//  * at inference the trained sequential selector must be applied n-2
+//    times, one inference per Steiner point.
+//
+// Priors come from the selector's fsp map normalized over valid vertices;
+// the critic is shared with the combinatorial implementation.
+
+#include "mcts/comb_mcts.hpp"
+
+namespace oar::mcts {
+
+/// One per-move training sample of the sequential agent.
+struct SeqSample {
+  /// Steiner points already placed when the sample's state was the root.
+  std::vector<Vertex> state_selected;
+  /// Root visit distribution over vertices, priority-order flat array.
+  std::vector<float> label;
+  std::vector<float> label_mask;
+};
+
+struct SeqMctsResult {
+  std::vector<SeqSample> samples;
+  std::vector<Vertex> selected;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  double best_cost = 0.0;  // best exact cost along the executed path
+  CombMctsStats stats;
+};
+
+class SeqMcts {
+ public:
+  /// Reuses CombMctsConfig (iterations, c_puct, terminal rules, critic).
+  SeqMcts(rl::SteinerSelector& selector, CombMctsConfig config = {});
+
+  SeqMctsResult run(const HananGrid& grid);
+
+ private:
+  rl::SteinerSelector& selector_;
+  CombMctsConfig config_;
+};
+
+/// Inference with a sequentially-trained selector: repeatedly pick the
+/// argmax-probability valid vertex, feeding selections back as pins, until
+/// n-2 points are placed or the best remaining probability drops below
+/// `stop_threshold`.  Returns the selected Steiner points and the number of
+/// network inferences used (n-2 per net, vs 1 for the combinatorial agent).
+struct SeqInferenceResult {
+  std::vector<Vertex> selected;
+  std::int32_t inferences = 0;
+};
+SeqInferenceResult sequential_select(rl::SteinerSelector& selector,
+                                     const HananGrid& grid,
+                                     double stop_threshold = 0.05);
+
+}  // namespace oar::mcts

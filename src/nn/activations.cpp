@@ -1,0 +1,33 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace oar::nn {
+
+float Sigmoid::apply(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = apply(out[i]);
+  output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  assert(output_.defined());
+  Tensor grad = grad_output;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    const float y = output_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+}  // namespace oar::nn

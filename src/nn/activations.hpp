@@ -1,0 +1,49 @@
+#pragma once
+
+// Element-wise activation layers.
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override {
+    mask_.assign(std::size_t(input.numel()), 0);
+    Tensor out = input;
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      if (out[i] > 0.0f) {
+        mask_[std::size_t(i)] = 1;
+      } else {
+        out[i] = 0.0f;
+      }
+    }
+    return out;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    assert(std::size_t(grad_output.numel()) == mask_.size());
+    Tensor grad = grad_output;
+    for (std::int64_t i = 0; i < grad.numel(); ++i) {
+      if (!mask_[std::size_t(i)]) grad[i] = 0.0f;
+    }
+    return grad;
+  }
+
+ private:
+  std::vector<std::uint8_t> mask_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  /// Stateless helper (used at inference where no backward is needed).
+  static float apply(float x);
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace oar::nn

@@ -1,0 +1,35 @@
+#pragma once
+
+// 3D convolution (stride 1, symmetric zero padding) over a (C, D0, D1, D2)
+// volume.  The paper's agent uses 3x3x3 kernels everywhere plus 1x1x1
+// projections inside residual blocks; both are supported via `kernel`.
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+class Conv3d : public Module {
+ public:
+  /// He-initialized convolution.  `kernel` must be odd; padding defaults to
+  /// kernel/2 ("same" output size).
+  Conv3d(std::int32_t in_channels, std::int32_t out_channels, std::int32_t kernel,
+         util::Rng& rng, std::int32_t padding = -1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  std::int32_t in_channels() const { return in_channels_; }
+  std::int32_t out_channels() const { return out_channels_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::int32_t in_channels_, out_channels_, kernel_, padding_;
+  Parameter weight_;  // (OC, IC, k, k, k)
+  Parameter bias_;    // (OC)
+  Tensor input_;      // cached for backward
+};
+
+}  // namespace oar::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+// Finite-difference gradient verification used by the test suite to prove
+// every layer's hand-written backward pass against the numerical gradient.
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;  // worst |analytic - numeric|
+  double max_rel_error = 0.0;  // worst relative error among checked entries
+  int violations = 0;          // entries failing the atol + rtol criterion
+  bool ok = false;
+};
+
+/// Checks d(sum of weighted outputs)/d(input and parameters) of `module`
+/// on `input` against central finite differences.  `loss_weights` must have
+/// the module's output shape; the scalar objective is sum(w * output).
+/// An entry passes when |analytic - numeric| <= atol + rtol * |numeric|
+/// (allclose semantics — fp32 forward passes make pure relative checks
+/// meaningless for near-zero gradients).  Entries sitting on ReLU kinks
+/// (one-sided difference quotients disagree) are skipped.  At most
+/// `max_entries` randomly chosen entries of each tensor are probed
+/// (exhaustive checking of conv weights is too slow for CI-style tests).
+GradCheckResult grad_check(Module& module, const Tensor& input,
+                           const Tensor& loss_weights, util::Rng& rng,
+                           double epsilon = 1e-3, double rtol = 5e-2,
+                           int max_entries = 24, double atol = 2e-3);
+
+}  // namespace oar::nn

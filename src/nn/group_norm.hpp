@@ -1,0 +1,33 @@
+#pragma once
+
+// Group normalization over a (C, D0, D1, D2) volume.
+//
+// The paper's residual blocks use per-feature normalization; since our
+// modules run one sample at a time (batch statistics are unavailable),
+// GroupNorm is the standard batch-size-independent substitute — with
+// num_groups == num_channels it degenerates to InstanceNorm.  Learnable
+// per-channel affine (gamma, beta).
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+class GroupNorm : public Module {
+ public:
+  GroupNorm(std::int32_t num_channels, std::int32_t num_groups, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  std::int32_t channels_, groups_;
+  float eps_;
+  Parameter gamma_;  // (C)
+  Parameter beta_;   // (C)
+  Tensor input_;
+  Tensor normalized_;             // (x - mu) / sigma, cached for backward
+  std::vector<float> inv_sigma_;  // per group
+};
+
+}  // namespace oar::nn

@@ -1,0 +1,85 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+namespace oar::nn {
+
+Linear::Linear(std::int32_t in_features, std::int32_t out_features, util::Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  const float stddev = std::sqrt(2.0f / float(in_features));
+  weight_ = Parameter("linear.weight",
+                      Tensor::randn({out_features, in_features}, rng, stddev));
+  bias_ = Parameter("linear.bias", Tensor({out_features}));
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  assert(input.numel() == in_features_);
+  input_ = input;
+  Tensor out({out_features_});
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  for (std::int32_t o = 0; o < out_features_; ++o) {
+    double s = bias_.value[o];
+    const float* row = w + std::int64_t(o) * in_features_;
+    for (std::int32_t i = 0; i < in_features_; ++i) s += double(row[i]) * x[i];
+    out[o] = float(s);
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  assert(grad_output.numel() == out_features_);
+  Tensor grad_input(input_.shape());
+  const float* x = input_.data();
+  const float* go = grad_output.data();
+  const float* w = weight_.value.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  float* gi = grad_input.data();
+  for (std::int32_t o = 0; o < out_features_; ++o) {
+    const float g = go[o];
+    gb[o] += g;
+    const float* row = w + std::int64_t(o) * in_features_;
+    float* grow = gw + std::int64_t(o) * in_features_;
+    for (std::int32_t i = 0; i < in_features_; ++i) {
+      grow[i] += g * x[i];
+      gi[i] += g * row[i];
+    }
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool3d::forward(const Tensor& input) {
+  assert(input.dim() == 4);
+  in_shape_ = input.shape();
+  const std::int32_t C = input.shape(0);
+  const std::int64_t spatial = input.numel() / C;
+  Tensor out({C});
+  const float* x = input.data();
+  for (std::int32_t c = 0; c < C; ++c) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < spatial; ++i) s += x[std::int64_t(c) * spatial + i];
+    out[c] = float(s / double(spatial));
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool3d::backward(const Tensor& grad_output) {
+  assert(!in_shape_.empty());
+  const std::int32_t C = in_shape_[0];
+  Tensor grad_input(in_shape_);
+  const std::int64_t spatial = grad_input.numel() / C;
+  float* gi = grad_input.data();
+  for (std::int32_t c = 0; c < C; ++c) {
+    const float g = grad_output[c] / float(spatial);
+    for (std::int64_t i = 0; i < spatial; ++i) gi[std::int64_t(c) * spatial + i] = g;
+  }
+  return grad_input;
+}
+
+}  // namespace oar::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+// Fully connected layer over a flat vector, used by the PPO value head.
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::int32_t in_features, std::int32_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;   // input: (in_features)
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  std::int32_t in_features_, out_features_;
+  Parameter weight_;  // (out, in)
+  Parameter bias_;    // (out)
+  Tensor input_;
+};
+
+/// Mean over all spatial positions per channel: (C, D0, D1, D2) -> (C).
+/// Makes the value head size-agnostic, preserving the arbitrary-size
+/// property for the PPO baseline as well.
+class GlobalAvgPool3d : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::int32_t> in_shape_;
+};
+
+}  // namespace oar::nn

@@ -1,0 +1,51 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace oar::nn {
+
+double bce_with_logits(const Tensor& logits, const Tensor& targets,
+                       Tensor& grad_logits, const Tensor* weight) {
+  assert(logits.shape() == targets.shape());
+  if (weight != nullptr) assert(weight->shape() == logits.shape());
+  grad_logits = Tensor(logits.shape());
+
+  double total_weight = 0.0;
+  if (weight == nullptr) {
+    total_weight = double(logits.numel());
+  } else {
+    total_weight = weight->sum();
+  }
+  if (total_weight <= 0.0) return 0.0;
+  const double inv_w = 1.0 / total_weight;
+
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const double w = weight == nullptr ? 1.0 : double((*weight)[i]);
+    if (w == 0.0) continue;
+    const double x = logits[i];
+    const double t = targets[i];
+    // log(1 + e^{-|x|}) formulation: max(x,0) - x*t + log(1+exp(-|x|))
+    loss += w * (std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::abs(x))));
+    const double p = 1.0 / (1.0 + std::exp(-x));
+    grad_logits[i] = float(w * (p - t) * inv_w);
+  }
+  return loss * inv_w;
+}
+
+double mse(const Tensor& pred, const Tensor& targets, Tensor& grad_pred) {
+  assert(pred.shape() == targets.shape());
+  grad_pred = Tensor(pred.shape());
+  const double inv_n = 1.0 / double(pred.numel());
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const double d = double(pred[i]) - targets[i];
+    loss += d * d;
+    grad_pred[i] = float(2.0 * d * inv_n);
+  }
+  return loss * inv_n;
+}
+
+}  // namespace oar::nn

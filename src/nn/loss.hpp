@@ -1,0 +1,21 @@
+#pragma once
+
+// Loss functions.  Each returns the scalar loss and writes dLoss/dLogits
+// (or dLoss/dPred) so the caller can feed it straight into Module::backward.
+
+#include "nn/tensor.hpp"
+
+namespace oar::nn {
+
+/// Numerically stable binary cross-entropy on logits (the paper trains the
+/// selector with BCE against the L_fsp labels).  `weight` (optional, same
+/// shape) scales each element's contribution — used to mask out invalid
+/// vertices (pins / obstacles).  The loss is averaged over the total
+/// weight.
+double bce_with_logits(const Tensor& logits, const Tensor& targets,
+                       Tensor& grad_logits, const Tensor* weight = nullptr);
+
+/// Mean squared error, averaged over elements.
+double mse(const Tensor& pred, const Tensor& targets, Tensor& grad_pred);
+
+}  // namespace oar::nn

@@ -1,0 +1,68 @@
+#pragma once
+
+// Module protocol for the manual-backprop DL library.
+//
+// Modules process ONE sample at a time (no batch axis); batching is done by
+// the trainer, which runs forward/backward per sample and accumulates
+// parameter gradients before an optimizer step.  This matches the paper's
+// same-size batches while keeping every layer's backward simple and easy to
+// verify with finite differences.  A module caches whatever it needs in
+// forward(); backward(grad_out) must be called after the matching forward.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace oar::nn {
+
+/// Learnable tensor plus its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the output and caches activations needed for backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Appends raw pointers to this module's (and submodules') parameters.
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  std::int64_t num_parameters() {
+    std::int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->grad.zero();
+  }
+
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace oar::nn

@@ -1,0 +1,76 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace oar::nn {
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (Parameter* p : params_) {
+    const double n = p->grad.norm();
+    sq += n * n;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = float(max_norm / norm);
+    for (Parameter* p : params_) p->grad *= scale;
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& vel = velocity_[i];
+    for (std::int64_t j = 0; j < p->value.numel(); ++j) {
+      float g = p->grad[j];
+      if (weight_decay_ != 0.0) g += float(weight_decay_) * p->value[j];
+      vel[j] = float(momentum_) * vel[j] + g;
+      p->value[j] -= float(lr_) * vel[j];
+    }
+    p->grad.zero();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, double(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, double(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p->value.numel(); ++j) {
+      float g = p->grad[j];
+      if (weight_decay_ != 0.0) g += float(weight_decay_) * p->value[j];
+      m[j] = float(beta1_) * m[j] + float(1.0 - beta1_) * g;
+      v[j] = float(beta2_) * v[j] + float(1.0 - beta2_) * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p->value[j] -= float(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+    p->grad.zero();
+  }
+}
+
+}  // namespace oar::nn

@@ -1,0 +1,60 @@
+#pragma once
+
+// First-order optimizers over a parameter list.
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients and clears them.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->grad.zero();
+  }
+
+  /// Scales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace oar::nn

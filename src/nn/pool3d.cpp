@@ -1,0 +1,113 @@
+#include "nn/pool3d.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace oar::nn {
+
+Tensor MaxPool3d::forward(const Tensor& input) {
+  assert(input.dim() == 4);
+  const std::int32_t C = input.shape(0), D0 = input.shape(1), D1 = input.shape(2),
+                     D2 = input.shape(3);
+  const std::int32_t O0 = out_dim(D0), O1 = out_dim(D1), O2 = out_dim(D2);
+  in_shape_ = input.shape();
+
+  Tensor out({C, O0, O1, O2});
+  argmax_.assign(std::size_t(out.numel()), 0);
+
+  const float* x = input.data();
+  float* y = out.data();
+  std::int64_t oi = 0;
+  for (std::int32_t c = 0; c < C; ++c) {
+    const std::int64_t cbase = std::int64_t(c) * D0 * D1 * D2;
+    for (std::int32_t o0 = 0; o0 < O0; ++o0) {
+      for (std::int32_t o1 = 0; o1 < O1; ++o1) {
+        for (std::int32_t o2 = 0; o2 < O2; ++o2, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int32_t z0 = o0 * 2; z0 < std::min(D0, o0 * 2 + 2); ++z0) {
+            for (std::int32_t z1 = o1 * 2; z1 < std::min(D1, o1 * 2 + 2); ++z1) {
+              for (std::int32_t z2 = o2 * 2; z2 < std::min(D2, o2 * 2 + 2); ++z2) {
+                const std::int64_t idx =
+                    cbase + (std::int64_t(z0) * D1 + z1) * D2 + z2;
+                if (x[idx] > best) {
+                  best = x[idx];
+                  best_idx = idx;
+                }
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[std::size_t(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool3d::backward(const Tensor& grad_output) {
+  assert(!in_shape_.empty());
+  Tensor grad_input(in_shape_);
+  const float* go = grad_output.data();
+  float* gi = grad_input.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    gi[argmax_[i]] += go[i];
+  }
+  return grad_input;
+}
+
+Tensor UpsampleNearest3d::forward(const Tensor& input) {
+  assert(input.dim() == 4);
+  assert(t0_ > 0 && t1_ > 0 && t2_ > 0);
+  const std::int32_t C = input.shape(0), D0 = input.shape(1), D1 = input.shape(2),
+                     D2 = input.shape(3);
+  in_shape_ = input.shape();
+
+  Tensor out({C, t0_, t1_, t2_});
+  const float* x = input.data();
+  float* y = out.data();
+  std::int64_t oi = 0;
+  for (std::int32_t c = 0; c < C; ++c) {
+    const std::int64_t cbase = std::int64_t(c) * D0 * D1 * D2;
+    for (std::int32_t o0 = 0; o0 < t0_; ++o0) {
+      const std::int32_t z0 = std::min(D0 - 1, std::int32_t(std::int64_t(o0) * D0 / t0_));
+      for (std::int32_t o1 = 0; o1 < t1_; ++o1) {
+        const std::int32_t z1 = std::min(D1 - 1, std::int32_t(std::int64_t(o1) * D1 / t1_));
+        for (std::int32_t o2 = 0; o2 < t2_; ++o2, ++oi) {
+          const std::int32_t z2 =
+              std::min(D2 - 1, std::int32_t(std::int64_t(o2) * D2 / t2_));
+          y[oi] = x[cbase + (std::int64_t(z0) * D1 + z1) * D2 + z2];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor UpsampleNearest3d::backward(const Tensor& grad_output) {
+  assert(!in_shape_.empty());
+  const std::int32_t C = in_shape_[0], D0 = in_shape_[1], D1 = in_shape_[2],
+                     D2 = in_shape_[3];
+  Tensor grad_input(in_shape_);
+  const float* go = grad_output.data();
+  float* gi = grad_input.data();
+  std::int64_t oi = 0;
+  for (std::int32_t c = 0; c < C; ++c) {
+    const std::int64_t cbase = std::int64_t(c) * D0 * D1 * D2;
+    for (std::int32_t o0 = 0; o0 < t0_; ++o0) {
+      const std::int32_t z0 = std::min(D0 - 1, std::int32_t(std::int64_t(o0) * D0 / t0_));
+      for (std::int32_t o1 = 0; o1 < t1_; ++o1) {
+        const std::int32_t z1 = std::min(D1 - 1, std::int32_t(std::int64_t(o1) * D1 / t1_));
+        for (std::int32_t o2 = 0; o2 < t2_; ++o2, ++oi) {
+          const std::int32_t z2 =
+              std::min(D2 - 1, std::int32_t(std::int64_t(o2) * D2 / t2_));
+          gi[cbase + (std::int64_t(z0) * D1 + z1) * D2 + z2] += go[oi];
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace oar::nn

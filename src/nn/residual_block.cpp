@@ -1,0 +1,72 @@
+#include "nn/residual_block.hpp"
+
+namespace oar::nn {
+
+std::int32_t ResidualBlock3d::pick_groups(std::int32_t channels) {
+  for (std::int32_t g = std::min(4, channels); g > 1; --g) {
+    if (channels % g == 0) return g;
+  }
+  return 1;
+}
+
+ResidualBlock3d::ResidualBlock3d(std::int32_t in_channels, std::int32_t out_channels,
+                                 util::Rng& rng)
+    : out_channels_(out_channels),
+      conv1_(in_channels, out_channels, 3, rng),
+      norm1_(out_channels, pick_groups(out_channels)),
+      conv2_(out_channels, out_channels, 3, rng),
+      norm2_(out_channels, pick_groups(out_channels)) {
+  if (in_channels != out_channels) {
+    projection_ = std::make_unique<Conv3d>(in_channels, out_channels, 1, rng);
+  }
+}
+
+void ResidualBlock3d::collect_parameters(std::vector<Parameter*>& out) {
+  conv1_.collect_parameters(out);
+  norm1_.collect_parameters(out);
+  conv2_.collect_parameters(out);
+  norm2_.collect_parameters(out);
+  if (projection_) projection_->collect_parameters(out);
+}
+
+void ResidualBlock3d::set_training(bool training) {
+  Module::set_training(training);
+  conv1_.set_training(training);
+  norm1_.set_training(training);
+  conv2_.set_training(training);
+  norm2_.set_training(training);
+  if (projection_) projection_->set_training(training);
+}
+
+Tensor ResidualBlock3d::forward(const Tensor& input) {
+  Tensor main = norm2_.forward(conv2_.forward(
+      relu1_.forward(norm1_.forward(conv1_.forward(input)))));
+  Tensor skip = projection_ ? projection_->forward(input) : input;
+  assert(main.shape() == skip.shape());
+  main += skip;
+  // Final ReLU (mask cached for backward).
+  out_mask_.assign(std::size_t(main.numel()), 0);
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    if (main[i] > 0.0f) {
+      out_mask_[std::size_t(i)] = 1;
+    } else {
+      main[i] = 0.0f;
+    }
+  }
+  return main;
+}
+
+Tensor ResidualBlock3d::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    if (!out_mask_[std::size_t(i)]) grad[i] = 0.0f;
+  }
+  // Branch gradients: both the main path and the skip see `grad`.
+  Tensor grad_main = conv1_.backward(
+      norm1_.backward(relu1_.backward(conv2_.backward(norm2_.backward(grad)))));
+  Tensor grad_skip = projection_ ? projection_->backward(grad) : grad;
+  grad_main += grad_skip;
+  return grad_main;
+}
+
+}  // namespace oar::nn

@@ -1,0 +1,91 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace oar::nn {
+
+namespace {
+constexpr char kMagic[] = "OARNN1\n";
+}
+
+bool save_parameters(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic) - 1);
+  const auto params = module.parameters();
+  const auto count = std::int32_t(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : params) {
+    const auto name_len = std::int32_t(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    const auto rank = std::int32_t(p->value.dim());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (std::int32_t d = 0; d < rank; ++d) {
+      const std::int32_t dim = p->value.shape(d);
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              std::streamsize(p->value.numel() * std::int64_t(sizeof(float))));
+  }
+  return bool(out);
+}
+
+bool load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, sizeof(magic)) != std::string(kMagic, sizeof(magic))) {
+    util::log_error("checkpoint magic mismatch in ", path);
+    return false;
+  }
+  std::int32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const auto params = module.parameters();
+  if (!in || count != std::int32_t(params.size())) {
+    util::log_error("checkpoint parameter count mismatch in ", path);
+    return false;
+  }
+  for (Parameter* p : params) {
+    std::int32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len < 0 || name_len > 4096) return false;
+    std::string name(std::size_t(name_len), '\0');
+    in.read(name.data(), name_len);
+    if (name != p->name) {
+      util::log_error("checkpoint name mismatch: expected ", p->name, " got ", name);
+      return false;
+    }
+    std::int32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in || rank != p->value.dim()) return false;
+    for (std::int32_t d = 0; d < rank; ++d) {
+      std::int32_t dim = 0;
+      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (!in || dim != p->value.shape(d)) {
+        util::log_error("checkpoint shape mismatch for ", p->name);
+        return false;
+      }
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            std::streamsize(p->value.numel() * std::int64_t(sizeof(float))));
+    if (!in) return false;
+  }
+  return true;
+}
+
+void copy_parameters(Module& dst, Module& src) {
+  const auto dparams = dst.parameters();
+  const auto sparams = src.parameters();
+  assert(dparams.size() == sparams.size());
+  for (std::size_t i = 0; i < dparams.size(); ++i) {
+    assert(dparams[i]->value.shape() == sparams[i]->value.shape());
+    dparams[i]->value = sparams[i]->value;
+  }
+}
+
+}  // namespace oar::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+// Binary checkpointing of module parameters.
+//
+// Format: magic "OARNN1\n", int32 parameter count, then per parameter:
+// int32 name length + bytes, int32 rank, int32 dims..., float32 data.
+// Loading verifies that names and shapes match the module being restored.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace oar::nn {
+
+/// Writes all parameters of `module` to `path`.  Returns false on I/O error.
+bool save_parameters(Module& module, const std::string& path);
+
+/// Restores parameters saved by save_parameters.  Returns false on I/O
+/// error or any name/shape mismatch (module left unchanged on mismatch of
+/// the header; partially written on later mismatch — callers treat false as
+/// fatal).
+bool load_parameters(Module& module, const std::string& path);
+
+/// Copies parameter values from `src` into `dst` (identical architectures
+/// required; asserts on shape mismatch).  Used to clone a selector per
+/// worker thread for parallel sample generation.
+void copy_parameters(Module& dst, Module& src);
+
+}  // namespace oar::nn

@@ -1,0 +1,138 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace oar::nn {
+
+namespace {
+std::int64_t shape_numel(const std::vector<std::int32_t>& shape) {
+  std::int64_t n = 1;
+  for (std::int32_t d : shape) {
+    assert(d > 0);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int32_t> shape, float fill_value)
+    : shape_(std::move(shape)), data_(std::size_t(shape_numel(shape_)), fill_value) {}
+
+Tensor Tensor::randn(std::vector<std::int32_t> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = float(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::from(const std::vector<float>& values) {
+  Tensor t({std::int32_t(values.size())});
+  t.data_ = values;
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::int32_t> new_shape) const {
+  assert(shape_numel(new_shape) == numel());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  assert(shape_ == o.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  assert(shape_ == o.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::axpy(float alpha, const Tensor& o) {
+  assert(shape_ == o.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o.data_[i];
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / double(data_.size()); }
+
+float Tensor::max_value() const {
+  assert(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min_value() const {
+  assert(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  assert(!data_.empty());
+  return std::int64_t(std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Tensor::norm() const {
+  double s = 0.0;
+  for (float v : data_) s += double(v) * v;
+  return std::sqrt(s);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::size_t Tensor::flat(std::initializer_list<std::int32_t> idx) const {
+  assert(std::int32_t(idx.size()) == dim());
+  std::size_t off = 0;
+  std::size_t d = 0;
+  for (std::int32_t i : idx) {
+    assert(i >= 0 && i < shape_[d]);
+    off = off * std::size_t(shape_[d]) + std::size_t(i);
+    ++d;
+  }
+  return off;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor r = a;
+  r += b;
+  return r;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor r = a;
+  r -= b;
+  return r;
+}
+
+Tensor operator*(const Tensor& a, float s) {
+  Tensor r = a;
+  r *= s;
+  return r;
+}
+
+}  // namespace oar::nn

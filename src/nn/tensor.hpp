@@ -1,0 +1,84 @@
+#pragma once
+
+// Dense float tensor.  This is the numeric substrate for the from-scratch
+// deep-learning library (no external DL framework is available offline).
+// Keep it small and predictable: contiguous row-major storage, explicit
+// shapes, no views, no broadcasting beyond the few helpers the layers need.
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace oar::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::int32_t> shape, float fill_value = 0.0f);
+
+  static Tensor zeros(std::vector<std::int32_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::int32_t> shape, float v) { return Tensor(std::move(shape), v); }
+  /// Gaussian init with given stddev (He/Xavier scaling is done by callers).
+  static Tensor randn(std::vector<std::int32_t> shape, util::Rng& rng, float stddev = 1.0f);
+  /// 1-D tensor wrapping a copy of `values`.
+  static Tensor from(const std::vector<float>& values);
+
+  bool defined() const { return !shape_.empty(); }
+  std::int32_t dim() const { return std::int32_t(shape_.size()); }
+  const std::vector<std::int32_t>& shape() const { return shape_; }
+  std::int32_t shape(std::int32_t i) const { return shape_[std::size_t(i)]; }
+  std::int64_t numel() const { return std::int64_t(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& raw() { return data_; }
+  const std::vector<float>& raw() const { return data_; }
+
+  float operator[](std::int64_t i) const { return data_[std::size_t(i)]; }
+  float& operator[](std::int64_t i) { return data_[std::size_t(i)]; }
+
+  /// Multi-index access (asserts rank and bounds in debug builds).
+  float at(std::initializer_list<std::int32_t> idx) const { return data_[flat(idx)]; }
+  float& at(std::initializer_list<std::int32_t> idx) { return data_[flat(idx)]; }
+
+  /// Same data, new shape (element counts must match).
+  Tensor reshaped(std::vector<std::int32_t> new_shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // In-place arithmetic (shapes must match exactly).
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(float s);
+  /// this += alpha * o
+  void axpy(float alpha, const Tensor& o);
+
+  double sum() const;
+  double mean() const;
+  float max_value() const;
+  float min_value() const;
+  std::int64_t argmax() const;
+
+  /// L2 norm of all elements (used by grad-norm clipping / diagnostics).
+  double norm() const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t flat(std::initializer_list<std::int32_t> idx) const;
+
+  std::vector<std::int32_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Element-wise binary helpers (allocate a result tensor).
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, float s);
+
+}  // namespace oar::nn

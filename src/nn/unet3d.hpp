@@ -1,0 +1,66 @@
+#pragma once
+
+// 3D Residual U-Net (paper Fig. 4): the arbitrary-size, image-in-image-out
+// backbone of the Steiner-point selector.
+//
+// Encoder: `depth` levels of ResidualBlock3d + 2x max pooling (ceil mode);
+// bottleneck residual block; decoder mirrors the encoder with nearest
+// upsampling *to the exact skip size* followed by channel concatenation and
+// a residual block; a final 1x1x1 convolution maps to a single logit per
+// vertex.  Because pooling uses ceil semantics and upsampling targets the
+// recorded skip dimensions, any (H, V, M) input produces an (H, V, M)
+// output — the paper's "any length, any width, any number of routing
+// layers" property.
+//
+// The output is raw logits; callers apply Sigmoid (inference) or the
+// numerically stable BCE-with-logits loss (training).
+
+#include <memory>
+#include <vector>
+
+#include "nn/pool3d.hpp"
+#include "nn/residual_block.hpp"
+
+namespace oar::nn {
+
+struct UNet3dConfig {
+  std::int32_t in_channels = 7;
+  std::int32_t base_channels = 8;  // channels at the top level; doubled per level
+  std::int32_t depth = 2;          // number of pooling levels
+  std::uint64_t seed = 0x5eed;
+  /// Initial bias of the output head.  A negative value makes the fresh
+  /// selector emit small probabilities (sigmoid(-3) ~ 0.047), which both
+  /// matches the mostly-zero L_fsp labels and keeps the actor's eq.-(1)
+  /// running product from vanishing before training has shaped fsp.
+  float head_bias_init = -5.0f;
+
+  friend bool operator==(const UNet3dConfig&, const UNet3dConfig&) = default;
+};
+
+class UNet3d : public Module {
+ public:
+  explicit UNet3d(UNet3dConfig config = {});
+
+  /// (in_channels, H, V, M) -> logits (1, H, V, M).
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void set_training(bool training) override;
+
+  const UNet3dConfig& config() const { return config_; }
+
+ private:
+  UNet3dConfig config_;
+  std::vector<std::unique_ptr<ResidualBlock3d>> encoders_;
+  std::vector<MaxPool3d> pools_;
+  std::unique_ptr<ResidualBlock3d> bottleneck_;
+  std::vector<UpsampleNearest3d> upsamples_;                 // deepest first
+  std::vector<std::unique_ptr<ResidualBlock3d>> decoders_;   // deepest first
+  std::unique_ptr<Conv3d> head_;
+
+  // Forward caches.
+  std::vector<std::vector<std::int32_t>> skip_shapes_;
+  std::vector<std::int32_t> skip_channels_;
+};
+
+}  // namespace oar::nn

@@ -1,0 +1,44 @@
+#include "nn/value_net.hpp"
+
+namespace oar::nn {
+
+ValueNet::ValueNet(ValueNetConfig config) : config_(config) {
+  util::Rng rng(config_.seed);
+  block1_ = std::make_unique<ResidualBlock3d>(config_.in_channels, config_.channels, rng);
+  block2_ = std::make_unique<ResidualBlock3d>(config_.channels, config_.channels, rng);
+  fc1_ = std::make_unique<Linear>(config_.channels, config_.hidden, rng);
+  fc2_ = std::make_unique<Linear>(config_.hidden, 1, rng);
+}
+
+void ValueNet::collect_parameters(std::vector<Parameter*>& out) {
+  block1_->collect_parameters(out);
+  block2_->collect_parameters(out);
+  fc1_->collect_parameters(out);
+  fc2_->collect_parameters(out);
+}
+
+void ValueNet::set_training(bool training) {
+  Module::set_training(training);
+  block1_->set_training(training);
+  block2_->set_training(training);
+}
+
+Tensor ValueNet::forward(const Tensor& input) {
+  Tensor x = block1_->forward(input);
+  x = block2_->forward(x);
+  x = gap_.forward(x);
+  x = fc1_->forward(x);
+  x = relu_.forward(x);
+  return fc2_->forward(x);
+}
+
+Tensor ValueNet::backward(const Tensor& grad_output) {
+  Tensor g = fc2_->backward(grad_output);
+  g = relu_.backward(g);
+  g = fc1_->backward(g);
+  g = gap_.backward(g);
+  g = block2_->backward(g);
+  return block1_->backward(g);
+}
+
+}  // namespace oar::nn

@@ -1,0 +1,40 @@
+#pragma once
+
+// Size-agnostic scalar value network used by the PPO baseline's critic:
+// two residual blocks -> global average pool -> small MLP -> 1 value.
+
+#include <memory>
+
+#include "nn/linear.hpp"
+#include "nn/residual_block.hpp"
+
+namespace oar::nn {
+
+struct ValueNetConfig {
+  std::int32_t in_channels = 7;
+  std::int32_t channels = 8;
+  std::int32_t hidden = 16;
+  std::uint64_t seed = 0x7a1;
+};
+
+class ValueNet : public Module {
+ public:
+  explicit ValueNet(ValueNetConfig config = {});
+
+  /// (C, H, V, M) -> (1) scalar value.
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  ValueNetConfig config_;
+  std::unique_ptr<ResidualBlock3d> block1_;
+  std::unique_ptr<ResidualBlock3d> block2_;
+  GlobalAvgPool3d gap_;
+  std::unique_ptr<Linear> fc1_;
+  ReLU relu_;
+  std::unique_ptr<Linear> fc2_;
+};
+
+}  // namespace oar::nn

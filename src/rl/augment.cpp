@@ -1,0 +1,91 @@
+#include "rl/augment.hpp"
+
+#include <algorithm>
+
+namespace oar::rl {
+
+std::array<AugmentSpec, 16> all_augmentations() {
+  std::array<AugmentSpec, 16> specs;
+  std::size_t i = 0;
+  for (std::int32_t rot = 0; rot < 4; ++rot) {
+    for (int rv = 0; rv < 2; ++rv) {
+      for (int rm = 0; rm < 2; ++rm) {
+        specs[i++] = AugmentSpec{rot, rv == 1, rm == 1};
+      }
+    }
+  }
+  return specs;
+}
+
+Vertex transform_vertex(const HananGrid& grid, Vertex v, const AugmentSpec& spec) {
+  hanan::Cell c = grid.cell(v);
+  std::int32_t H = grid.h_dim(), V = grid.v_dim();
+  for (std::int32_t r = 0; r < spec.rotation; ++r) {
+    // Quarter turn in the H-V plane: (h, v) -> (v, H-1-h), dims swap.
+    const std::int32_t nh = c.v;
+    const std::int32_t nv = H - 1 - c.h;
+    c.h = nh;
+    c.v = nv;
+    std::swap(H, V);
+  }
+  if (spec.reflect_v) c.v = V - 1 - c.v;
+  if (spec.reflect_m) c.m = grid.m_dim() - 1 - c.m;
+  // Flat index in the transformed grid (dims H x V x M after rotation).
+  return Vertex((std::int64_t(c.m) * V + c.v) * H + c.h);
+}
+
+HananGrid transform_grid(const HananGrid& grid, const AugmentSpec& spec) {
+  // Track the step-cost arrays through the same transform chain.
+  std::vector<double> x_step(grid.h_dim() > 1 ? std::size_t(grid.h_dim() - 1) : 0);
+  std::vector<double> y_step(grid.v_dim() > 1 ? std::size_t(grid.v_dim() - 1) : 0);
+  for (std::size_t i = 0; i < x_step.size(); ++i) x_step[i] = grid.x_step(std::int32_t(i));
+  for (std::size_t i = 0; i < y_step.size(); ++i) y_step[i] = grid.y_step(std::int32_t(i));
+
+  for (std::int32_t r = 0; r < spec.rotation; ++r) {
+    // (h, v) -> (v, H-1-h): new x steps are the old y steps; new y steps
+    // are the old x steps reversed.
+    std::vector<double> nx = y_step;
+    std::vector<double> ny = x_step;
+    std::reverse(ny.begin(), ny.end());
+    x_step = std::move(nx);
+    y_step = std::move(ny);
+  }
+  if (spec.reflect_v) std::reverse(y_step.begin(), y_step.end());
+
+  const std::int32_t H = std::int32_t(x_step.size()) + 1;
+  const std::int32_t V = std::int32_t(y_step.size()) + 1;
+  const std::int32_t M = grid.m_dim();
+
+  std::vector<std::uint8_t> blocked(std::size_t(H) * V * M, 0);
+  std::vector<Vertex> pins;
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    const Vertex nv = transform_vertex(grid, v, spec);
+    if (grid.is_blocked(v)) blocked[std::size_t(nv)] = 1;
+    if (grid.is_pin(v)) pins.push_back(nv);
+  }
+  return HananGrid(H, V, M, std::move(x_step), std::move(y_step), grid.via_cost(),
+                   std::move(blocked), std::move(pins));
+}
+
+std::vector<float> transform_label(const HananGrid& grid,
+                                   const std::vector<float>& label,
+                                   const AugmentSpec& spec) {
+  std::int32_t H = grid.h_dim(), V = grid.v_dim();
+  for (std::int32_t r = 0; r < spec.rotation; ++r) std::swap(H, V);
+  const std::int32_t M = grid.m_dim();
+
+  std::vector<float> out(label.size(), 0.0f);
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    const Vertex nv = transform_vertex(grid, v, spec);
+    // Priority of nv in the transformed grid.
+    const std::int32_t nh = nv % H;
+    const std::int32_t rest = nv / H;
+    const std::int32_t nvv = rest % V;
+    const std::int32_t nm = rest / V;
+    const auto new_priority = std::size_t((std::int64_t(nh) * V + nvv) * M + nm);
+    out[new_priority] = label[std::size_t(grid.priority_of(v))];
+  }
+  return out;
+}
+
+}  // namespace oar::rl

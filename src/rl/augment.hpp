@@ -1,0 +1,46 @@
+#pragma once
+
+// Data augmentation (paper Sec. 3.6): every MCTS-labeled layout is expanded
+// 16-fold — 4 rotations in the H-V plane x reflection across the y axis x
+// reflection across the z (layer) axis.
+//
+// Augmentation operates on the *grid* (dims, step costs, blocked vertices,
+// pins) and the label arrays together, then the feature encoder runs on the
+// transformed grid.  This keeps the direction-dependent cost channels
+// (right/left/up/down) automatically consistent — transforming encoded
+// feature volumes directly would require error-prone channel permutations.
+
+#include <array>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::rl {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+struct AugmentSpec {
+  std::int32_t rotation = 0;  // quarter turns in the H-V plane (0..3)
+  bool reflect_v = false;
+  bool reflect_m = false;
+
+  friend auto operator<=>(const AugmentSpec&, const AugmentSpec&) = default;
+};
+
+/// All 16 augmentation variants, identity first.
+std::array<AugmentSpec, 16> all_augmentations();
+
+/// Transformed copy of the grid.
+HananGrid transform_grid(const HananGrid& grid, const AugmentSpec& spec);
+
+/// Maps a vertex of `grid` to the corresponding vertex of
+/// transform_grid(grid, spec).
+Vertex transform_vertex(const HananGrid& grid, Vertex v, const AugmentSpec& spec);
+
+/// Re-indexes a priority-order label array of `grid` into the transformed
+/// grid's priority order.
+std::vector<float> transform_label(const HananGrid& grid,
+                                   const std::vector<float>& label,
+                                   const AugmentSpec& spec);
+
+}  // namespace oar::rl

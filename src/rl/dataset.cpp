@@ -1,0 +1,34 @@
+#include "rl/dataset.hpp"
+
+#include <algorithm>
+
+namespace oar::rl {
+
+void Dataset::add(TrainingSample sample) {
+  const SizeKey key{sample.grid.h_dim(), sample.grid.v_dim(), sample.grid.m_dim()};
+  by_size_[key].push_back(samples_.size());
+  samples_.push_back(std::move(sample));
+}
+
+void Dataset::clear() {
+  samples_.clear();
+  by_size_.clear();
+}
+
+std::vector<std::vector<std::size_t>> Dataset::epoch_batches(std::size_t batch_size,
+                                                             util::Rng& rng) const {
+  std::vector<std::vector<std::size_t>> batches;
+  for (const auto& [key, indices] : by_size_) {
+    std::vector<std::size_t> shuffled = indices;
+    rng.shuffle(shuffled);
+    for (std::size_t start = 0; start < shuffled.size(); start += batch_size) {
+      const std::size_t end = std::min(start + batch_size, shuffled.size());
+      batches.emplace_back(shuffled.begin() + std::ptrdiff_t(start),
+                           shuffled.begin() + std::ptrdiff_t(end));
+    }
+  }
+  rng.shuffle(batches);
+  return batches;
+}
+
+}  // namespace oar::rl

@@ -1,0 +1,55 @@
+#include "rl/evaluate.hpp"
+
+#include <algorithm>
+
+#include "mcts/seq_mcts.hpp"
+#include "route/oarmst.hpp"
+#include "steiner/router_base.hpp"
+#include "util/timer.hpp"
+
+namespace oar::rl {
+
+EvalStats evaluate_st_to_mst(SteinerSelector& selector,
+                             const std::vector<hanan::HananGrid>& grids,
+                             EvalOptions options) {
+  EvalStats stats;
+  for (const hanan::HananGrid& grid : grids) {
+    const std::int32_t budget =
+        std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
+
+    util::Timer timer;
+    std::vector<hanan::Vertex> selected;
+    std::int32_t inferences = 0;
+    if (options.sequential) {
+      const auto result =
+          mcts::sequential_select(selector, grid, options.seq_stop_threshold);
+      selected = result.selected;
+      inferences = result.inferences;
+    } else {
+      selected = selector.select_steiner_points(grid, budget);
+      inferences = 1;
+    }
+    stats.select_seconds += timer.seconds();
+
+    route::OarmstRouter router(grid);
+    const route::OarmstResult st = router.build(grid.pins(), selected);
+    const double mst = steiner::mst_cost(grid);
+    if (!st.connected || mst <= 0.0) continue;
+
+    stats.mean_st_mst_ratio += st.cost / mst;
+    stats.mean_st_cost += st.cost;
+    stats.mean_mst_cost += mst;
+    stats.mean_inferences += double(inferences);
+    ++stats.count;
+  }
+  if (stats.count > 0) {
+    const double inv = 1.0 / double(stats.count);
+    stats.mean_st_mst_ratio *= inv;
+    stats.mean_st_cost *= inv;
+    stats.mean_mst_cost *= inv;
+    stats.mean_inferences *= inv;
+  }
+  return stats;
+}
+
+}  // namespace oar::rl

@@ -1,0 +1,31 @@
+#pragma once
+
+// Evaluation utilities: the ST-to-MST ratio of Figs. 11-12 (routing cost of
+// the Steiner tree built from the agent's selected points over the cost of
+// the plain spanning tree with no Steiner points), for both one-shot
+// (combinatorial) and sequential agents.
+
+#include "rl/selector.hpp"
+
+namespace oar::rl {
+
+struct EvalOptions {
+  /// true: the agent is a sequential selector (one inference per point).
+  bool sequential = false;
+  double seq_stop_threshold = 0.05;
+};
+
+struct EvalStats {
+  double mean_st_mst_ratio = 0.0;
+  double mean_st_cost = 0.0;
+  double mean_mst_cost = 0.0;
+  double mean_inferences = 0.0;  // network inferences per layout
+  double select_seconds = 0.0;   // total Steiner-point selection time
+  std::int32_t count = 0;
+};
+
+EvalStats evaluate_st_to_mst(SteinerSelector& selector,
+                             const std::vector<hanan::HananGrid>& grids,
+                             EvalOptions options = {});
+
+}  // namespace oar::rl

@@ -1,0 +1,238 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "route/oarmst.hpp"
+#include "util/timer.hpp"
+
+namespace oar::rl {
+
+namespace {
+
+struct Step {
+  std::vector<Vertex> state_selected;  // before the action
+  Vertex action = hanan::kInvalidVertex;
+  double logp_old = 0.0;
+  double value = 0.0;
+  double reward = 0.0;
+  double advantage = 0.0;
+  double ret = 0.0;
+};
+
+struct Episode {
+  hanan::HananGrid grid;
+  std::vector<Step> steps;
+  double episodic_return = 0.0;
+};
+
+/// Masked softmax over valid vertices.  Returns (vertex, prob, priority)
+/// triples.
+struct PolicyEntry {
+  Vertex vertex;
+  double prob;
+  std::size_t priority;
+};
+
+std::vector<PolicyEntry> masked_softmax(const hanan::HananGrid& grid,
+                                        const nn::Tensor& logits,
+                                        const std::vector<Vertex>& selected) {
+  std::unordered_set<Vertex> taken(selected.begin(), selected.end());
+  std::vector<PolicyEntry> entries;
+  double max_logit = -1e30;
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (grid.is_blocked(v) || grid.is_pin(v) || taken.count(v)) continue;
+    const auto p = std::size_t(grid.priority_of(v));
+    entries.push_back({v, double(logits[std::int64_t(p)]), p});
+    max_logit = std::max(max_logit, entries.back().prob);
+  }
+  double total = 0.0;
+  for (auto& e : entries) {
+    e.prob = std::exp(e.prob - max_logit);
+    total += e.prob;
+  }
+  for (auto& e : entries) e.prob /= total;
+  return entries;
+}
+
+}  // namespace
+
+PpoTrainer::PpoTrainer(SteinerSelector& selector, std::vector<LayoutSizeSpec> sizes,
+                       PpoConfig config)
+    : selector_(selector),
+      sizes_(std::move(sizes)),
+      config_(config),
+      value_net_(nn::ValueNetConfig{7, 8, 16, config.seed ^ 0xbeefull}),
+      policy_opt_(selector.net().parameters(), config.lr_policy),
+      value_opt_(value_net_.parameters(), config.lr_value),
+      rng_(config.seed) {}
+
+PpoIterationReport PpoTrainer::run_iteration() {
+  util::Timer timer;
+  PpoIterationReport report;
+  report.iteration = iteration_++;
+
+  // ---- rollout ----
+  std::vector<Episode> episodes;
+  for (std::int32_t ep = 0; ep < config_.episodes_per_iteration; ++ep) {
+    const LayoutSizeSpec& size =
+        sizes_[std::size_t(rng_.uniform_int(0, std::int64_t(sizes_.size()) - 1))];
+    const gen::RandomGridSpec spec = training_spec(
+        size, config_.obstacle_density, config_.min_pins, config_.max_pins);
+    Episode episode;
+    episode.grid = gen::random_grid(spec, rng_);
+    const hanan::HananGrid& grid = episode.grid;
+
+    route::OarmstConfig raw_cfg;
+    raw_cfg.remove_redundant_steiner = false;
+    route::OarmstRouter raw_router(grid, raw_cfg);
+
+    const double rc0 = std::max(raw_router.cost(grid.pins()), 1e-12);
+    const std::int32_t budget =
+        std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
+
+    std::vector<Vertex> selected;
+    double prev_cost = rc0;
+    std::int32_t flat_run = 0;
+    while (std::ssize(selected) < budget) {
+      const nn::Tensor input = SteinerSelector::encode(grid, selected);
+      const nn::Tensor logits = selector_.net().forward(input);
+      const auto policy = masked_softmax(grid, logits, selected);
+      if (policy.empty()) break;
+
+      std::vector<double> weights(policy.size());
+      for (std::size_t i = 0; i < policy.size(); ++i) weights[i] = policy[i].prob;
+      const std::size_t pick = rng_.weighted_index(weights);
+
+      Step step;
+      step.state_selected = selected;
+      step.action = policy[pick].vertex;
+      step.logp_old = std::log(std::max(policy[pick].prob, 1e-12));
+      step.value = double(value_net_.forward(input)[0]);
+
+      selected.push_back(step.action);
+      const double new_cost = raw_router.cost(grid.pins(), selected);
+      step.reward = (prev_cost - new_cost) / rc0;
+      episode.steps.push_back(std::move(step));
+      episode.episodic_return += episode.steps.back().reward;
+
+      // Terminal rules shared with the MCTS environments.
+      if (new_cost > prev_cost * (1.0 + 1e-9)) break;
+      if (std::abs(new_cost - prev_cost) <= prev_cost * 1e-9) {
+        if (++flat_run >= 3) break;
+      } else {
+        flat_run = 0;
+      }
+      prev_cost = new_cost;
+    }
+
+    // GAE (terminal bootstrap value 0).
+    double gae = 0.0;
+    for (std::size_t i = episode.steps.size(); i-- > 0;) {
+      Step& s = episode.steps[i];
+      const double next_value =
+          i + 1 < episode.steps.size() ? episode.steps[i + 1].value : 0.0;
+      const double delta = s.reward + config_.gamma * next_value - s.value;
+      gae = delta + config_.gamma * config_.gae_lambda * gae;
+      s.advantage = gae;
+      s.ret = s.advantage + s.value;
+    }
+    report.mean_return += episode.episodic_return;
+    report.steps += std::int32_t(episode.steps.size());
+    episodes.push_back(std::move(episode));
+  }
+  if (!episodes.empty()) report.mean_return /= double(episodes.size());
+
+  // Advantage normalization across the batch.
+  std::vector<Step*> all_steps;
+  for (Episode& e : episodes) {
+    for (Step& s : e.steps) all_steps.push_back(&s);
+  }
+  if (all_steps.empty()) {
+    report.seconds = timer.seconds();
+    return report;
+  }
+  double adv_mean = 0.0;
+  for (const Step* s : all_steps) adv_mean += s->advantage;
+  adv_mean /= double(all_steps.size());
+  double adv_var = 0.0;
+  for (const Step* s : all_steps) {
+    adv_var += (s->advantage - adv_mean) * (s->advantage - adv_mean);
+  }
+  const double adv_std = std::sqrt(adv_var / double(all_steps.size())) + 1e-8;
+  for (Step* s : all_steps) s->advantage = (s->advantage - adv_mean) / adv_std;
+
+  // ---- PPO updates ----
+  for (std::int32_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    policy_opt_.zero_grad();
+    value_opt_.zero_grad();
+    double policy_loss = 0.0, value_loss = 0.0;
+    const float inv_n = 1.0f / float(all_steps.size());
+
+    for (Episode& episode : episodes) {
+      const hanan::HananGrid& grid = episode.grid;
+      for (Step& s : episode.steps) {
+        const nn::Tensor input = SteinerSelector::encode(grid, s.state_selected);
+
+        // Policy gradient.
+        const nn::Tensor logits = selector_.net().forward(input);
+        const auto policy = masked_softmax(grid, logits, s.state_selected);
+        double logp_new = 0.0, entropy = 0.0;
+        std::size_t action_slot = policy.size();
+        for (std::size_t i = 0; i < policy.size(); ++i) {
+          const double p = std::max(policy[i].prob, 1e-12);
+          entropy -= p * std::log(p);
+          if (policy[i].vertex == s.action) {
+            action_slot = i;
+            logp_new = std::log(p);
+          }
+        }
+        assert(action_slot < policy.size());
+        const double ratio = std::exp(logp_new - s.logp_old);
+        const double clipped = std::clamp(ratio, 1.0 - config_.clip_epsilon,
+                                          1.0 + config_.clip_epsilon);
+        const double surr_unclipped = ratio * s.advantage;
+        const double surr_clipped = clipped * s.advantage;
+        policy_loss += -std::min(surr_unclipped, surr_clipped) -
+                       config_.entropy_coef * entropy;
+
+        // dLoss/dlogits: surrogate term only flows when unclipped is the
+        // active branch; entropy term always flows.
+        nn::Tensor grad_logits(logits.shape());
+        const bool pass_through = surr_unclipped <= surr_clipped;
+        for (std::size_t i = 0; i < policy.size(); ++i) {
+          const double p = std::max(policy[i].prob, 1e-12);
+          double g = 0.0;
+          if (pass_through) {
+            const double dlogp =
+                (i == action_slot ? 1.0 : 0.0) - policy[i].prob;
+            g += -s.advantage * ratio * dlogp;
+          }
+          g += config_.entropy_coef * p * (std::log(p) + entropy);
+          grad_logits[std::int64_t(policy[i].priority)] = float(g) * inv_n;
+        }
+        selector_.net().backward(grad_logits);
+
+        // Value update.
+        const nn::Tensor value = value_net_.forward(input);
+        const double err = double(value[0]) - s.ret;
+        value_loss += err * err;
+        nn::Tensor grad_value({1});
+        grad_value[0] = float(2.0 * err) * inv_n;
+        value_net_.backward(grad_value);
+      }
+    }
+    policy_opt_.clip_grad_norm(config_.grad_clip);
+    value_opt_.clip_grad_norm(config_.grad_clip);
+    policy_opt_.step();
+    value_opt_.step();
+    report.mean_policy_loss = policy_loss / double(all_steps.size());
+    report.mean_value_loss = value_loss / double(all_steps.size());
+  }
+
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace oar::rl

@@ -1,0 +1,67 @@
+#pragma once
+
+// PPO baseline (paper Sec. 4.2): a sequential Steiner-point selector
+// trained with the clipped-surrogate proximal policy optimization of
+// Schulman et al. [21].
+//
+// The policy reuses the same U-Net backbone: its per-vertex logits, masked
+// to valid vertices and soft-maxed, form the step policy.  A separate
+// size-agnostic ValueNet (residual trunk + global pooling) is the critic.
+// Episodes follow the same environment as the MCTS trainers: place one
+// Steiner point per step, stop on the terminal rules, reward is the
+// normalized routing-cost reduction.
+
+#include "gen/random_layout.hpp"
+#include "nn/optim.hpp"
+#include "nn/value_net.hpp"
+#include "rl/selector.hpp"
+#include "rl/trainer.hpp"
+
+namespace oar::rl {
+
+struct PpoConfig {
+  std::int32_t episodes_per_iteration = 16;
+  std::int32_t update_epochs = 4;
+  double clip_epsilon = 0.2;
+  double lr_policy = 1e-3;
+  double lr_value = 1e-3;
+  double gamma = 1.0;
+  double gae_lambda = 0.95;
+  double entropy_coef = 0.01;
+  double grad_clip = 5.0;
+  std::int32_t min_pins = 3;
+  std::int32_t max_pins = 6;
+  double obstacle_density = 0.10;
+  std::uint64_t seed = 7;
+};
+
+struct PpoIterationReport {
+  std::int32_t iteration = 0;
+  double mean_return = 0.0;      // mean episodic normalized cost reduction
+  double mean_policy_loss = 0.0;
+  double mean_value_loss = 0.0;
+  std::int32_t steps = 0;
+  double seconds = 0.0;
+};
+
+class PpoTrainer {
+ public:
+  PpoTrainer(SteinerSelector& selector, std::vector<LayoutSizeSpec> sizes,
+             PpoConfig config = {});
+
+  PpoIterationReport run_iteration();
+
+  nn::ValueNet& value_net() { return value_net_; }
+
+ private:
+  SteinerSelector& selector_;
+  std::vector<LayoutSizeSpec> sizes_;
+  PpoConfig config_;
+  nn::ValueNet value_net_;
+  nn::Adam policy_opt_;
+  nn::Adam value_opt_;
+  util::Rng rng_;
+  std::int32_t iteration_ = 0;
+};
+
+}  // namespace oar::rl

@@ -1,0 +1,74 @@
+#include "rl/selector.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nn/activations.hpp"
+#include "nn/serialize.hpp"
+
+namespace oar::rl {
+
+SteinerSelector::SteinerSelector(SelectorConfig config)
+    : config_(config), net_(config.unet) {}
+
+nn::Tensor SteinerSelector::encode(const HananGrid& grid,
+                                   const std::vector<Vertex>& extra_pins) {
+  const hanan::FeatureVolume vol = hanan::encode_features(grid, extra_pins);
+  nn::Tensor input({vol.c, vol.h, vol.v, vol.m});
+  std::copy(vol.data.begin(), vol.data.end(), input.data());
+  return input;
+}
+
+std::vector<double> SteinerSelector::infer_fsp(const HananGrid& grid,
+                                               const std::vector<Vertex>& extra_pins) {
+  const nn::Tensor input = encode(grid, extra_pins);
+  const nn::Tensor logits = net_.forward(input);  // (1, H, V, M), priority order
+  std::vector<double> fsp(std::size_t(logits.numel()));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    fsp[std::size_t(i)] = nn::Sigmoid::apply(logits[i]);
+  }
+  return fsp;
+}
+
+std::vector<Vertex> SteinerSelector::top_k_valid(const HananGrid& grid,
+                                                 const std::vector<double>& fsp,
+                                                 std::int32_t k,
+                                                 const std::vector<Vertex>& extra_pins) {
+  if (k <= 0) return {};
+  std::unordered_set<Vertex> banned(extra_pins.begin(), extra_pins.end());
+  std::vector<std::pair<double, Vertex>> scored;
+  scored.reserve(std::size_t(grid.num_vertices()));
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (grid.is_blocked(v) || grid.is_pin(v) || banned.count(v)) continue;
+    scored.emplace_back(fsp[std::size_t(grid.priority_of(v))], v);
+  }
+  const std::size_t take = std::min<std::size_t>(std::size_t(k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + std::ptrdiff_t(take), scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first || (a.first == b.first && a.second < b.second);
+                    });
+  std::vector<Vertex> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<Vertex> SteinerSelector::select_steiner_points(
+    const HananGrid& grid, std::int32_t k, const std::vector<Vertex>& extra_pins) {
+  const std::vector<double> fsp = infer_fsp(grid, extra_pins);
+  return top_k_valid(grid, fsp, k, extra_pins);
+}
+
+bool SteinerSelector::save(const std::string& path) {
+  return nn::save_parameters(net_, path);
+}
+
+bool SteinerSelector::load(const std::string& path) {
+  return nn::load_parameters(net_, path);
+}
+
+void SteinerSelector::copy_weights_from(SteinerSelector& other) {
+  nn::copy_parameters(net_, other.net_);
+}
+
+}  // namespace oar::rl

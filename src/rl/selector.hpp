@@ -1,0 +1,64 @@
+#pragma once
+
+// The Steiner-point selector: the paper's agent (Sec. 3.1, 3.3).
+//
+// Wraps the 3D Residual U-Net: encodes a Hanan-grid layout (plus any
+// already-selected Steiner points, treated as pins) into the 7-channel
+// feature volume, runs one inference, and returns the per-vertex *final
+// selected probability* fsp(v) after the sigmoid.  Probabilities are
+// returned in selection-priority order — flat index (h*V + v)*M + m, the
+// lexicographic (h, v, m) order the combinatorial MCTS uses — so
+// fsp[grid.priority_of(vertex)] is the probability of `vertex`.
+
+#include <string>
+#include <vector>
+
+#include "hanan/features.hpp"
+#include "nn/unet3d.hpp"
+
+namespace oar::rl {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+struct SelectorConfig {
+  nn::UNet3dConfig unet;
+};
+
+class SteinerSelector {
+ public:
+  explicit SteinerSelector(SelectorConfig config = {});
+
+  /// Encode a layout (with optional extra pins) as the network input.
+  static nn::Tensor encode(const HananGrid& grid,
+                           const std::vector<Vertex>& extra_pins = {});
+
+  /// fsp(v) for every vertex, in priority order.  One network inference.
+  std::vector<double> infer_fsp(const HananGrid& grid,
+                                const std::vector<Vertex>& extra_pins = {});
+
+  /// Select the `k` valid vertices with the highest fsp (valid: not a pin,
+  /// not blocked, not in `extra_pins`).  This is the paper's top-(n-2)
+  /// selection (Fig. 2).
+  std::vector<Vertex> select_steiner_points(const HananGrid& grid, std::int32_t k,
+                                            const std::vector<Vertex>& extra_pins = {});
+
+  /// Same but from a precomputed fsp array (avoids re-inferring).
+  static std::vector<Vertex> top_k_valid(const HananGrid& grid,
+                                         const std::vector<double>& fsp,
+                                         std::int32_t k,
+                                         const std::vector<Vertex>& extra_pins);
+
+  nn::UNet3d& net() { return net_; }
+  const SelectorConfig& config() const { return config_; }
+
+  bool save(const std::string& path);
+  bool load(const std::string& path);
+  void copy_weights_from(SteinerSelector& other);
+
+ private:
+  SelectorConfig config_;
+  nn::UNet3d net_;
+};
+
+}  // namespace oar::rl

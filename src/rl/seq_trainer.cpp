@@ -1,0 +1,153 @@
+#include "rl/seq_trainer.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "rl/augment.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace oar::rl {
+
+SeqTrainer::SeqTrainer(SteinerSelector& selector, TrainConfig config)
+    : selector_(selector),
+      config_(config),
+      optimizer_(selector.net().parameters(), config.lr),
+      rng_(config.seed ^ 0x5e90ull) {}
+
+StageReport SeqTrainer::run_stage() {
+  StageReport report;
+  report.stage = stage_index_;
+
+  // Curriculum (paper Sec. 3.6): the first stages use layouts with a FIXED
+  // pin count that grows from min_pins to max_pins, and the exact routing
+  // cost instead of the critic.  Starting at 3 pins (a single-point budget)
+  // concentrates the whole search budget on level-1 children, which is what
+  // makes the early labels sharp enough to bootstrap the selector.
+  const bool curriculum = stage_index_ < config_.curriculum_stages;
+  std::int32_t min_pins = config_.min_pins;
+  std::int32_t max_pins = config_.max_pins;
+  if (curriculum) {
+    const std::int32_t span = std::max<std::int32_t>(1, config_.curriculum_stages);
+    const std::int32_t step =
+        (config_.max_pins - config_.min_pins) * stage_index_ / span;
+    min_pins = max_pins = std::min(config_.max_pins, config_.min_pins + step);
+  }
+  mcts::CombMctsConfig mcts_config = config_.mcts;
+  mcts_config.use_critic = config_.mcts.use_critic && !curriculum;
+
+  util::Timer gen_timer;
+  struct RawSample {
+    hanan::HananGrid grid;
+    mcts::SeqMctsResult mcts;
+  };
+  std::vector<RawSample> raw;
+  std::mutex raw_mutex;
+
+  std::vector<std::pair<gen::RandomGridSpec, std::uint64_t>> jobs;
+  for (const LayoutSizeSpec& size : config_.sizes) {
+    const gen::RandomGridSpec spec =
+        training_spec(size, config_.obstacle_density, min_pins, max_pins);
+    for (std::int32_t i = 0; i < config_.layouts_per_size; ++i) {
+      jobs.emplace_back(spec, rng_.next());
+    }
+  }
+
+  const std::size_t worker_count =
+      config_.threads > 0 ? std::size_t(config_.threads)
+                          : std::max(1u, std::thread::hardware_concurrency());
+  util::ThreadPool pool(std::min(worker_count, jobs.size() == 0 ? 1 : jobs.size()));
+
+  std::vector<std::unique_ptr<SteinerSelector>> clone_pool;
+  std::mutex clone_mutex;
+  auto checkout_clone = [&]() -> std::unique_ptr<SteinerSelector> {
+    {
+      std::lock_guard<std::mutex> lock(clone_mutex);
+      if (!clone_pool.empty()) {
+        auto clone = std::move(clone_pool.back());
+        clone_pool.pop_back();
+        return clone;
+      }
+    }
+    auto clone = std::make_unique<SteinerSelector>(selector_.config());
+    clone->copy_weights_from(selector_);
+    return clone;
+  };
+
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    auto clone = checkout_clone();
+    util::Rng job_rng(jobs[i].second);
+    hanan::HananGrid grid = gen::random_grid(jobs[i].first, job_rng);
+    mcts::CombMctsConfig cfg = mcts_config;
+    cfg.iterations_per_move =
+        mcts::scaled_iterations(mcts_config.iterations_per_move, grid);
+    mcts::SeqMcts search(*clone, cfg);
+    mcts::SeqMctsResult result = search.run(grid);
+    {
+      std::lock_guard<std::mutex> lock(raw_mutex);
+      raw.push_back(RawSample{std::move(grid), std::move(result)});
+    }
+    std::lock_guard<std::mutex> lock(clone_mutex);
+    clone_pool.push_back(std::move(clone));
+  });
+  report.sample_gen_seconds = gen_timer.seconds();
+  report.raw_samples = std::int32_t(raw.size());
+  report.seconds_per_sample =
+      raw.empty() ? 0.0 : report.sample_gen_seconds / double(raw.size());
+
+  double ratio_sum = 0.0;
+  std::size_t ratio_count = 0;
+  for (const RawSample& r : raw) {
+    if (r.mcts.initial_cost > 0.0) {
+      ratio_sum += r.mcts.best_cost / r.mcts.initial_cost;
+      ++ratio_count;
+    }
+  }
+  report.mean_mcts_st_mst = ratio_count == 0 ? 0.0 : ratio_sum / double(ratio_count);
+
+  // Sequential labeling: one sample per executed move, state includes the
+  // already-selected points as extra pins.
+  Dataset dataset;
+  const auto augmentations = all_augmentations();
+  const std::int32_t n_aug =
+      config_.augment ? std::min<std::int32_t>(config_.augment_count, 16) : 1;
+  for (const RawSample& r : raw) {
+    for (const mcts::SeqSample& move_sample : r.mcts.samples) {
+      for (std::int32_t a = 0; a < n_aug; ++a) {
+        const AugmentSpec& spec = augmentations[std::size_t(a)];
+        TrainingSample sample;
+        sample.grid = transform_grid(r.grid, spec);
+        sample.extra_pins.reserve(move_sample.state_selected.size());
+        for (Vertex v : move_sample.state_selected) {
+          sample.extra_pins.push_back(transform_vertex(r.grid, v, spec));
+        }
+        sample.label = transform_label(r.grid, move_sample.label, spec);
+        sample.mask = transform_label(r.grid, move_sample.label_mask, spec);
+        dataset.add(std::move(sample));
+      }
+    }
+  }
+  report.train_samples = std::int32_t(dataset.size());
+
+  util::Timer fit_timer;
+  report.mean_loss = fit_dataset(selector_, optimizer_, dataset,
+                                 config_.epochs_per_stage,
+                                 std::size_t(config_.batch_size),
+                                 config_.grad_clip, rng_);
+  report.train_seconds = fit_timer.seconds();
+
+  util::log_info("seq stage ", stage_index_, ": ", report.raw_samples,
+                 " layouts -> ", report.train_samples, " samples, loss ",
+                 report.mean_loss);
+  ++stage_index_;
+  return report;
+}
+
+std::vector<StageReport> SeqTrainer::train() {
+  std::vector<StageReport> reports;
+  for (std::int32_t s = 0; s < config_.stages; ++s) reports.push_back(run_stage());
+  return reports;
+}
+
+}  // namespace oar::rl

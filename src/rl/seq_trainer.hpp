@@ -1,0 +1,30 @@
+#pragma once
+
+// Stage trainer for the AlphaGo-like baseline (paper Sec. 4.2): identical
+// schedule to CombTrainer but samples come from the conventional sequential
+// MCTS — one training sample per executed move, labeled with the root
+// visit-count distribution.
+
+#include "mcts/seq_mcts.hpp"
+#include "rl/trainer.hpp"
+
+namespace oar::rl {
+
+class SeqTrainer {
+ public:
+  SeqTrainer(SteinerSelector& selector, TrainConfig config);
+
+  StageReport run_stage();
+  std::vector<StageReport> train();
+
+  std::int32_t stage_index() const { return stage_index_; }
+
+ private:
+  SteinerSelector& selector_;
+  TrainConfig config_;
+  nn::Adam optimizer_;
+  util::Rng rng_;
+  std::int32_t stage_index_ = 0;
+};
+
+}  // namespace oar::rl

@@ -1,0 +1,214 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "nn/loss.hpp"
+#include "rl/augment.hpp"
+#include "steiner/router_base.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace oar::rl {
+
+gen::RandomGridSpec training_spec(const LayoutSizeSpec& size, double obstacle_density,
+                                  std::int32_t min_pins, std::int32_t max_pins) {
+  gen::RandomGridSpec spec;
+  spec.h = size.h;
+  spec.v = size.v;
+  spec.m = size.m;
+  spec.min_pins = min_pins;
+  spec.max_pins = max_pins;
+  // Paper (16x16x4): 32..64 obstacles of 3..4 cells ~= 2.7%..6% blocked.
+  // Convert the requested density into a 1x3 / 1x4 run count.
+  const double cells = double(size.h) * size.v * size.m;
+  const double mean_len = 3.5;
+  const auto target = std::int32_t(std::lround(obstacle_density * cells / mean_len));
+  spec.min_obstacles = std::max(1, target / 2);
+  spec.max_obstacles = std::max(spec.min_obstacles, target);
+  return spec;
+}
+
+double fit_dataset(SteinerSelector& selector, nn::Adam& optimizer,
+                   const Dataset& dataset, std::int32_t epochs,
+                   std::size_t batch_size, double grad_clip, util::Rng& rng) {
+  if (dataset.empty()) return 0.0;
+  selector.net().set_training(true);
+  double last_epoch_loss = 0.0;
+  for (std::int32_t epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (const auto& batch : dataset.epoch_batches(batch_size, rng)) {
+      optimizer.zero_grad();
+      double batch_loss = 0.0;
+      const float inv_batch = 1.0f / float(batch.size());
+      for (const std::size_t idx : batch) {
+        const TrainingSample& sample = dataset.sample(idx);
+        const nn::Tensor input = SteinerSelector::encode(sample.grid, sample.extra_pins);
+        const nn::Tensor logits = selector.net().forward(input);
+
+        nn::Tensor label({1, sample.grid.h_dim(), sample.grid.v_dim(),
+                          sample.grid.m_dim()});
+        nn::Tensor mask(label.shape());
+        std::copy(sample.label.begin(), sample.label.end(), label.data());
+        std::copy(sample.mask.begin(), sample.mask.end(), mask.data());
+
+        nn::Tensor grad_logits;
+        batch_loss += nn::bce_with_logits(logits, label, grad_logits, &mask);
+        grad_logits *= inv_batch;
+        selector.net().backward(grad_logits);
+      }
+      optimizer.clip_grad_norm(grad_clip);
+      optimizer.step();
+      epoch_loss += batch_loss / double(batch.size());
+      ++batches;
+    }
+    last_epoch_loss = batches == 0 ? 0.0 : epoch_loss / double(batches);
+  }
+  return last_epoch_loss;
+}
+
+CombTrainer::CombTrainer(SteinerSelector& selector, TrainConfig config)
+    : selector_(selector),
+      config_(config),
+      optimizer_(selector.net().parameters(), config.lr),
+      rng_(config.seed) {}
+
+StageReport CombTrainer::run_stage() {
+  StageReport report;
+  report.stage = stage_index_;
+
+  // Curriculum (paper Sec. 3.6): the first stages use layouts with a FIXED
+  // pin count that grows from min_pins to max_pins, and the exact routing
+  // cost instead of the critic.  Starting at 3 pins (a single-point budget)
+  // concentrates the whole search budget on level-1 children, which is what
+  // makes the early labels sharp enough to bootstrap the selector.
+  const bool curriculum = stage_index_ < config_.curriculum_stages;
+  std::int32_t min_pins = config_.min_pins;
+  std::int32_t max_pins = config_.max_pins;
+  if (curriculum) {
+    const std::int32_t span = std::max<std::int32_t>(1, config_.curriculum_stages);
+    const std::int32_t step =
+        (config_.max_pins - config_.min_pins) * stage_index_ / span;
+    min_pins = max_pins = std::min(config_.max_pins, config_.min_pins + step);
+  }
+  mcts::CombMctsConfig mcts_config = config_.mcts;
+  mcts_config.use_critic = config_.mcts.use_critic && !curriculum;
+
+  // ---- sample generation (parallel across layouts) ----
+  util::Timer gen_timer;
+  struct RawSample {
+    hanan::HananGrid grid;
+    mcts::CombMctsResult mcts;
+  };
+  std::vector<RawSample> raw;
+  std::mutex raw_mutex;
+
+  std::vector<std::pair<gen::RandomGridSpec, std::uint64_t>> jobs;
+  for (const LayoutSizeSpec& size : config_.sizes) {
+    const gen::RandomGridSpec spec =
+        training_spec(size, config_.obstacle_density, min_pins, max_pins);
+    for (std::int32_t i = 0; i < config_.layouts_per_size; ++i) {
+      jobs.emplace_back(spec, rng_.next());
+    }
+  }
+
+  const std::size_t worker_count =
+      config_.threads > 0 ? std::size_t(config_.threads)
+                          : std::max(1u, std::thread::hardware_concurrency());
+  util::ThreadPool pool(std::min(worker_count, jobs.size() == 0 ? 1 : jobs.size()));
+
+  // Each job checks out a private selector clone (module forward caches
+  // are not thread safe); clones are pooled and reused across jobs.
+  std::vector<std::unique_ptr<SteinerSelector>> clone_pool;
+  std::mutex clone_mutex;
+  auto checkout_clone = [&]() -> std::unique_ptr<SteinerSelector> {
+    {
+      std::lock_guard<std::mutex> lock(clone_mutex);
+      if (!clone_pool.empty()) {
+        auto clone = std::move(clone_pool.back());
+        clone_pool.pop_back();
+        return clone;
+      }
+    }
+    auto clone = std::make_unique<SteinerSelector>(selector_.config());
+    clone->copy_weights_from(selector_);
+    return clone;
+  };
+  auto checkin_clone = [&](std::unique_ptr<SteinerSelector> clone) {
+    std::lock_guard<std::mutex> lock(clone_mutex);
+    clone_pool.push_back(std::move(clone));
+  };
+
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    auto clone = checkout_clone();
+    util::Rng job_rng(jobs[i].second);
+    hanan::HananGrid grid = gen::random_grid(jobs[i].first, job_rng);
+    mcts::CombMctsConfig cfg = mcts_config;
+    cfg.iterations_per_move =
+        mcts::scaled_iterations(mcts_config.iterations_per_move, grid);
+    mcts::CombMcts search(*clone, cfg);
+    mcts::CombMctsResult result = search.run(grid);
+    {
+      std::lock_guard<std::mutex> lock(raw_mutex);
+      raw.push_back(RawSample{std::move(grid), std::move(result)});
+    }
+    checkin_clone(std::move(clone));
+  });
+  report.sample_gen_seconds = gen_timer.seconds();
+  report.raw_samples = std::int32_t(raw.size());
+  report.seconds_per_sample =
+      raw.empty() ? 0.0 : report.sample_gen_seconds / double(raw.size());
+
+  double ratio_sum = 0.0;
+  std::size_t ratio_count = 0;
+  for (const RawSample& r : raw) {
+    if (r.mcts.initial_cost > 0.0) {
+      ratio_sum += r.mcts.best_cost / r.mcts.initial_cost;
+      ++ratio_count;
+    }
+  }
+  report.mean_mcts_st_mst = ratio_count == 0 ? 0.0 : ratio_sum / double(ratio_count);
+
+  // ---- augmentation + dataset ----
+  Dataset dataset;
+  const auto augmentations = all_augmentations();
+  const std::int32_t n_aug =
+      config_.augment ? std::min<std::int32_t>(config_.augment_count, 16) : 1;
+  for (const RawSample& r : raw) {
+    for (std::int32_t a = 0; a < n_aug; ++a) {
+      const AugmentSpec& spec = augmentations[std::size_t(a)];
+      TrainingSample sample;
+      sample.grid = transform_grid(r.grid, spec);
+      sample.label = transform_label(r.grid, r.mcts.label, spec);
+      sample.mask = transform_label(r.grid, r.mcts.label_mask, spec);
+      dataset.add(std::move(sample));
+    }
+  }
+  report.train_samples = std::int32_t(dataset.size());
+
+  // ---- fit ----
+  util::Timer fit_timer;
+  report.mean_loss = fit_dataset(selector_, optimizer_, dataset,
+                                 config_.epochs_per_stage,
+                                 std::size_t(config_.batch_size),
+                                 config_.grad_clip, rng_);
+  report.train_seconds = fit_timer.seconds();
+
+  util::log_info("stage ", stage_index_, ": ", report.raw_samples, " layouts -> ",
+                 report.train_samples, " samples, loss ", report.mean_loss,
+                 ", mcts ST/MST ", report.mean_mcts_st_mst);
+  ++stage_index_;
+  return report;
+}
+
+std::vector<StageReport> CombTrainer::train() {
+  std::vector<StageReport> reports;
+  for (std::int32_t s = 0; s < config_.stages; ++s) reports.push_back(run_stage());
+  return reports;
+}
+
+}  // namespace oar::rl

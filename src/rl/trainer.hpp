@@ -1,0 +1,92 @@
+#pragma once
+
+// Stage-based training of the Steiner-point selector with combinatorial
+// MCTS (paper Sec. 3.5-3.6, Figs. 8-9).
+//
+// One stage: generate labeled samples by running combinatorial MCTS on
+// fresh random layouts of every configured size, augment 16-fold, then fit
+// the selector with BCE for a few epochs of same-size batches.  The first
+// `curriculum_stages` stages use curriculum learning — pin counts grow from
+// 3 upward and the leaf value function uses the exact routing cost instead
+// of the critic (whose predictions are still rough early on).
+
+#include <vector>
+
+#include "gen/random_layout.hpp"
+#include "mcts/comb_mcts.hpp"
+#include "nn/optim.hpp"
+#include "rl/dataset.hpp"
+#include "rl/selector.hpp"
+
+namespace oar::rl {
+
+struct LayoutSizeSpec {
+  std::int32_t h = 16, v = 16, m = 4;
+};
+
+struct TrainConfig {
+  /// Mixed-size schedule (paper: {16,24,32}^2 x {4,6,8,10}; scale down for
+  /// CPU budgets).
+  std::vector<LayoutSizeSpec> sizes = {{10, 10, 2}, {12, 12, 3}};
+  std::int32_t layouts_per_size = 8;  // per stage (paper: 1000)
+  std::int32_t stages = 4;            // paper: 32
+  std::int32_t epochs_per_stage = 4;  // paper: 4
+  std::int32_t batch_size = 16;       // paper: 256
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+  bool augment = true;
+  std::int32_t augment_count = 16;  // how many of the 16 variants to keep
+  mcts::CombMctsConfig mcts;
+  std::int32_t curriculum_stages = 2;  // paper: 4
+  std::int32_t min_pins = 3;
+  std::int32_t max_pins = 6;
+  /// Expected fraction of blocked vertices (converted to 1x3/1x4 runs).
+  double obstacle_density = 0.10;
+  std::uint64_t seed = 42;
+  std::int32_t threads = 0;  // sample-generation workers; 0 = hardware
+};
+
+struct StageReport {
+  std::int32_t stage = 0;
+  std::int32_t raw_samples = 0;      // MCTS-labeled layouts
+  std::int32_t train_samples = 0;    // after augmentation
+  double mean_loss = 0.0;            // BCE over the stage's last epoch
+  double mean_mcts_st_mst = 0.0;     // search-tree quality during generation
+  double sample_gen_seconds = 0.0;
+  double train_seconds = 0.0;
+  double seconds_per_sample = 0.0;   // MCTS sample-generation time
+};
+
+/// Derives the paper-style random-layout spec for one training size.
+gen::RandomGridSpec training_spec(const LayoutSizeSpec& size, double obstacle_density,
+                                  std::int32_t min_pins, std::int32_t max_pins);
+
+/// Supervised fit shared by the combinatorial and sequential trainers:
+/// runs `epochs` epochs of same-size batches with masked BCE; returns the
+/// mean loss of the final epoch.
+double fit_dataset(SteinerSelector& selector, nn::Adam& optimizer,
+                   const Dataset& dataset, std::int32_t epochs,
+                   std::size_t batch_size, double grad_clip, util::Rng& rng);
+
+class CombTrainer {
+ public:
+  CombTrainer(SteinerSelector& selector, TrainConfig config);
+
+  /// Runs the next stage (sample generation + fit) and returns its report.
+  StageReport run_stage();
+
+  /// Runs all configured stages.
+  std::vector<StageReport> train();
+
+  std::int32_t stage_index() const { return stage_index_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  SteinerSelector& selector_;
+  TrainConfig config_;
+  nn::Adam optimizer_;
+  util::Rng rng_;
+  std::int32_t stage_index_ = 0;
+};
+
+}  // namespace oar::rl

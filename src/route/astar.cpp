@@ -1,0 +1,99 @@
+#include "route/astar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace oar::route {
+
+AStarRouter::AStarRouter(const HananGrid& grid) : grid_(grid) {
+  const auto n = std::size_t(grid.num_vertices());
+  g_.assign(n, kInf);
+  parent_.assign(n, hanan::kInvalidVertex);
+  epoch_.assign(n, 0);
+
+  x_prefix_.assign(std::size_t(grid.h_dim()), 0.0);
+  for (std::int32_t h = 1; h < grid.h_dim(); ++h) {
+    x_prefix_[std::size_t(h)] = x_prefix_[std::size_t(h - 1)] + grid.x_step(h - 1);
+  }
+  y_prefix_.assign(std::size_t(grid.v_dim()), 0.0);
+  for (std::int32_t v = 1; v < grid.v_dim(); ++v) {
+    y_prefix_[std::size_t(v)] = y_prefix_[std::size_t(v - 1)] + grid.y_step(v - 1);
+  }
+}
+
+double AStarRouter::heuristic(Vertex from, Vertex target) const {
+  const auto a = grid_.cell(from);
+  const auto b = grid_.cell(target);
+  return std::abs(x_prefix_[std::size_t(a.h)] - x_prefix_[std::size_t(b.h)]) +
+         std::abs(y_prefix_[std::size_t(a.v)] - y_prefix_[std::size_t(b.v)]) +
+         grid_.via_cost() * std::abs(a.m - b.m);
+}
+
+bool AStarRouter::search(Vertex source, Vertex target) {
+  assert(source >= 0 && source < grid_.num_vertices());
+  assert(target >= 0 && target < grid_.num_vertices());
+  ++current_epoch_;
+  if (current_epoch_ == 0) {
+    std::fill(epoch_.begin(), epoch_.end(), 0u);
+    current_epoch_ = 1;
+  }
+  last_settled_ = 0;
+  last_distance_ = kInf;
+  last_target_ = target;
+  if (grid_.is_blocked(source) || grid_.is_blocked(target)) return false;
+
+  using Entry = std::pair<double, Vertex>;  // (f = g + h, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+
+  g_[std::size_t(source)] = 0.0;
+  parent_[std::size_t(source)] = source;
+  epoch_[std::size_t(source)] = current_epoch_;
+  open.emplace(heuristic(source, target), source);
+
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    const double gu = g_[std::size_t(u)];
+    if (epoch_[std::size_t(u)] != current_epoch_ ||
+        f > gu + heuristic(u, target) + 1e-12) {
+      continue;  // stale entry
+    }
+    ++last_settled_;
+    if (u == target) {
+      last_distance_ = gu;
+      return true;
+    }
+    grid_.for_each_neighbor(u, [&](Vertex nb, double w) {
+      const double ng = gu + w;
+      if (epoch_[std::size_t(nb)] != current_epoch_ || ng < g_[std::size_t(nb)]) {
+        g_[std::size_t(nb)] = ng;
+        parent_[std::size_t(nb)] = u;
+        epoch_[std::size_t(nb)] = current_epoch_;
+        open.emplace(ng + heuristic(nb, target), nb);
+      }
+    });
+  }
+  return false;
+}
+
+double AStarRouter::distance(Vertex source, Vertex target) {
+  return search(source, target) ? last_distance_ : kInf;
+}
+
+std::vector<Vertex> AStarRouter::path(Vertex source, Vertex target) {
+  if (!search(source, target)) return {};
+  std::vector<Vertex> out;
+  Vertex cur = target;
+  while (true) {
+    out.push_back(cur);
+    const Vertex p = parent_[std::size_t(cur)];
+    if (p == cur) break;
+    cur = p;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace oar::route

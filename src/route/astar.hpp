@@ -1,0 +1,51 @@
+#pragma once
+
+// Point-to-point A* router over a HananGrid.
+//
+// The heuristic is the obstacle-blind separable distance (sum of remaining
+// x/y step costs plus via cost times the layer difference) — admissible and
+// consistent because obstacles only remove edges and never shorten paths.
+// A* is the fast path for pairwise queries (candidate evaluation, distance
+// oracles); the multi-source MazeRouter remains the tool for tree growth.
+
+#include <vector>
+
+#include "route/maze.hpp"
+
+namespace oar::route {
+
+class AStarRouter {
+ public:
+  explicit AStarRouter(const HananGrid& grid);
+
+  /// Shortest obstacle-avoiding path cost from `source` to `target`;
+  /// +inf when unreachable.
+  double distance(Vertex source, Vertex target);
+
+  /// Shortest path inclusive of both endpoints; empty when unreachable.
+  std::vector<Vertex> path(Vertex source, Vertex target);
+
+  /// Vertices settled by the most recent query (search effort metric;
+  /// the A* heuristic should settle far fewer than a blind Dijkstra).
+  std::int64_t last_settled() const { return last_settled_; }
+
+  static constexpr double kInf = MazeRouter::kInf;
+
+ private:
+  /// Runs the search; returns true when the target was reached.
+  bool search(Vertex source, Vertex target);
+
+  double heuristic(Vertex from, Vertex target) const;
+
+  const HananGrid& grid_;
+  std::vector<double> x_prefix_, y_prefix_;  // cumulative step costs
+  std::vector<double> g_;
+  std::vector<Vertex> parent_;
+  std::vector<std::uint32_t> epoch_;
+  std::uint32_t current_epoch_ = 0;
+  std::int64_t last_settled_ = 0;
+  double last_distance_ = kInf;
+  Vertex last_target_ = hanan::kInvalidVertex;
+};
+
+}  // namespace oar::route

@@ -1,0 +1,93 @@
+#include "route/maze.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace oar::route {
+
+MazeRouter::MazeRouter(const HananGrid& grid) : grid_(grid) {
+  const auto n = std::size_t(grid.num_vertices());
+  dist_.assign(n, kInf);
+  parent_.assign(n, hanan::kInvalidVertex);
+  epoch_.assign(n, 0);
+  settled_.assign(n, 0);
+}
+
+Vertex MazeRouter::run(const std::vector<Vertex>& sources,
+                       const std::vector<Vertex>& targets) {
+  ++current_epoch_;
+  if (current_epoch_ == 0) {  // stamp wrap-around: hard reset
+    std::fill(epoch_.begin(), epoch_.end(), 0u);
+    std::fill(settled_.begin(), settled_.end(), 0u);
+    current_epoch_ = 1;
+  }
+
+  using Entry = std::pair<double, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  for (Vertex s : sources) {
+    assert(s >= 0 && s < grid_.num_vertices());
+    if (grid_.is_blocked(s)) continue;
+    if (stamped(s) && dist_[std::size_t(s)] <= 0.0) continue;
+    dist_[std::size_t(s)] = 0.0;
+    parent_[std::size_t(s)] = s;  // parent(source) == itself terminates path walks
+    epoch_[std::size_t(s)] = current_epoch_;
+    heap.emplace(0.0, s);
+  }
+
+  // Mark targets for O(1) membership checks using the settled_ array of a
+  // dedicated sentinel is not possible; use a small local bitmapless scheme:
+  // targets lists are short (one nearest-terminal query), linear scan is fine
+  // only for tiny lists, so build a sorted copy for binary search.
+  std::vector<Vertex> sorted_targets(targets);
+  std::sort(sorted_targets.begin(), sorted_targets.end());
+  auto is_target = [&](Vertex v) {
+    return std::binary_search(sorted_targets.begin(), sorted_targets.end(), v);
+  };
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (!stamped(u) || d > dist_[std::size_t(u)]) continue;  // stale entry
+    if (settled_[std::size_t(u)] == current_epoch_) continue;
+    settled_[std::size_t(u)] = current_epoch_;
+    if (!sorted_targets.empty() && is_target(u)) return u;
+
+    grid_.for_each_neighbor(u, [&](Vertex nb, double w) {
+      const double nd = d + w;
+      if (!stamped(nb) || nd < dist_[std::size_t(nb)]) {
+        dist_[std::size_t(nb)] = nd;
+        parent_[std::size_t(nb)] = u;
+        epoch_[std::size_t(nb)] = current_epoch_;
+        heap.emplace(nd, nb);
+      }
+    });
+  }
+  return hanan::kInvalidVertex;
+}
+
+double MazeRouter::dist(Vertex v) const {
+  return stamped(v) ? dist_[std::size_t(v)] : kInf;
+}
+
+bool MazeRouter::reached(Vertex v) const {
+  return stamped(v) && settled_[std::size_t(v)] == current_epoch_;
+}
+
+std::vector<Vertex> MazeRouter::path_to(Vertex v) const {
+  assert(stamped(v));
+  std::vector<Vertex> path;
+  Vertex cur = v;
+  while (true) {
+    path.push_back(cur);
+    const Vertex p = parent_[std::size_t(cur)];
+    assert(p != hanan::kInvalidVertex);
+    if (p == cur) break;  // reached a source
+    cur = p;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace oar::route

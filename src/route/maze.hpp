@@ -1,0 +1,54 @@
+#pragma once
+
+// Obstacle-aware maze router: multi-source Dijkstra over a HananGrid.
+//
+// The router keeps per-vertex scratch arrays alive between calls and uses
+// epoch stamping so that repeated searches (Prim's loop runs one per
+// terminal) cost O(visited) instead of O(grid) to reset.
+
+#include <limits>
+#include <vector>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::route {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+class MazeRouter {
+ public:
+  explicit MazeRouter(const HananGrid& grid);
+
+  /// Run Dijkstra from `sources` (all at distance 0).  If `targets` is
+  /// non-empty the search stops as soon as the cheapest target is settled
+  /// and returns it; otherwise the search exhausts the reachable region and
+  /// returns kInvalidVertex.  Sources on blocked vertices are ignored.
+  Vertex run(const std::vector<Vertex>& sources,
+             const std::vector<Vertex>& targets = {});
+
+  /// Distance of `v` from the nearest source in the last run; +inf when
+  /// unreached.
+  double dist(Vertex v) const;
+
+  /// True when `v` was settled (finalized) in the last run.
+  bool reached(Vertex v) const;
+
+  /// Path from a source to `v` (inclusive), following parents of the last
+  /// run.  `v` must have been reached.
+  std::vector<Vertex> path_to(Vertex v) const;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ private:
+  const HananGrid& grid_;
+  std::vector<double> dist_;
+  std::vector<Vertex> parent_;
+  std::vector<std::uint32_t> epoch_;    // dist/parent validity stamp
+  std::vector<std::uint32_t> settled_;  // settled stamp
+  std::uint32_t current_epoch_ = 0;
+
+  bool stamped(Vertex v) const { return epoch_[std::size_t(v)] == current_epoch_; }
+};
+
+}  // namespace oar::route

@@ -1,0 +1,105 @@
+#include "route/oarmst.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace oar::route {
+
+OarmstRouter::OarmstRouter(const HananGrid& grid, OarmstConfig config)
+    : grid_(grid), config_(config) {}
+
+OarmstResult OarmstRouter::build_once(const std::vector<Vertex>& terminals) const {
+  OarmstResult result;
+  result.tree = RouteTree(&grid_);
+  result.connected = true;
+  if (terminals.empty()) return result;
+
+  MazeRouter maze(grid_);
+
+  std::vector<Vertex> tree_vertices;      // maze sources in kTreeVertices mode
+  std::vector<Vertex> connected_terms;    // maze sources in kTerminalsOnly mode
+  std::unordered_set<Vertex> in_tree;
+
+  connected_terms.push_back(terminals.front());
+  tree_vertices.push_back(terminals.front());
+  in_tree.insert(terminals.front());
+
+  std::vector<Vertex> remaining(terminals.begin() + 1, terminals.end());
+  // Deduplicate targets that equal the start terminal.
+  remaining.erase(std::remove(remaining.begin(), remaining.end(), terminals.front()),
+                  remaining.end());
+
+  double sum_of_paths = 0.0;
+  while (!remaining.empty()) {
+    const auto& sources = config_.attach == AttachMode::kTreeVertices
+                              ? tree_vertices
+                              : connected_terms;
+    const Vertex reached = maze.run(sources, remaining);
+    if (reached == hanan::kInvalidVertex) {
+      result.connected = false;  // some terminal is walled off
+      break;
+    }
+    const std::vector<Vertex> path = maze.path_to(reached);
+    sum_of_paths += maze.dist(reached);
+    result.tree.add_path(path);
+    for (Vertex v : path) {
+      if (in_tree.insert(v).second) tree_vertices.push_back(v);
+    }
+    connected_terms.push_back(reached);
+    remaining.erase(std::remove(remaining.begin(), remaining.end(), reached),
+                    remaining.end());
+  }
+
+  result.cost = config_.cost_model == CostModel::kUnionLength
+                    ? result.tree.cost()
+                    : sum_of_paths;
+  return result;
+}
+
+OarmstResult OarmstRouter::build(const std::vector<Vertex>& pins,
+                                 const std::vector<Vertex>& steiner_points) const {
+  // Filter Steiner points: drop blocked vertices and duplicates of pins.
+  std::unordered_set<Vertex> pin_set(pins.begin(), pins.end());
+  std::vector<Vertex> steiner;
+  std::unordered_set<Vertex> seen;
+  for (Vertex s : steiner_points) {
+    if (s < 0 || s >= grid_.num_vertices()) continue;
+    if (grid_.is_blocked(s) || pin_set.count(s)) continue;
+    if (seen.insert(s).second) steiner.push_back(s);
+  }
+
+  std::vector<Vertex> terminals(pins.begin(), pins.end());
+  terminals.insert(terminals.end(), steiner.begin(), steiner.end());
+
+  OarmstResult result = build_once(terminals);
+  result.kept_steiner = steiner;
+
+  if (!config_.remove_redundant_steiner || steiner.empty()) return result;
+
+  // Iteratively drop redundant Steiner terminals (degree < 3) and rebuild.
+  for (int pass = 0; pass < config_.max_rebuild_passes; ++pass) {
+    std::vector<Vertex> kept;
+    kept.reserve(result.kept_steiner.size());
+    for (Vertex s : result.kept_steiner) {
+      if (result.tree.degree(s) >= 3) kept.push_back(s);
+    }
+    if (kept.size() == result.kept_steiner.size()) break;  // all irredundant
+
+    std::vector<Vertex> new_terminals(pins.begin(), pins.end());
+    new_terminals.insert(new_terminals.end(), kept.begin(), kept.end());
+    OarmstResult rebuilt = build_once(new_terminals);
+    rebuilt.kept_steiner = std::move(kept);
+    rebuilt.rebuild_passes = result.rebuild_passes + 1;
+    result = std::move(rebuilt);
+    if (result.kept_steiner.empty()) break;
+  }
+  return result;
+}
+
+double OarmstRouter::cost(const std::vector<Vertex>& pins,
+                          const std::vector<Vertex>& steiner_points) const {
+  return build(pins, steiner_points).cost;
+}
+
+}  // namespace oar::route

@@ -1,0 +1,75 @@
+#pragma once
+
+// Obstacle-avoiding rectilinear minimum spanning tree (OARMST) router,
+// following the maze-router-based Prim's construction of Lin'18 [14] as
+// used by the paper (Sec. 3.1):
+//
+//   1. grow a tree with Prim's algorithm where the "distance" to the next
+//      terminal is a multi-source maze (Dijkstra) search from the current
+//      tree,
+//   2. remove redundant Steiner points (selected Steiner terminals with
+//      tree degree < 3),
+//   3. rebuild the spanning tree over pins + irredundant Steiner points.
+//
+// Two attachment modes:
+//   * kTreeVertices (default, the real router): the maze search starts from
+//     every vertex of the current tree, so a new path may branch off the
+//     middle of an existing wire (T-junction).
+//   * kTerminalsOnly: paths may only start at terminals.  Combined with
+//     CostModel::kSumOfPaths this yields the plain "minimum spanning tree
+//     without using any Steiner point" that the paper's ST-to-MST ratio
+//     (Figs. 11-12) divides by.
+
+#include <string>
+#include <vector>
+
+#include "route/maze.hpp"
+#include "route/route_tree.hpp"
+
+namespace oar::route {
+
+enum class AttachMode { kTreeVertices, kTerminalsOnly };
+enum class CostModel { kUnionLength, kSumOfPaths };
+
+struct OarmstConfig {
+  AttachMode attach = AttachMode::kTreeVertices;
+  CostModel cost_model = CostModel::kUnionLength;
+  /// Drop Steiner terminals with degree < 3 and rebuild (paper Sec. 3.1).
+  bool remove_redundant_steiner = true;
+  /// Safety bound on removal/rebuild rounds.
+  int max_rebuild_passes = 8;
+};
+
+struct OarmstResult {
+  RouteTree tree;
+  double cost = 0.0;                  // per the configured CostModel
+  std::vector<Vertex> kept_steiner;   // irredundant Steiner points
+  int rebuild_passes = 0;
+  bool connected = false;             // false if some terminal is unreachable
+};
+
+class OarmstRouter {
+ public:
+  explicit OarmstRouter(const HananGrid& grid, OarmstConfig config = {});
+
+  /// Builds the spanning tree over `pins` plus `steiner_points`.  Steiner
+  /// points that coincide with pins or blocked vertices are ignored.
+  OarmstResult build(const std::vector<Vertex>& pins,
+                     const std::vector<Vertex>& steiner_points = {}) const;
+
+  /// Routing cost only (convenience for the MCTS critic and benchmarks).
+  double cost(const std::vector<Vertex>& pins,
+              const std::vector<Vertex>& steiner_points = {}) const;
+
+  const HananGrid& grid() const { return grid_; }
+  const OarmstConfig& config() const { return config_; }
+
+ private:
+  /// One spanning-tree construction over the given terminal set.
+  OarmstResult build_once(const std::vector<Vertex>& terminals) const;
+
+  const HananGrid& grid_;
+  OarmstConfig config_;
+};
+
+}  // namespace oar::route

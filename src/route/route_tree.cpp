@@ -1,0 +1,96 @@
+#include "route/route_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace oar::route {
+
+bool RouteTree::add_edge(Vertex a, Vertex b) {
+  assert(a != b);
+  if (a > b) std::swap(a, b);
+  if (!edge_keys_.insert(key(a, b)).second) return false;
+  edges_.push_back(GridEdge{a, b});
+  ++degree_[a];
+  ++degree_[b];
+  return true;
+}
+
+void RouteTree::add_path(const std::vector<Vertex>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) add_edge(path[i], path[i + 1]);
+}
+
+int RouteTree::degree(Vertex v) const {
+  const auto it = degree_.find(v);
+  return it == degree_.end() ? 0 : it->second;
+}
+
+double RouteTree::cost() const {
+  assert(grid_ != nullptr);
+  double total = 0.0;
+  for (const auto& e : edges_) total += grid_->cost_between(e.a, e.b);
+  return total;
+}
+
+std::vector<Vertex> RouteTree::vertices() const {
+  std::vector<Vertex> vs;
+  vs.reserve(degree_.size());
+  for (const auto& [v, _] : degree_) vs.push_back(v);
+  std::sort(vs.begin(), vs.end());
+  return vs;
+}
+
+std::string RouteTree::validate(const std::vector<Vertex>& terminals) const {
+  std::ostringstream problems;
+  assert(grid_ != nullptr);
+
+  // Every edge must connect adjacent, usable vertices.
+  for (const auto& e : edges_) {
+    const auto ca = grid_->cell(e.a);
+    const auto cb = grid_->cell(e.b);
+    const int dh = std::abs(ca.h - cb.h), dv = std::abs(ca.v - cb.v),
+              dm = std::abs(ca.m - cb.m);
+    if (dh + dv + dm != 1) problems << "non-adjacent edge; ";
+    if (grid_->is_blocked(e.a) || grid_->is_blocked(e.b)) {
+      problems << "edge touches blocked vertex; ";
+    }
+    const Vertex lo = std::min(e.a, e.b);
+    hanan::Dir dir = hanan::Dir::kPosX;
+    if (dv == 1) dir = hanan::Dir::kPosY;
+    if (dm == 1) dir = hanan::Dir::kPosZ;
+    if (!grid_->edge_usable(lo, dir)) problems << "unusable edge in tree; ";
+  }
+
+  if (terminals.empty()) return problems.str();
+
+  // Connectivity: BFS over tree edges from the first terminal.
+  std::unordered_map<Vertex, std::vector<Vertex>> adj;
+  for (const auto& e : edges_) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  std::unordered_set<Vertex> seen;
+  std::queue<Vertex> frontier;
+  frontier.push(terminals.front());
+  seen.insert(terminals.front());
+  while (!frontier.empty()) {
+    const Vertex u = frontier.front();
+    frontier.pop();
+    for (Vertex nb : adj[u]) {
+      if (seen.insert(nb).second) frontier.push(nb);
+    }
+  }
+  for (Vertex t : terminals) {
+    if (!seen.count(t)) problems << "terminal unreached; ";
+  }
+
+  // Acyclic: |E| == |V| - 1 for a connected tree over its touched vertices.
+  if (!edges_.empty() && seen.size() == degree_.size() &&
+      edges_.size() != degree_.size() - 1) {
+    problems << "cycle detected (|E| != |V|-1); ";
+  }
+  return problems.str();
+}
+
+}  // namespace oar::route

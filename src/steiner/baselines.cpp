@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "steiner/candidates.hpp"
+#include "steiner/lin08.hpp"
+#include "steiner/lin18.hpp"
+#include "steiner/liu14.hpp"
+
+namespace oar::steiner {
+
+double mst_cost(const HananGrid& grid) {
+  route::OarmstConfig cfg;
+  cfg.attach = route::AttachMode::kTerminalsOnly;
+  cfg.cost_model = route::CostModel::kSumOfPaths;
+  cfg.remove_redundant_steiner = false;
+  return route::OarmstRouter(grid, cfg).build(grid.pins()).cost;
+}
+
+route::OarmstResult Lin08Router::route(const HananGrid& grid) {
+  route::OarmstConfig cfg;  // tree-vertex attachment, union-length cost
+  return route::OarmstRouter(grid, cfg).build(grid.pins());
+}
+
+route::OarmstResult Liu14Router::route(const HananGrid& grid) {
+  route::OarmstRouter router(grid);
+  route::OarmstResult best = router.build(grid.pins());
+
+  const std::vector<Vertex> candidates = corner_candidates(
+      grid, grid.pins(), config_.neighbors_per_terminal, config_.max_evaluations);
+
+  // One greedy pass: keep every candidate whose exact insertion gain (with
+  // all previously kept candidates present) is positive.
+  std::vector<Vertex> kept;
+  const std::size_t budget = grid.pins().size() >= 2 ? grid.pins().size() - 2 : 0;
+  for (Vertex c : candidates) {
+    if (kept.size() >= budget) break;
+    std::vector<Vertex> trial = kept;
+    trial.push_back(c);
+    route::OarmstResult result = router.build(grid.pins(), trial);
+    if (result.connected && result.cost < best.cost) {
+      best = std::move(result);
+      kept.push_back(c);
+    }
+  }
+  return best;
+}
+
+route::OarmstResult Lin18Router::route(const HananGrid& grid) {
+  route::OarmstRouter router(grid);
+  route::OarmstResult best = router.build(grid.pins());
+
+  const std::size_t budget = grid.pins().size() >= 2 ? grid.pins().size() - 2 : 0;
+  std::vector<Vertex> kept;
+
+  // Iterated 1-Steiner: each round re-derives candidates around the current
+  // terminal set (pins + kept Steiner points) and inserts the single best
+  // improving candidate.
+  for (int round = 0; round < config_.max_rounds && kept.size() < budget; ++round) {
+    std::vector<Vertex> terminals = grid.pins();
+    terminals.insert(terminals.end(), kept.begin(), kept.end());
+    const std::vector<Vertex> candidates =
+        corner_candidates(grid, terminals, config_.neighbors_per_terminal,
+                          config_.max_evaluations_per_round, kept);
+
+    Vertex best_candidate = hanan::kInvalidVertex;
+    route::OarmstResult best_trial;
+    for (Vertex c : candidates) {
+      std::vector<Vertex> trial = kept;
+      trial.push_back(c);
+      route::OarmstResult result = router.build(grid.pins(), trial);
+      if (!result.connected) continue;
+      const double reference =
+          best_candidate == hanan::kInvalidVertex ? best.cost : best_trial.cost;
+      if (result.cost < reference - config_.min_gain * best.cost) {
+        best_trial = std::move(result);
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == hanan::kInvalidVertex) break;
+    best = std::move(best_trial);
+    kept.push_back(best_candidate);
+  }
+
+  // Retracing pass: rebuild from the final irredundant Steiner set (the
+  // redundancy filter inside build() may have dropped earlier picks).
+  route::OarmstResult retraced = router.build(grid.pins(), best.kept_steiner);
+  if (retraced.connected && retraced.cost < best.cost) best = std::move(retraced);
+  return best;
+}
+
+}  // namespace oar::steiner

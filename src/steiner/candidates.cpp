@@ -1,0 +1,93 @@
+#include "steiner/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace oar::steiner {
+
+DistanceOracle::DistanceOracle(const HananGrid& grid) : grid_(grid) {
+  x_prefix_.assign(std::size_t(grid.h_dim()), 0.0);
+  for (std::int32_t h = 1; h < grid.h_dim(); ++h) {
+    x_prefix_[std::size_t(h)] = x_prefix_[std::size_t(h - 1)] + grid.x_step(h - 1);
+  }
+  y_prefix_.assign(std::size_t(grid.v_dim()), 0.0);
+  for (std::int32_t v = 1; v < grid.v_dim(); ++v) {
+    y_prefix_[std::size_t(v)] = y_prefix_[std::size_t(v - 1)] + grid.y_step(v - 1);
+  }
+}
+
+double DistanceOracle::operator()(Vertex a, Vertex b) const {
+  const auto ca = grid_.cell(a);
+  const auto cb = grid_.cell(b);
+  return std::abs(x_prefix_[std::size_t(ca.h)] - x_prefix_[std::size_t(cb.h)]) +
+         std::abs(y_prefix_[std::size_t(ca.v)] - y_prefix_[std::size_t(cb.v)]) +
+         grid_.via_cost() * std::abs(ca.m - cb.m);
+}
+
+std::vector<Vertex> corner_candidates(const HananGrid& grid,
+                                      const std::vector<Vertex>& terminals,
+                                      int neighbors_per_terminal,
+                                      int max_candidates,
+                                      const std::vector<Vertex>& exclude) {
+  const DistanceOracle dist(grid);
+  std::unordered_set<Vertex> banned(terminals.begin(), terminals.end());
+  banned.insert(exclude.begin(), exclude.end());
+
+  // k nearest terminals per terminal (brute force: terminal lists are the
+  // net's pins, routinely tens, worst case a couple thousand).
+  struct Scored {
+    Vertex v;
+    double score;
+  };
+  std::vector<Scored> scored;
+  std::unordered_set<Vertex> seen;
+
+  auto consider = [&](Vertex cand, Vertex a, Vertex b) {
+    if (cand < 0 || cand >= grid.num_vertices()) return;
+    if (grid.is_blocked(cand) || banned.count(cand)) return;
+    if (!seen.insert(cand).second) return;
+    // Centrality: how far the candidate detours from the pair it serves.
+    const double detour = dist(cand, a) + dist(cand, b) - dist(a, b);
+    scored.push_back({cand, detour});
+  };
+
+  for (std::size_t i = 0; i < terminals.size(); ++i) {
+    // Partial sort of neighbors by distance.
+    std::vector<std::pair<double, Vertex>> nbrs;
+    nbrs.reserve(terminals.size() - 1);
+    for (std::size_t j = 0; j < terminals.size(); ++j) {
+      if (i == j) continue;
+      nbrs.emplace_back(dist(terminals[i], terminals[j]), terminals[j]);
+    }
+    const std::size_t k = std::min<std::size_t>(std::size_t(neighbors_per_terminal), nbrs.size());
+    std::partial_sort(nbrs.begin(), nbrs.begin() + std::ptrdiff_t(k), nbrs.end());
+
+    const auto ca = grid.cell(terminals[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      const Vertex b = nbrs[j].second;
+      const auto cb = grid.cell(b);
+      // Rectilinear corners on both layers.
+      consider(grid.index(ca.h, cb.v, ca.m), terminals[i], b);
+      consider(grid.index(cb.h, ca.v, ca.m), terminals[i], b);
+      consider(grid.index(ca.h, cb.v, cb.m), terminals[i], b);
+      consider(grid.index(cb.h, ca.v, cb.m), terminals[i], b);
+      // Midpoint cell.
+      consider(grid.index((ca.h + cb.h) / 2, (ca.v + cb.v) / 2, ca.m), terminals[i], b);
+    }
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.score < b.score || (a.score == b.score && a.v < b.v);
+            });
+  std::vector<Vertex> out;
+  out.reserve(std::min<std::size_t>(scored.size(), std::size_t(max_candidates)));
+  for (const auto& s : scored) {
+    if (std::ssize(out) >= max_candidates) break;
+    out.push_back(s.v);
+  }
+  return out;
+}
+
+}  // namespace oar::steiner

@@ -1,0 +1,44 @@
+#pragma once
+
+// Steiner-point candidate generation shared by the algorithmic baselines.
+//
+// Candidates are classic Hanan corner points: for close terminal pairs
+// (a, b), the two rectilinear corners (a.h, b.v) and (b.h, a.v) on both
+// terminals' layers, plus the pair midpoint cell.  Candidates are ranked by
+// an obstacle-blind geometric centrality score (cheap), and the exact gain
+// of only the top few is evaluated by the callers with a full OARMST
+// rebuild (expensive).
+
+#include <vector>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::steiner {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+/// Obstacle-blind separable distance oracle over the Hanan grid: distance
+/// between two cells is the sum of the step costs between their columns and
+/// rows plus via cost times the layer difference.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const HananGrid& grid);
+
+  double operator()(Vertex a, Vertex b) const;
+
+ private:
+  const HananGrid& grid_;
+  std::vector<double> x_prefix_;  // x_prefix_[h] = sum of x steps before column h
+  std::vector<double> y_prefix_;
+};
+
+/// Ranked candidate list (best first).  Excludes blocked vertices, pins and
+/// `exclude` entries; deduplicated; at most `max_candidates` entries.
+std::vector<Vertex> corner_candidates(const HananGrid& grid,
+                                      const std::vector<Vertex>& terminals,
+                                      int neighbors_per_terminal,
+                                      int max_candidates,
+                                      const std::vector<Vertex>& exclude = {});
+
+}  // namespace oar::steiner

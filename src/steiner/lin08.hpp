@@ -1,0 +1,20 @@
+#pragma once
+
+// Lin'08-class baseline [12]: the earliest multilayer OARSMT construction.
+// Our stand-in builds the spanning tree by maze-based Prim growth where new
+// paths may attach anywhere on the existing tree (implicit T-junction
+// Steiner points), with no explicit Steiner-point search or refinement —
+// the weakest of the three algorithmic baselines, as in the paper's
+// Table 4 ordering.
+
+#include "steiner/router_base.hpp"
+
+namespace oar::steiner {
+
+class Lin08Router : public Router {
+ public:
+  std::string name() const override { return "lin08"; }
+  route::OarmstResult route(const HananGrid& grid) override;
+};
+
+}  // namespace oar::steiner

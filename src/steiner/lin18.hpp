@@ -1,0 +1,38 @@
+#pragma once
+
+// Lin'18-class baseline [14]: the strongest previous algorithmic
+// ML-OARSMT router and the paper's main comparison point (Tables 2-4).
+// Our stand-in is an iterated 1-Steiner search over maze distances: each
+// round generates corner/midpoint candidates around the current tree,
+// evaluates the most promising ones exactly by rebuilding the OARMST with
+// the candidate added, inserts the best improving candidate, and repeats
+// until no candidate improves the cost (or the n-2 Steiner-point budget is
+// reached).  A final retracing pass re-runs the construction from the kept
+// Steiner set.  Like [14], runtime grows superlinearly with layout size and
+// pin count, which is what produces the runtime-shape of Table 3.
+
+#include "steiner/router_base.hpp"
+
+namespace oar::steiner {
+
+struct Lin18Config {
+  int max_evaluations_per_round = 32;
+  int neighbors_per_terminal = 4;
+  /// Upper bound on rounds; n-2 is also enforced.
+  int max_rounds = 64;
+  /// Minimum relative improvement to accept a candidate.
+  double min_gain = 1e-9;
+};
+
+class Lin18Router : public Router {
+ public:
+  explicit Lin18Router(Lin18Config config = {}) : config_(config) {}
+
+  std::string name() const override { return "lin18"; }
+  route::OarmstResult route(const HananGrid& grid) override;
+
+ private:
+  Lin18Config config_;
+};
+
+}  // namespace oar::steiner

@@ -1,0 +1,34 @@
+#pragma once
+
+// Liu'14-class baseline [16]: Steiner-point-based construction with
+// geometric candidate reduction.  Our stand-in performs one greedy pass of
+// explicit Steiner-point insertion: candidates are the Hanan "corner"
+// projections of close terminal pairs, ranked by an obstacle-blind
+// Manhattan gain estimate, and the top candidates are evaluated exactly
+// (full OARMST rebuild); every candidate with positive exact gain is kept
+// greedily.  One pass only — stronger than Lin08, weaker than the iterated
+// Lin18 search.
+
+#include "steiner/router_base.hpp"
+
+namespace oar::steiner {
+
+struct Liu14Config {
+  /// Exact evaluations per pass (candidate budget).
+  int max_evaluations = 24;
+  /// Per terminal, how many nearest terminals contribute corner candidates.
+  int neighbors_per_terminal = 3;
+};
+
+class Liu14Router : public Router {
+ public:
+  explicit Liu14Router(Liu14Config config = {}) : config_(config) {}
+
+  std::string name() const override { return "liu14"; }
+  route::OarmstResult route(const HananGrid& grid) override;
+
+ private:
+  Liu14Config config_;
+};
+
+}  // namespace oar::steiner

@@ -1,0 +1,48 @@
+#include "steiner/oracle.hpp"
+
+#include <vector>
+
+namespace oar::steiner {
+
+route::OarmstResult OracleRouter::route(const HananGrid& grid) {
+  route::OarmstRouter router(grid);
+  route::OarmstResult best = router.build(grid.pins());
+  last_evaluations_ = 1;
+  last_exhaustive_ = true;
+
+  std::vector<Vertex> candidates;
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (!grid.is_blocked(v) && !grid.is_pin(v)) candidates.push_back(v);
+  }
+  const std::int32_t budget = std::min<std::int32_t>(
+      config_.max_steiner,
+      std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2));
+
+  // Depth-first enumeration of subsets in lexicographic order (mirrors the
+  // combinatorial MCTS's priority-ordered action space).
+  std::vector<Vertex> chosen;
+  auto enumerate = [&](auto&& self, std::size_t from, std::int32_t depth) -> bool {
+    if (depth == 0) return true;
+    for (std::size_t i = from; i < candidates.size(); ++i) {
+      if (config_.max_evaluations > 0 &&
+          last_evaluations_ >= config_.max_evaluations) {
+        last_exhaustive_ = false;
+        return false;
+      }
+      chosen.push_back(candidates[i]);
+      route::OarmstResult result = router.build(grid.pins(), chosen);
+      ++last_evaluations_;
+      if (result.connected && result.cost < best.cost - 1e-12) {
+        best = std::move(result);
+      }
+      const bool keep_going = self(self, i + 1, depth - 1);
+      chosen.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  enumerate(enumerate, 0, budget);
+  return best;
+}
+
+}  // namespace oar::steiner

@@ -1,0 +1,46 @@
+#pragma once
+
+// Oracle Steiner-point selector: exhaustive search over all subsets of
+// valid vertices (up to a configurable subset size), routing each with the
+// OARMST router and keeping the cheapest tree.
+//
+// This is what a *perfect* selector would achieve within the paper's
+// Steiner-point-based framework, so it serves two purposes:
+//  * ground truth for tests (every heuristic/learned router must be >= the
+//    oracle cost, and equal it on instances the oracle fully enumerates);
+//  * the headroom ablation (how much of the oracle gap the RL selector and
+//    the algorithmic baselines close — see bench_oracle_headroom).
+// Exponential, so only usable on small grids / subset sizes; evaluation is
+// capped and the best-so-far is returned when the cap is reached.
+
+#include "steiner/router_base.hpp"
+
+namespace oar::steiner {
+
+struct OracleConfig {
+  /// Largest Steiner subset enumerated (also capped at n-2).
+  std::int32_t max_steiner = 2;
+  /// Hard cap on OARMST evaluations; 0 = unlimited.
+  std::int64_t max_evaluations = 200000;
+};
+
+class OracleRouter : public Router {
+ public:
+  explicit OracleRouter(OracleConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "oracle"; }
+  route::OarmstResult route(const HananGrid& grid) override;
+
+  /// Number of OARMST evaluations spent by the last route() call.
+  std::int64_t last_evaluations() const { return last_evaluations_; }
+  /// True when the last route() enumerated every subset within
+  /// config.max_steiner (i.e. was not truncated by max_evaluations).
+  bool last_exhaustive() const { return last_exhaustive_; }
+
+ private:
+  OracleConfig config_;
+  std::int64_t last_evaluations_ = 0;
+  bool last_exhaustive_ = true;
+};
+
+}  // namespace oar::steiner

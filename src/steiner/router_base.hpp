@@ -1,0 +1,35 @@
+#pragma once
+
+// Common interface for every ML-OARSMT router in the repository — the
+// algorithmic baselines and the RL router — so benchmarks can sweep a list
+// of routers over a workload uniformly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "route/oarmst.hpp"
+
+namespace oar::steiner {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds an obstacle-avoiding rectilinear Steiner tree over the grid's
+  /// pins.  Implementations must return a tree whose validate() passes when
+  /// the result is connected.
+  virtual route::OarmstResult route(const HananGrid& grid) = 0;
+};
+
+/// Plain spanning tree with no Steiner points: Prim over the maze-distance
+/// metric closure, attaching at terminals only, cost = sum of path costs.
+/// This is the denominator of the paper's ST-to-MST ratio (Figs. 11-12).
+double mst_cost(const HananGrid& grid);
+
+}  // namespace oar::steiner

@@ -1,0 +1,30 @@
+#include "util/csv.hpp"
+
+namespace oar::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path) {
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string escaped = "\"";
+  for (char c : value) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace oar::util

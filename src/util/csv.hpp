@@ -1,0 +1,45 @@
+#pragma once
+
+// Minimal CSV writer: the bench binaries print human-readable tables AND
+// dump machine-readable CSVs (for plotting the figure reproductions).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace oar::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  is_open() reports
+  /// failure; writes on a failed file are ignored.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool is_open() const { return bool(out_); }
+
+  /// Appends one row; values are quoted when they contain separators.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: mixed string/number row via streaming.
+  template <typename... Args>
+  void row_values(const Args&... args) {
+    std::vector<std::string> values;
+    (values.push_back(to_cell(args)), ...);
+    row(values);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& value);
+
+  std::ofstream out_;
+};
+
+}  // namespace oar::util

@@ -1,0 +1,46 @@
+#pragma once
+
+// Minimal leveled logger.  Kept deliberately simple: benches and examples
+// print their own tables; the logger is for diagnostics and progress lines.
+
+#include <sstream>
+#include <string>
+
+namespace oar::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line to stderr: "[LEVEL] message".
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::kError, args...); }
+
+}  // namespace oar::util

@@ -1,0 +1,74 @@
+#pragma once
+
+// Deterministic, fast random number generation.
+//
+// All stochastic components of the library (layout generation, MCTS
+// tie-breaking, network initialization, PPO sampling) draw from Rng so that
+// every experiment is reproducible from a single seed.  The generator is
+// xoshiro256**, seeded through splitmix64 as recommended by its authors.
+
+#include <cstdint>
+#include <vector>
+
+namespace oar::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with helpers for the distributions
+/// the library needs.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// All weights must be >= 0 and at least one must be > 0.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel workers).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace oar::util

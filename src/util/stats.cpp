@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace oar::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double num = sum_sq_ - static_cast<double>(n_) * m * m;
+  return std::max(0.0, num / static_cast<double>(n_ - 1));
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) {
+    assert(v > 0.0);
+    s += std::log(v);
+  }
+  return std::exp(s / static_cast<double>(values.size()));
+}
+
+}  // namespace oar::util

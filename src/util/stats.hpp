@@ -1,0 +1,42 @@
+#pragma once
+
+// Small descriptive-statistics helpers used by the benchmark harness to
+// aggregate per-layout results into the paper's table rows.
+
+#include <cstddef>
+#include <vector>
+
+namespace oar::util {
+
+/// Streaming accumulator for mean / min / max / variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) of a sample; p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for an empty vector.
+double mean(const std::vector<double>& values);
+
+/// Geometric mean of positive values; 0 for an empty vector.
+double geomean(const std::vector<double>& values);
+
+}  // namespace oar::util

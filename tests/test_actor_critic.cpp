@@ -1,0 +1,149 @@
+#include "mcts/actor_critic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+
+namespace oar::mcts {
+namespace {
+
+rl::SelectorConfig tiny_config() {
+  rl::SelectorConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 21;
+  return cfg;
+}
+
+HananGrid test_grid(std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 6;
+  spec.v = 5;
+  spec.m = 2;
+  spec.min_pins = 4;
+  spec.max_pins = 5;
+  spec.min_obstacles = 2;
+  spec.max_obstacles = 4;
+  return gen::random_grid(spec, rng);
+}
+
+TEST(ActorCritic, PolicySumsToOne) {
+  rl::SteinerSelector selector(tiny_config());
+  const HananGrid grid = test_grid();
+  ActorCritic ac(selector, grid);
+  const auto fsp = ac.fsp({});
+  const auto policy = ac.policy({}, -1, fsp);
+  ASSERT_FALSE(policy.empty());
+  double total = 0.0;
+  for (const auto& [v, p] : policy) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ActorCritic, PolicyExcludesInvalidVertices) {
+  rl::SteinerSelector selector(tiny_config());
+  const HananGrid grid = test_grid();
+  ActorCritic ac(selector, grid);
+  const auto fsp = ac.fsp({});
+  // Pick one valid vertex as "already selected".
+  const auto first_policy = ac.policy({}, -1, fsp);
+  ASSERT_FALSE(first_policy.empty());
+  const Vertex taken = first_policy.front().first;
+  const auto policy = ac.policy({taken}, grid.priority_of(taken), fsp);
+  for (const auto& [v, p] : policy) {
+    EXPECT_FALSE(grid.is_pin(v));
+    EXPECT_FALSE(grid.is_blocked(v));
+    EXPECT_NE(v, taken);
+    // Priority ordering constraint of the combinatorial action space.
+    EXPECT_GT(grid.priority_of(v), grid.priority_of(taken));
+  }
+}
+
+TEST(ActorCritic, PolicyMatchesEquationOne) {
+  // Hand-check eq. (1) on a tiny layout with no obstacles: weighted
+  // probability of the k-th valid vertex is fsp_k * prod_{j<k} (1 - fsp_j).
+  rl::SteinerSelector selector(tiny_config());
+  HananGrid grid(3, 2, 1, {1.0, 1.0}, {1.0}, 1.0);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(2, 1, 0));
+  ActorCritic ac(selector, grid);
+  const auto fsp = ac.fsp({});
+  const auto policy = ac.policy({}, -1, fsp);
+
+  // Valid vertices in priority order.
+  std::vector<double> f;
+  for (std::int64_t p = 0; p < grid.num_vertices(); ++p) {
+    const Vertex v = grid.vertex_at_priority(p);
+    if (grid.is_pin(v) || grid.is_blocked(v)) continue;
+    f.push_back(fsp[std::size_t(p)]);
+  }
+  ASSERT_EQ(policy.size(), f.size());
+  std::vector<double> expected(f.size());
+  double running = 1.0, total = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    expected[i] = f[i] * running;
+    running *= (1.0 - f[i]);
+    total += expected[i];
+  }
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(policy[i].second, expected[i] / total, 1e-9);
+  }
+}
+
+TEST(ActorCritic, PolicyEmptyWhenNoHigherPriorityVertexLeft) {
+  rl::SteinerSelector selector(tiny_config());
+  const HananGrid grid = test_grid();
+  ActorCritic ac(selector, grid);
+  const auto fsp = ac.fsp({});
+  const auto policy = ac.policy({}, grid.num_vertices() - 1, fsp);
+  EXPECT_TRUE(policy.empty());
+}
+
+TEST(ActorCritic, CriticCompletesToBudget) {
+  rl::SteinerSelector selector(tiny_config());
+  const HananGrid grid = test_grid();
+  ActorCritic ac(selector, grid);
+  const auto fsp = ac.fsp({});
+  const std::int32_t budget = std::int32_t(grid.pins().size()) - 2;
+  const double predicted = ac.critic_cost({}, budget, fsp);
+  EXPECT_GT(predicted, 0.0);
+  // The critic's completion cannot be worse than never adding Steiner
+  // points... it can, slightly, but redundant removal caps the damage:
+  // compare within a loose factor.
+  const double base = ac.exact_cost({});
+  EXPECT_LE(predicted, base * 1.5);
+}
+
+TEST(ActorCritic, ExactCostMatchesRouterWithoutRemoval) {
+  rl::SteinerSelector selector(tiny_config());
+  const HananGrid grid = test_grid();
+  ActorCritic ac(selector, grid);
+  route::OarmstConfig cfg;
+  cfg.remove_redundant_steiner = false;
+  route::OarmstRouter router(grid, cfg);
+  EXPECT_DOUBLE_EQ(ac.exact_cost({}), router.cost(grid.pins()));
+}
+
+TEST(ActorCritic, ExactCostMonotoneInObviousCase) {
+  // Adding a Steiner point far from everything (as raw terminal, no
+  // removal) can only increase or keep the cost.
+  rl::SteinerSelector selector(tiny_config());
+  const HananGrid grid = test_grid();
+  ActorCritic ac(selector, grid);
+  const double base = ac.exact_cost({});
+  Vertex far = hanan::kInvalidVertex;
+  for (Vertex v = grid.num_vertices() - 1; v >= 0; --v) {
+    if (!grid.is_pin(v) && !grid.is_blocked(v)) {
+      far = v;
+      break;
+    }
+  }
+  ASSERT_NE(far, hanan::kInvalidVertex);
+  EXPECT_GE(ac.exact_cost({far}), base - 1e-9);
+}
+
+}  // namespace
+}  // namespace oar::mcts

@@ -1,0 +1,112 @@
+#include "route/astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+
+namespace oar::route {
+namespace {
+
+HananGrid unit_grid(std::int32_t h, std::int32_t v, std::int32_t m, double via = 1.0) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), via);
+}
+
+TEST(AStar, StraightLine) {
+  const HananGrid grid = unit_grid(6, 1, 1);
+  AStarRouter astar(grid);
+  EXPECT_DOUBLE_EQ(astar.distance(grid.index(0, 0, 0), grid.index(5, 0, 0)), 5.0);
+}
+
+TEST(AStar, SourceEqualsTarget) {
+  const HananGrid grid = unit_grid(3, 3, 1);
+  AStarRouter astar(grid);
+  EXPECT_DOUBLE_EQ(astar.distance(4, 4), 0.0);
+  EXPECT_EQ(astar.path(4, 4), std::vector<Vertex>{4});
+}
+
+TEST(AStar, UnreachableAndBlockedEndpoints) {
+  HananGrid grid = unit_grid(3, 1, 1);
+  grid.block_vertex(grid.index(1, 0, 0));
+  AStarRouter astar(grid);
+  EXPECT_EQ(astar.distance(grid.index(0, 0, 0), grid.index(2, 0, 0)), AStarRouter::kInf);
+  EXPECT_TRUE(astar.path(grid.index(0, 0, 0), grid.index(2, 0, 0)).empty());
+  EXPECT_EQ(astar.distance(grid.index(1, 0, 0), grid.index(0, 0, 0)), AStarRouter::kInf);
+}
+
+TEST(AStar, PathIsContinuousAndCostsMatch) {
+  HananGrid grid = unit_grid(6, 6, 2, 1.5);
+  grid.block_vertex(grid.index(2, 2, 0));
+  grid.block_vertex(grid.index(3, 2, 0));
+  AStarRouter astar(grid);
+  const Vertex s = grid.index(0, 0, 0), t = grid.index(5, 5, 1);
+  const double d = astar.distance(s, t);
+  const auto p = astar.path(s, t);
+  ASSERT_GE(p.size(), 2u);
+  EXPECT_EQ(p.front(), s);
+  EXPECT_EQ(p.back(), t);
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) cost += grid.cost_between(p[i], p[i + 1]);
+  EXPECT_DOUBLE_EQ(cost, d);
+}
+
+class AStarVsDijkstraTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AStarVsDijkstraTest, MatchesMazeRouterDistances) {
+  util::Rng rng(GetParam());
+  gen::RandomGridSpec spec;
+  spec.h = 7;
+  spec.v = 6;
+  spec.m = 3;
+  spec.min_pins = 2;
+  spec.max_pins = 5;
+  spec.min_obstacles = 4;
+  spec.max_obstacles = 8;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 12;
+  const HananGrid grid = gen::random_grid(spec, rng);
+
+  MazeRouter maze(grid);
+  AStarRouter astar(grid);
+  const Vertex source = grid.pins().front();
+  maze.run({source});
+  for (Vertex target : grid.pins()) {
+    const double md = maze.dist(target);
+    const double ad = astar.distance(source, target);
+    if (md == MazeRouter::kInf) {
+      EXPECT_EQ(ad, AStarRouter::kInf);
+    } else {
+      EXPECT_NEAR(ad, md, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarVsDijkstraTest,
+                         ::testing::Range(std::uint64_t(50), std::uint64_t(62)));
+
+TEST(AStar, HeuristicFocusesTheSearch) {
+  // Axis-aligned query on an open grid: the heuristic is exact, so only
+  // vertices on/near the direct corridor have competitive f-values.  (A
+  // corner-to-corner query would not discriminate — every vertex of the
+  // bounding box lies on some shortest path.)
+  const HananGrid grid = unit_grid(15, 15, 1);
+  AStarRouter astar(grid);
+  astar.distance(grid.index(2, 7, 0), grid.index(12, 7, 0));
+  EXPECT_LE(astar.last_settled(), 30);  // corridor, not the whole grid
+
+  MazeRouter maze(grid);
+  maze.run({grid.index(2, 7, 0)}, {grid.index(12, 7, 0)});
+  // Blind Dijkstra settles a radius-10 diamond (~half the grid) first.
+  EXPECT_GT(grid.num_vertices(), 4 * astar.last_settled());
+}
+
+TEST(AStar, ReusableAcrossQueries) {
+  const HananGrid grid = unit_grid(5, 5, 1);
+  AStarRouter astar(grid);
+  EXPECT_DOUBLE_EQ(astar.distance(grid.index(0, 0, 0), grid.index(4, 4, 0)), 8.0);
+  EXPECT_DOUBLE_EQ(astar.distance(grid.index(4, 0, 0), grid.index(0, 4, 0)), 8.0);
+  EXPECT_DOUBLE_EQ(astar.distance(grid.index(2, 2, 0), grid.index(2, 2, 0)), 0.0);
+}
+
+}  // namespace
+}  // namespace oar::route

@@ -1,0 +1,143 @@
+#include "rl/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "steiner/router_base.hpp"
+
+namespace oar::rl {
+namespace {
+
+HananGrid test_grid(std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 6;
+  spec.v = 4;  // rectangular on purpose: rotation swaps dims
+  spec.m = 3;
+  spec.min_pins = 4;
+  spec.max_pins = 5;
+  spec.min_obstacles = 3;
+  spec.max_obstacles = 5;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 9;
+  return gen::random_grid(spec, rng);
+}
+
+TEST(Augment, SixteenUniqueSpecsIdentityFirst) {
+  const auto specs = all_augmentations();
+  EXPECT_EQ(specs[0], (AugmentSpec{0, false, false}));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i], specs[j]);
+    }
+  }
+}
+
+TEST(Augment, IdentityPreservesEverything) {
+  const HananGrid grid = test_grid(1);
+  const HananGrid same = transform_grid(grid, AugmentSpec{});
+  EXPECT_EQ(same.h_dim(), grid.h_dim());
+  EXPECT_EQ(same.v_dim(), grid.v_dim());
+  EXPECT_EQ(same.pins().size(), grid.pins().size());
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    EXPECT_EQ(transform_vertex(grid, v, AugmentSpec{}), v);
+    EXPECT_EQ(same.is_blocked(v), grid.is_blocked(v));
+    EXPECT_EQ(same.is_pin(v), grid.is_pin(v));
+  }
+}
+
+TEST(Augment, RotationSwapsDimensions) {
+  const HananGrid grid = test_grid(2);
+  const HananGrid rotated = transform_grid(grid, AugmentSpec{1, false, false});
+  EXPECT_EQ(rotated.h_dim(), grid.v_dim());
+  EXPECT_EQ(rotated.v_dim(), grid.h_dim());
+  EXPECT_EQ(rotated.m_dim(), grid.m_dim());
+  EXPECT_EQ(rotated.validate(), "");
+}
+
+class AugmentRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AugmentRoundTripTest, FourRotationsAreIdentity) {
+  const HananGrid grid = test_grid(std::uint64_t(GetParam()));
+  HananGrid current = grid;
+  for (int i = 0; i < 4; ++i) current = transform_grid(current, AugmentSpec{1, false, false});
+  ASSERT_EQ(current.h_dim(), grid.h_dim());
+  ASSERT_EQ(current.v_dim(), grid.v_dim());
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    EXPECT_EQ(current.is_blocked(v), grid.is_blocked(v));
+    EXPECT_EQ(current.is_pin(v), grid.is_pin(v));
+  }
+  for (std::int32_t h = 0; h + 1 < grid.h_dim(); ++h) {
+    EXPECT_DOUBLE_EQ(current.x_step(h), grid.x_step(h));
+  }
+}
+
+TEST_P(AugmentRoundTripTest, DoubleReflectionIsIdentity) {
+  const HananGrid grid = test_grid(std::uint64_t(GetParam()) + 50);
+  for (const AugmentSpec spec :
+       {AugmentSpec{0, true, false}, AugmentSpec{0, false, true}}) {
+    HananGrid once = transform_grid(grid, spec);
+    HananGrid twice = transform_grid(once, spec);
+    for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+      EXPECT_EQ(twice.is_blocked(v), grid.is_blocked(v));
+      EXPECT_EQ(twice.is_pin(v), grid.is_pin(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AugmentRoundTripTest, ::testing::Range(1, 7));
+
+class AugmentInvarianceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AugmentInvarianceTest, RoutingCostIsInvariantUnderAllTransforms) {
+  // Symmetry is the whole point of augmentation: the optimal tree cost must
+  // be identical in every transformed layout.
+  const HananGrid grid = test_grid(99);
+  const double base_mst = steiner::mst_cost(grid);
+  const auto spec = all_augmentations()[GetParam()];
+  const HananGrid transformed = transform_grid(grid, spec);
+  EXPECT_NEAR(steiner::mst_cost(transformed), base_mst, 1e-9);
+
+  route::OarmstRouter base_router(grid);
+  route::OarmstRouter trans_router(transformed);
+  EXPECT_NEAR(trans_router.build(transformed.pins()).cost,
+              base_router.build(grid.pins()).cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, AugmentInvarianceTest,
+                         ::testing::Range(std::size_t(0), std::size_t(16)));
+
+TEST(Augment, LabelFollowsVertices) {
+  const HananGrid grid = test_grid(3);
+  std::vector<float> label(std::size_t(grid.num_vertices()), 0.0f);
+  // Tag three vertices with distinct values.
+  const Vertex a = grid.index(1, 2, 0), b = grid.index(5, 0, 2), c = grid.index(0, 3, 1);
+  label[std::size_t(grid.priority_of(a))] = 0.25f;
+  label[std::size_t(grid.priority_of(b))] = 0.5f;
+  label[std::size_t(grid.priority_of(c))] = 0.75f;
+
+  for (const auto& spec : all_augmentations()) {
+    const HananGrid tg = transform_grid(grid, spec);
+    const auto tl = transform_label(grid, label, spec);
+    EXPECT_FLOAT_EQ(
+        tl[std::size_t(tg.priority_of(transform_vertex(grid, a, spec)))], 0.25f);
+    EXPECT_FLOAT_EQ(
+        tl[std::size_t(tg.priority_of(transform_vertex(grid, b, spec)))], 0.5f);
+    EXPECT_FLOAT_EQ(
+        tl[std::size_t(tg.priority_of(transform_vertex(grid, c, spec)))], 0.75f);
+    // Mass conservation.
+    double total = 0.0;
+    for (float l : tl) total += l;
+    EXPECT_NEAR(total, 1.5, 1e-6);
+  }
+}
+
+TEST(Augment, TransformedGridsValidate) {
+  const HananGrid grid = test_grid(4);
+  for (const auto& spec : all_augmentations()) {
+    EXPECT_EQ(transform_grid(grid, spec).validate(), "");
+  }
+}
+
+}  // namespace
+}  // namespace oar::rl

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "steiner/candidates.hpp"
+#include "steiner/lin08.hpp"
+#include "steiner/lin18.hpp"
+#include "steiner/liu14.hpp"
+
+namespace oar::steiner {
+namespace {
+
+HananGrid test_grid(std::uint64_t seed, std::int32_t dim = 10, std::int32_t pins = 6) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = dim;
+  spec.v = dim;
+  spec.m = 2;
+  spec.min_pins = pins;
+  spec.max_pins = pins;
+  spec.min_obstacles = 6;
+  spec.max_obstacles = 12;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 10;
+  return gen::random_grid(spec, rng);
+}
+
+TEST(DistanceOracleTest, SeparableDistances) {
+  HananGrid grid(4, 3, 2, {2.0, 3.0, 4.0}, {5.0, 6.0}, 7.0);
+  const DistanceOracle dist(grid);
+  EXPECT_DOUBLE_EQ(dist(grid.index(0, 0, 0), grid.index(3, 0, 0)), 9.0);
+  EXPECT_DOUBLE_EQ(dist(grid.index(0, 0, 0), grid.index(0, 2, 0)), 11.0);
+  EXPECT_DOUBLE_EQ(dist(grid.index(0, 0, 0), grid.index(0, 0, 1)), 7.0);
+  EXPECT_DOUBLE_EQ(dist(grid.index(1, 1, 0), grid.index(2, 2, 1)), 3.0 + 6.0 + 7.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(dist(grid.index(3, 2, 1), grid.index(0, 0, 0)),
+                   dist(grid.index(0, 0, 0), grid.index(3, 2, 1)));
+}
+
+TEST(Candidates, ExcludesTerminalsObstaclesAndExclusions) {
+  const HananGrid grid = test_grid(1);
+  const auto cands = corner_candidates(grid, grid.pins(), 3, 32);
+  for (hanan::Vertex c : cands) {
+    EXPECT_FALSE(grid.is_blocked(c));
+    EXPECT_FALSE(grid.is_pin(c));
+  }
+  if (!cands.empty()) {
+    const auto without_first =
+        corner_candidates(grid, grid.pins(), 3, 32, {cands.front()});
+    for (hanan::Vertex c : without_first) EXPECT_NE(c, cands.front());
+  }
+}
+
+TEST(Candidates, RespectsBudget) {
+  const HananGrid grid = test_grid(2);
+  EXPECT_LE(corner_candidates(grid, grid.pins(), 4, 5).size(), 5u);
+  EXPECT_TRUE(corner_candidates(grid, grid.pins(), 4, 0).empty());
+}
+
+TEST(MstCost, TwoPinsEqualsShortestPath) {
+  HananGrid grid(5, 1, 1, std::vector<double>(4, 2.0), {}, 1.0);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 0, 0));
+  EXPECT_DOUBLE_EQ(mst_cost(grid), 8.0);
+}
+
+TEST(Lin08, ProducesValidTree) {
+  const HananGrid grid = test_grid(3);
+  Lin08Router router;
+  const auto result = router.route(grid);
+  ASSERT_TRUE(result.connected);
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+  EXPECT_EQ(router.name(), "lin08");
+}
+
+class BaselineOrderingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineOrderingTest, StrongerBaselinesNeverLoseToLin08) {
+  const HananGrid grid = test_grid(GetParam());
+  Lin08Router lin08;
+  Liu14Router liu14;
+  Lin18Router lin18;
+  const double c08 = lin08.route(grid).cost;
+  const double c14 = liu14.route(grid).cost;
+  const double c18 = lin18.route(grid).cost;
+  // Both Steiner-point searchers start from the Lin08 construction and only
+  // accept strict improvements.
+  EXPECT_LE(c14, c08 + 1e-9);
+  EXPECT_LE(c18, c08 + 1e-9);
+  // Everything beats or ties the no-Steiner MST.
+  const double mst = mst_cost(grid);
+  EXPECT_LE(c08, mst + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineOrderingTest,
+                         ::testing::Range(std::uint64_t(10), std::uint64_t(22)));
+
+TEST(Lin18, FindsTheClassicSteinerSaving) {
+  // Four pins on a cross: explicit Steiner point(s) save length vs MST.
+  HananGrid grid(5, 5, 1, std::vector<double>(4, 1.0), std::vector<double>(4, 1.0),
+                 1.0);
+  grid.add_pin(grid.index(0, 2, 0));
+  grid.add_pin(grid.index(4, 2, 0));
+  grid.add_pin(grid.index(2, 0, 0));
+  grid.add_pin(grid.index(2, 4, 0));
+  Lin18Router lin18;
+  const auto result = lin18.route(grid);
+  EXPECT_TRUE(result.connected);
+  EXPECT_DOUBLE_EQ(result.cost, 8.0);  // the optimal cross tree
+}
+
+TEST(Lin18, StopsAtSteinerBudget) {
+  const HananGrid grid = test_grid(30, 10, 4);
+  Lin18Router lin18;
+  const auto result = lin18.route(grid);
+  EXPECT_LE(result.kept_steiner.size(), grid.pins().size() - 2);
+}
+
+TEST(Baselines, AverageOrderingAcrossSeeds) {
+  // Aggregate ordering (the Table 4 structure): lin18 <= liu14 <= lin08 on
+  // average over a batch of layouts.
+  double c08 = 0.0, c14 = 0.0, c18 = 0.0;
+  for (std::uint64_t seed = 40; seed < 52; ++seed) {
+    const HananGrid grid = test_grid(seed, 12, 7);
+    c08 += Lin08Router().route(grid).cost;
+    c14 += Liu14Router().route(grid).cost;
+    c18 += Lin18Router().route(grid).cost;
+  }
+  EXPECT_LE(c14, c08 + 1e-9);
+  EXPECT_LE(c18, c14 + 1e-6);
+}
+
+}  // namespace
+}  // namespace oar::steiner

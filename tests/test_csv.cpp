@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace oar::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Csv, HeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/out.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.is_open());
+    csv.row({"1", "2"});
+    csv.row_values(3, 4.5);
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1,2\n3,4.5\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSeparatorsAndQuotes) {
+  const std::string path = ::testing::TempDir() + "/escaped.csv";
+  {
+    CsvWriter csv(path, {"value"});
+    csv.row({"a,b"});
+    csv.row({"say \"hi\""});
+    csv.row({"two\nlines"});
+  }
+  EXPECT_EQ(slurp(path),
+            "value\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"two\nlines\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathReportsClosed) {
+  CsvWriter csv("/nonexistent_dir/x.csv", {"a"});
+  EXPECT_FALSE(csv.is_open());
+  csv.row({"ignored"});  // must not crash
+}
+
+}  // namespace
+}  // namespace oar::util

@@ -1,0 +1,83 @@
+#include "rl/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oar::rl {
+namespace {
+
+HananGrid unit_grid(std::int32_t h, std::int32_t v, std::int32_t m) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), 1.0);
+}
+
+TrainingSample sample_of_size(std::int32_t h, std::int32_t v, std::int32_t m) {
+  TrainingSample s;
+  s.grid = unit_grid(h, v, m);
+  s.label.assign(std::size_t(h) * v * m, 0.0f);
+  s.mask.assign(std::size_t(h) * v * m, 1.0f);
+  return s;
+}
+
+TEST(Dataset, TracksSizesAndCounts) {
+  Dataset ds;
+  for (int i = 0; i < 5; ++i) ds.add(sample_of_size(4, 4, 2));
+  for (int i = 0; i < 3; ++i) ds.add(sample_of_size(6, 4, 2));
+  EXPECT_EQ(ds.size(), 8u);
+  EXPECT_EQ(ds.num_sizes(), 2u);
+}
+
+TEST(Dataset, EpochBatchesAreSameSizeOnly) {
+  Dataset ds;
+  for (int i = 0; i < 7; ++i) ds.add(sample_of_size(4, 4, 2));
+  for (int i = 0; i < 5; ++i) ds.add(sample_of_size(6, 4, 2));
+  util::Rng rng(1);
+  const auto batches = ds.epoch_batches(3, rng);
+  for (const auto& batch : batches) {
+    ASSERT_FALSE(batch.empty());
+    const auto& first = ds.sample(batch.front()).grid;
+    for (std::size_t idx : batch) {
+      const auto& g = ds.sample(idx).grid;
+      EXPECT_EQ(g.h_dim(), first.h_dim());
+      EXPECT_EQ(g.v_dim(), first.v_dim());
+      EXPECT_EQ(g.m_dim(), first.m_dim());
+    }
+    EXPECT_LE(batch.size(), 3u);
+  }
+}
+
+TEST(Dataset, EpochCoversEverySampleExactlyOnce) {
+  Dataset ds;
+  for (int i = 0; i < 10; ++i) ds.add(sample_of_size(4, 4, 2));
+  for (int i = 0; i < 4; ++i) ds.add(sample_of_size(5, 5, 1));
+  util::Rng rng(2);
+  std::multiset<std::size_t> seen;
+  for (const auto& batch : ds.epoch_batches(4, rng)) {
+    for (std::size_t idx : batch) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(Dataset, ShufflingChangesOrderAcrossSeeds) {
+  Dataset ds;
+  for (int i = 0; i < 32; ++i) ds.add(sample_of_size(4, 4, 2));
+  util::Rng r1(1), r2(2);
+  const auto b1 = ds.epoch_batches(8, r1);
+  const auto b2 = ds.epoch_batches(8, r2);
+  EXPECT_NE(b1, b2);
+}
+
+TEST(Dataset, ClearResets) {
+  Dataset ds;
+  ds.add(sample_of_size(4, 4, 2));
+  ds.clear();
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.num_sizes(), 0u);
+  util::Rng rng(3);
+  EXPECT_TRUE(ds.epoch_batches(4, rng).empty());
+}
+
+}  // namespace
+}  // namespace oar::rl

@@ -1,0 +1,99 @@
+#include "hanan/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oar::hanan {
+namespace {
+
+HananGrid make_grid() {
+  // 3 x 2 x 2, x steps {2, 10}, y step {4}, via 5.
+  HananGrid grid(3, 2, 2, {2.0, 10.0}, {4.0}, 5.0);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(2, 1, 1));
+  grid.block_vertex(grid.index(1, 1, 0));
+  return grid;
+}
+
+TEST(Features, ShapeAndChannelCount) {
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  EXPECT_EQ(vol.c, kNumFeatureChannels);
+  EXPECT_EQ(vol.h, 3);
+  EXPECT_EQ(vol.v, 2);
+  EXPECT_EQ(vol.m, 2);
+  EXPECT_EQ(vol.data.size(), std::size_t(7 * 3 * 2 * 2));
+}
+
+TEST(Features, PinAndObstacleChannels) {
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  EXPECT_FLOAT_EQ(vol.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(vol.at(0, 2, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(vol.at(0, 1, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(vol.at(1, 1, 1, 0), 1.0f);  // blocked vertex
+  EXPECT_FLOAT_EQ(vol.at(1, 0, 0, 0), 0.0f);
+}
+
+TEST(Features, CostChannelsNormalizedByMax) {
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  // Max cost value in the layout is the x step of 10.
+  EXPECT_FLOAT_EQ(vol.at(2, 0, 0, 0), 0.2f);   // right cost 2/10
+  EXPECT_FLOAT_EQ(vol.at(3, 1, 0, 0), 0.2f);   // left cost 2/10
+  EXPECT_FLOAT_EQ(vol.at(2, 1, 0, 0), 1.0f);   // right cost 10/10
+  EXPECT_FLOAT_EQ(vol.at(4, 0, 0, 0), 0.4f);   // up cost 4/10
+  EXPECT_FLOAT_EQ(vol.at(5, 0, 1, 0), 0.4f);   // down cost 4/10
+  EXPECT_FLOAT_EQ(vol.at(6, 0, 0, 0), 0.5f);   // via 5/10, uniform
+  EXPECT_FLOAT_EQ(vol.at(6, 2, 1, 1), 0.5f);
+}
+
+TEST(Features, AllValuesInUnitInterval) {
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  for (float x : vol.data) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 1.0f);
+  }
+}
+
+TEST(Features, BorderEdgesEncodeZero) {
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  EXPECT_FLOAT_EQ(vol.at(3, 0, 0, 0), 0.0f);  // no left neighbor
+  EXPECT_FLOAT_EQ(vol.at(2, 2, 0, 0), 0.0f);  // no right neighbor
+  EXPECT_FLOAT_EQ(vol.at(5, 0, 0, 0), 0.0f);  // no down neighbor
+}
+
+TEST(Features, BlockedNeighborEdgeEncodesZero) {
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  // (0,1,0)'s right neighbor (1,1,0) is blocked -> right-cost channel 0.
+  EXPECT_FLOAT_EQ(vol.at(2, 0, 1, 0), 0.0f);
+  // (2,1,0)'s left neighbor (1,1,0) is blocked -> left-cost channel 0.
+  EXPECT_FLOAT_EQ(vol.at(3, 2, 1, 0), 0.0f);
+}
+
+TEST(Features, ExtraPinsEncodedAsPins) {
+  const HananGrid grid = make_grid();
+  const Vertex extra = grid.index(1, 0, 1);
+  const FeatureVolume vol = encode_features(grid, {extra});
+  EXPECT_FLOAT_EQ(vol.at(0, 1, 0, 1), 1.0f);
+  // Without extra pins the same location encodes 0.
+  const FeatureVolume plain = encode_features(grid);
+  EXPECT_FLOAT_EQ(plain.at(0, 1, 0, 1), 0.0f);
+}
+
+TEST(Features, PriorityOrderMatchesVolumeFlattening) {
+  // The (h, v, m)-ordered flat layout of a single channel must coincide
+  // with HananGrid::priority_of, which the selector relies on.
+  const HananGrid grid = make_grid();
+  const FeatureVolume vol = encode_features(grid);
+  for (Vertex idx = 0; idx < grid.num_vertices(); ++idx) {
+    const Cell c = grid.cell(idx);
+    const std::size_t channel0_offset = vol.offset(0, c.h, c.v, c.m);
+    EXPECT_EQ(std::int64_t(channel0_offset), grid.priority_of(idx));
+  }
+}
+
+}  // namespace
+}  // namespace oar::hanan

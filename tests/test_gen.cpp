@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "gen/public_benchmarks.hpp"
+#include "gen/random_layout.hpp"
+#include "route/maze.hpp"
+
+namespace oar::gen {
+namespace {
+
+TEST(RandomGrid, RespectsSpecRanges) {
+  util::Rng rng(1);
+  RandomGridSpec spec;
+  spec.h = 10;
+  spec.v = 8;
+  spec.m = 3;
+  spec.min_pins = 4;
+  spec.max_pins = 6;
+  spec.min_obstacles = 5;
+  spec.max_obstacles = 10;
+  spec.min_edge_cost = 2;
+  spec.max_edge_cost = 7;
+  spec.min_via_cost = 3.0;
+  spec.max_via_cost = 5.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const HananGrid grid = random_grid(spec, rng);
+    EXPECT_EQ(grid.h_dim(), 10);
+    EXPECT_EQ(grid.v_dim(), 8);
+    EXPECT_EQ(grid.m_dim(), 3);
+    EXPECT_GE(grid.pins().size(), 4u);
+    EXPECT_LE(grid.pins().size(), 6u);
+    EXPECT_GE(grid.via_cost(), 3.0);
+    EXPECT_LE(grid.via_cost(), 5.0);
+    for (std::int32_t h = 0; h + 1 < grid.h_dim(); ++h) {
+      EXPECT_GE(grid.x_step(h), 2.0);
+      EXPECT_LE(grid.x_step(h), 7.0);
+    }
+    EXPECT_EQ(grid.validate(), "");
+  }
+}
+
+TEST(RandomGrid, PinsNeverOnObstacles) {
+  util::Rng rng(2);
+  RandomGridSpec spec;
+  spec.h = 8;
+  spec.v = 8;
+  spec.m = 2;
+  spec.min_obstacles = 20;
+  spec.max_obstacles = 30;
+  for (int trial = 0; trial < 20; ++trial) {
+    const HananGrid grid = random_grid(spec, rng);
+    for (auto pin : grid.pins()) EXPECT_FALSE(grid.is_blocked(pin));
+  }
+}
+
+TEST(RandomGrid, EnsureRoutableProducesConnectedPins) {
+  util::Rng rng(3);
+  RandomGridSpec spec;
+  spec.h = 8;
+  spec.v = 8;
+  spec.m = 2;
+  spec.min_obstacles = 15;
+  spec.max_obstacles = 25;
+  spec.ensure_routable = true;
+  int connected = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const HananGrid grid = random_grid(spec, rng);
+    route::MazeRouter maze(grid);
+    maze.run({grid.pins().front()});
+    bool all = true;
+    for (auto pin : grid.pins()) {
+      all = all && maze.dist(pin) != route::MazeRouter::kInf;
+    }
+    connected += all;
+  }
+  EXPECT_GE(connected, trials - 1);  // the generator may give up rarely
+}
+
+TEST(RandomGrid, DeterministicGivenSeed) {
+  RandomGridSpec spec;
+  spec.h = 8;
+  spec.v = 8;
+  spec.m = 2;
+  util::Rng r1(7), r2(7);
+  const HananGrid a = random_grid(spec, r1);
+  const HananGrid b = random_grid(spec, r2);
+  EXPECT_EQ(a.pins(), b.pins());
+  for (hanan::Vertex v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.is_blocked(v), b.is_blocked(v));
+  }
+}
+
+TEST(TestSubsets, FullScaleMatchesPaperTable1) {
+  const auto subsets = paper_test_subsets(1);
+  ASSERT_EQ(subsets.size(), 7u);
+  EXPECT_EQ(subsets[0].name, "T32");
+  EXPECT_EQ(subsets[0].spec.h, 32);
+  EXPECT_EQ(subsets[0].spec.min_pins, 3);
+  EXPECT_EQ(subsets[0].spec.max_pins, 10);
+  EXPECT_EQ(subsets[0].spec.min_obstacles, 128);
+  EXPECT_EQ(subsets[6].name, "T512");
+  EXPECT_EQ(subsets[6].spec.h, 512);
+  EXPECT_EQ(subsets[3].spec.h, 128);
+  EXPECT_EQ(subsets[3].spec.v, 256);  // the rectangular T128_2 subset
+}
+
+TEST(TestSubsets, ScalingPreservesDensityOrdering) {
+  const auto scaled = paper_test_subsets(4);
+  EXPECT_EQ(scaled[0].spec.h, 8);
+  EXPECT_EQ(scaled[6].spec.h, 128);
+  for (std::size_t i = 0; i + 1 < scaled.size(); ++i) {
+    EXPECT_LE(scaled[i].spec.h * scaled[i].spec.v,
+              scaled[i + 1].spec.h * scaled[i + 1].spec.v);
+  }
+}
+
+TEST(TestSubsets, RandomSubsetGridHasLayerRange) {
+  const auto subsets = paper_test_subsets(8);
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const HananGrid grid = random_subset_grid(subsets[0], rng);
+    EXPECT_GE(grid.m_dim(), 4);
+    EXPECT_LE(grid.m_dim(), 10);
+  }
+}
+
+TEST(PublicBenchmarks, TableMatchesPaper) {
+  const auto table = public_benchmark_table();
+  ASSERT_EQ(table.size(), 8u);
+  const auto rt5 = public_benchmark_info("rt5");
+  EXPECT_EQ(rt5.h, 702);
+  EXPECT_EQ(rt5.v, 707);
+  EXPECT_EQ(rt5.m, 4);
+  EXPECT_EQ(rt5.pins, 1000);
+  EXPECT_EQ(rt5.obstacles, 1000);
+  const auto ind2 = public_benchmark_info("ind2");
+  EXPECT_EQ(ind2.h, 83);
+  EXPECT_EQ(ind2.m, 5);
+  EXPECT_THROW(public_benchmark_info("nope"), std::out_of_range);
+}
+
+TEST(PublicBenchmarks, ScaledCloneMatchesScaledStats) {
+  const auto info = public_benchmark_info("rt1");
+  const auto scaled = scaled_info(info, 2);
+  const HananGrid grid = make_public_benchmark(info, 2);
+  EXPECT_EQ(grid.h_dim(), scaled.h);
+  EXPECT_EQ(grid.v_dim(), scaled.v);
+  EXPECT_EQ(grid.m_dim(), info.m);
+  EXPECT_EQ(std::int32_t(grid.pins().size()), scaled.pins);
+  EXPECT_DOUBLE_EQ(grid.via_cost(), 3.0);  // Table 4 via cost
+}
+
+TEST(PublicBenchmarks, DeterministicClones) {
+  const auto info = public_benchmark_info("ind1");
+  const HananGrid a = make_public_benchmark(info, 2);
+  const HananGrid b = make_public_benchmark(info, 2);
+  EXPECT_EQ(a.pins(), b.pins());
+}
+
+}  // namespace
+}  // namespace oar::gen

@@ -1,0 +1,100 @@
+#include "geom/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oar::geom {
+namespace {
+
+TEST(Rect, ContainsClosedVsStrict) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({4, 4}));
+  EXPECT_TRUE(r.contains({2, 2}));
+  EXPECT_FALSE(r.contains({5, 2}));
+  EXPECT_FALSE(r.strictly_contains({0, 2}));  // boundary
+  EXPECT_FALSE(r.strictly_contains({4, 4}));
+  EXPECT_TRUE(r.strictly_contains({2, 2}));
+}
+
+TEST(Rect, IntersectionVariants) {
+  const Rect a(0, 0, 4, 4), b(4, 4, 8, 8), c(5, 5, 9, 9);
+  EXPECT_TRUE(a.intersects(b));            // touching corner counts
+  EXPECT_FALSE(a.interior_intersects(b));  // but interiors do not overlap
+  EXPECT_FALSE(a.intersects(c));
+  const Rect d(2, 2, 6, 6);
+  EXPECT_TRUE(a.interior_intersects(d));
+}
+
+TEST(Rect, AreaAndUnion) {
+  const Rect a(0, 0, 2, 3);
+  EXPECT_EQ(a.area(), 6);
+  const Rect u = a.united(Rect(5, 5, 6, 6));
+  EXPECT_EQ(u, Rect(0, 0, 6, 6));
+}
+
+TEST(Manhattan, Distances) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, -2}, {2, 2}), 8);
+}
+
+TEST(Layout, ValidLayoutPassesValidation) {
+  Layout layout(100, 100, 4, 3.0);
+  layout.add_pin(10, 10, 0);
+  layout.add_pin(90, 90, 3);
+  layout.add_obstacle(Rect(40, 40, 60, 60), 1);
+  EXPECT_EQ(layout.validate(), "");
+}
+
+TEST(Layout, DetectsOutOfBoundsPin) {
+  Layout layout(10, 10, 2, 3.0);
+  layout.add_pin(5, 5, 0);
+  layout.add_pin(11, 5, 0);
+  EXPECT_NE(layout.validate().find("out of bounds"), std::string::npos);
+}
+
+TEST(Layout, DetectsBadLayerAndFewPins) {
+  Layout layout(10, 10, 2, 3.0);
+  layout.add_pin(5, 5, 7);
+  EXPECT_NE(layout.validate().find("fewer than 2 pins"), std::string::npos);
+  EXPECT_NE(layout.validate().find("layer"), std::string::npos);
+}
+
+TEST(Layout, DetectsBuriedPin) {
+  Layout layout(10, 10, 1, 3.0);
+  layout.add_pin(5, 5, 0);
+  layout.add_pin(1, 1, 0);
+  layout.add_obstacle(Rect(3, 3, 7, 7), 0);
+  EXPECT_TRUE(layout.has_buried_pin());
+  EXPECT_NE(layout.validate().find("inside an obstacle"), std::string::npos);
+}
+
+TEST(Layout, PinOnObstacleBoundaryIsNotBuried) {
+  Layout layout(10, 10, 1, 3.0);
+  layout.add_pin(3, 5, 0);  // on the left edge of the obstacle
+  layout.add_pin(0, 0, 0);
+  layout.add_obstacle(Rect(3, 3, 7, 7), 0);
+  EXPECT_FALSE(layout.has_buried_pin());
+}
+
+TEST(Layout, ObstacleRatioSingleRect) {
+  Layout layout(10, 10, 1, 3.0);
+  layout.add_obstacle(Rect(0, 0, 5, 10), 0);
+  EXPECT_DOUBLE_EQ(layout.obstacle_ratio(), 0.5);
+}
+
+TEST(Layout, ObstacleRatioCountsOverlapOnce) {
+  Layout layout(10, 10, 1, 3.0);
+  layout.add_obstacle(Rect(0, 0, 6, 10), 0);
+  layout.add_obstacle(Rect(4, 0, 10, 10), 0);  // overlaps previous
+  EXPECT_DOUBLE_EQ(layout.obstacle_ratio(), 1.0);
+}
+
+TEST(Layout, ObstacleRatioAveragesOverLayers) {
+  Layout layout(10, 10, 2, 3.0);
+  layout.add_obstacle(Rect(0, 0, 10, 10), 0);  // covers layer 0 fully
+  EXPECT_DOUBLE_EQ(layout.obstacle_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace oar::geom

@@ -1,0 +1,166 @@
+#include "hanan/hanan_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oar::hanan {
+namespace {
+
+HananGrid unit_grid(std::int32_t h, std::int32_t v, std::int32_t m, double via = 1.0) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), via);
+}
+
+class IndexRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t, std::int32_t>> {};
+
+TEST_P(IndexRoundTripTest, CellIndexRoundTrip) {
+  const auto [H, V, M] = GetParam();
+  const HananGrid grid = unit_grid(H, V, M);
+  for (Vertex idx = 0; idx < grid.num_vertices(); ++idx) {
+    const Cell c = grid.cell(idx);
+    EXPECT_EQ(grid.index(c), idx);
+    EXPECT_GE(c.h, 0);
+    EXPECT_LT(c.h, H);
+    EXPECT_GE(c.v, 0);
+    EXPECT_LT(c.v, V);
+    EXPECT_GE(c.m, 0);
+    EXPECT_LT(c.m, M);
+  }
+}
+
+TEST_P(IndexRoundTripTest, PriorityRoundTripAndLexicographicOrder) {
+  const auto [H, V, M] = GetParam();
+  const HananGrid grid = unit_grid(H, V, M);
+  std::int64_t prev = -1;
+  // Walking (h, v, m) lexicographically must produce increasing priority.
+  for (std::int32_t h = 0; h < H; ++h) {
+    for (std::int32_t v = 0; v < V; ++v) {
+      for (std::int32_t m = 0; m < M; ++m) {
+        const Vertex idx = grid.index(h, v, m);
+        const std::int64_t p = grid.priority_of(idx);
+        EXPECT_EQ(p, prev + 1);
+        EXPECT_EQ(grid.vertex_at_priority(p), idx);
+        prev = p;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, IndexRoundTripTest,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{4, 3, 2},
+                                           std::tuple{5, 5, 1}, std::tuple{2, 7, 3},
+                                           std::tuple{9, 4, 6}));
+
+TEST(HananGrid, NeighborCostsMatchSteps) {
+  HananGrid grid(3, 3, 2, {2.0, 5.0}, {1.0, 7.0}, 4.0);
+  const Vertex center = grid.index(1, 1, 0);
+  std::map<Vertex, double> nbrs;
+  grid.for_each_neighbor(center, [&](Vertex n, double c) { nbrs[n] = c; });
+  EXPECT_EQ(nbrs.size(), 5u);  // 4 in-plane + 1 via up
+  EXPECT_DOUBLE_EQ(nbrs[grid.index(2, 1, 0)], 5.0);
+  EXPECT_DOUBLE_EQ(nbrs[grid.index(0, 1, 0)], 2.0);
+  EXPECT_DOUBLE_EQ(nbrs[grid.index(1, 2, 0)], 7.0);
+  EXPECT_DOUBLE_EQ(nbrs[grid.index(1, 0, 0)], 1.0);
+  EXPECT_DOUBLE_EQ(nbrs[grid.index(1, 1, 1)], 4.0);
+}
+
+TEST(HananGrid, BlockedVertexRemovesIncidentEdges) {
+  HananGrid grid = unit_grid(3, 3, 1);
+  grid.block_vertex(grid.index(1, 1, 0));
+  int count = 0;
+  grid.for_each_neighbor(grid.index(0, 1, 0), [&](Vertex, double) { ++count; });
+  EXPECT_EQ(count, 2);  // up and down remain; right is blocked
+  // Neighbors of the blocked vertex itself: none are usable.
+  int blocked_count = 0;
+  grid.for_each_neighbor(grid.index(1, 1, 0), [&](Vertex, double) { ++blocked_count; });
+  EXPECT_EQ(blocked_count, 0);
+}
+
+TEST(HananGrid, ExplicitEdgeBlock) {
+  HananGrid grid = unit_grid(2, 1, 1);
+  EXPECT_TRUE(grid.edge_usable(grid.index(0, 0, 0), Dir::kPosX));
+  grid.block_edge(grid.index(0, 0, 0), Dir::kPosX);
+  EXPECT_FALSE(grid.edge_usable(grid.index(0, 0, 0), Dir::kPosX));
+}
+
+TEST(HananGrid, CostBetweenAdjacent) {
+  HananGrid grid(3, 2, 2, {2.0, 3.0}, {6.0}, 9.0);
+  EXPECT_DOUBLE_EQ(grid.cost_between(grid.index(0, 0, 0), grid.index(1, 0, 0)), 2.0);
+  EXPECT_DOUBLE_EQ(grid.cost_between(grid.index(2, 0, 0), grid.index(1, 0, 0)), 3.0);
+  EXPECT_DOUBLE_EQ(grid.cost_between(grid.index(1, 0, 0), grid.index(1, 1, 0)), 6.0);
+  EXPECT_DOUBLE_EQ(grid.cost_between(grid.index(1, 1, 0), grid.index(1, 1, 1)), 9.0);
+}
+
+TEST(HananGrid, PinManagement) {
+  HananGrid grid = unit_grid(3, 3, 1);
+  const Vertex p = grid.index(2, 2, 0);
+  EXPECT_FALSE(grid.is_pin(p));
+  grid.add_pin(p);
+  grid.add_pin(p);  // duplicate is a no-op
+  EXPECT_TRUE(grid.is_pin(p));
+  EXPECT_EQ(grid.pins().size(), 1u);
+}
+
+TEST(HananGrid, BlockedRatio) {
+  HananGrid grid = unit_grid(2, 2, 1);
+  EXPECT_DOUBLE_EQ(grid.blocked_ratio(), 0.0);
+  grid.block_vertex(grid.index(0, 0, 0));
+  EXPECT_DOUBLE_EQ(grid.blocked_ratio(), 0.25);
+}
+
+TEST(HananGrid, ValidateReportsProblems) {
+  HananGrid good = unit_grid(3, 3, 2);
+  EXPECT_EQ(good.validate(), "");
+  HananGrid bad(3, 1, 1, {1.0, -2.0}, {}, 1.0);
+  EXPECT_NE(bad.validate().find("non-positive x step"), std::string::npos);
+}
+
+TEST(FromLayout, BuildsCutsFromPinsAndObstacles) {
+  geom::Layout layout(100, 100, 2, 3.0);
+  layout.add_pin(10, 20, 0);
+  layout.add_pin(80, 70, 1);
+  layout.add_obstacle(geom::Rect(30, 30, 50, 60), 0);
+  const HananGrid grid = HananGrid::from_layout(layout);
+  // x cuts: 10, 30, 50, 80; y cuts: 20, 30, 60, 70.
+  EXPECT_EQ(grid.h_dim(), 4);
+  EXPECT_EQ(grid.v_dim(), 4);
+  EXPECT_EQ(grid.m_dim(), 2);
+  EXPECT_DOUBLE_EQ(grid.x_step(0), 20.0);
+  EXPECT_DOUBLE_EQ(grid.x_step(1), 20.0);
+  EXPECT_DOUBLE_EQ(grid.x_step(2), 30.0);
+  EXPECT_DOUBLE_EQ(grid.via_cost(), 3.0);
+  EXPECT_EQ(grid.pins().size(), 2u);
+  EXPECT_EQ(grid.validate(), "");
+}
+
+TEST(FromLayout, ObstacleBlocksInteriorNotBoundary) {
+  geom::Layout layout(100, 100, 1, 1.0);
+  layout.add_pin(0, 0, 0);
+  layout.add_pin(40, 40, 0);  // creates a cut strictly inside the obstacle
+  layout.add_obstacle(geom::Rect(20, 20, 60, 60), 0);
+  const HananGrid grid = HananGrid::from_layout(layout);
+  // x cuts: 0, 20, 40, 60; y cuts the same.
+  // (40, 40) is strictly inside the obstacle -> blocked... but it is a pin.
+  // Use a non-pin interior vertex instead: none other than (40,40) here, so
+  // check boundary vertices are unblocked.
+  EXPECT_FALSE(grid.is_blocked(grid.index(1, 1, 0)));  // (20,20) corner
+  EXPECT_FALSE(grid.is_blocked(grid.index(3, 2, 0)));  // (60,40) boundary
+}
+
+TEST(FromLayout, EdgeAcrossObstacleInteriorIsBlocked) {
+  geom::Layout layout(100, 100, 1, 1.0);
+  layout.add_pin(0, 50, 0);
+  layout.add_pin(100, 50, 0);
+  layout.add_obstacle(geom::Rect(40, 0, 60, 100), 0);
+  const HananGrid grid = HananGrid::from_layout(layout);
+  // x cuts: 0, 40, 60, 100; y cuts: 0, 50, 100.  The edge 40->60 at y=50
+  // crosses the obstacle interior even though both endpoints are boundary.
+  const Vertex left = grid.index(1, 1, 0);
+  EXPECT_FALSE(grid.is_blocked(left));
+  EXPECT_FALSE(grid.edge_usable(left, Dir::kPosX));
+  // Travel along the obstacle's vertical boundary is allowed.
+  EXPECT_TRUE(grid.edge_usable(grid.index(1, 0, 0), Dir::kPosY));
+}
+
+}  // namespace
+}  // namespace oar::hanan

@@ -1,0 +1,132 @@
+// End-to-end integration: train briefly with combinatorial MCTS, route
+// layouts with the full RL router (Fig. 2 flow), compare against baselines
+// and check every structural invariant of the produced trees.
+
+#include <gtest/gtest.h>
+
+#include "core/oarsmtrl.hpp"
+
+namespace oar {
+namespace {
+
+rl::SelectorConfig tiny_selector() {
+  rl::SelectorConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 303;
+  return cfg;
+}
+
+TEST(Integration, TrainRouteValidate) {
+  auto selector = std::make_shared<rl::SteinerSelector>(tiny_selector());
+
+  rl::TrainConfig train;
+  train.sizes = {{6, 6, 2}};
+  train.layouts_per_size = 3;
+  train.stages = 2;
+  train.epochs_per_stage = 2;
+  train.augment_count = 4;
+  train.mcts.iterations_per_move = 16;
+  train.curriculum_stages = 1;
+  train.min_pins = 3;
+  train.max_pins = 5;
+  train.threads = 2;
+  rl::CombTrainer trainer(*selector, train);
+  const auto reports = trainer.train();
+  ASSERT_EQ(reports.size(), 2u);
+
+  core::RlRouter rl_router(selector);
+  steiner::Lin08Router lin08;
+
+  util::Rng rng(17);
+  gen::RandomGridSpec spec;
+  spec.h = 8;
+  spec.v = 8;
+  spec.m = 2;
+  spec.min_pins = 4;
+  spec.max_pins = 6;
+  spec.min_obstacles = 4;
+  spec.max_obstacles = 8;
+
+  int routed = 0;
+  for (int i = 0; i < 5; ++i) {
+    const hanan::HananGrid grid = gen::random_grid(spec, rng);
+    const auto ours = rl_router.route(grid);
+    if (!ours.connected) continue;
+    ++routed;
+    EXPECT_EQ(ours.tree.validate(grid.pins()), "");
+    EXPECT_GT(rl_router.last_timing().select_seconds, 0.0);
+    EXPECT_GE(rl_router.last_timing().total_seconds,
+              rl_router.last_timing().select_seconds);
+    // Kept Steiner points are irredundant.
+    for (auto s : ours.kept_steiner) EXPECT_GE(ours.tree.degree(s), 3);
+    // The RL tree must never be drastically worse than the plain OARMST:
+    // redundant-point removal guarantees it degenerates to Lin08's tree
+    // when the selected points are useless.
+    const auto base = lin08.route(grid);
+    EXPECT_LE(ours.cost, base.cost * 1.25);
+  }
+  EXPECT_GE(routed, 4);
+}
+
+TEST(Integration, GeometricLayoutEndToEnd) {
+  // Physical-coordinate flow: Layout -> Hanan grid -> route.
+  geom::Layout layout(200, 200, 3, 4.0);
+  layout.add_pin(10, 10, 0);
+  layout.add_pin(180, 20, 1);
+  layout.add_pin(40, 170, 2);
+  layout.add_pin(150, 150, 0);
+  layout.add_obstacle(geom::Rect(60, 60, 120, 120), 0);
+  layout.add_obstacle(geom::Rect(90, 10, 110, 50), 1);
+  ASSERT_EQ(layout.validate(), "");
+
+  const hanan::HananGrid grid = hanan::HananGrid::from_layout(layout);
+  ASSERT_EQ(grid.validate(), "");
+  EXPECT_EQ(grid.m_dim(), 3);
+  EXPECT_EQ(grid.pins().size(), 4u);
+
+  steiner::Lin18Router router;
+  const auto result = router.route(grid);
+  ASSERT_TRUE(result.connected);
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST(Integration, EvaluateStToMstRatioBelowOne) {
+  auto selector = std::make_shared<rl::SteinerSelector>(tiny_selector());
+  util::Rng rng(23);
+  gen::RandomGridSpec spec;
+  spec.h = 7;
+  spec.v = 7;
+  spec.m = 2;
+  spec.min_pins = 5;
+  spec.max_pins = 6;
+  spec.min_obstacles = 3;
+  spec.max_obstacles = 6;
+  std::vector<hanan::HananGrid> grids;
+  for (int i = 0; i < 6; ++i) grids.push_back(gen::random_grid(spec, rng));
+
+  const auto stats = rl::evaluate_st_to_mst(*selector, grids);
+  EXPECT_EQ(stats.count, 6);
+  // Tree attachment + redundancy removal keep the ST at or below the MST
+  // even for an untrained selector.
+  EXPECT_LE(stats.mean_st_mst_ratio, 1.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(stats.mean_inferences, 1.0);
+
+  rl::EvalOptions seq;
+  seq.sequential = true;
+  const auto seq_stats = rl::evaluate_st_to_mst(*selector, grids, seq);
+  EXPECT_EQ(seq_stats.count, 6);
+  EXPECT_GE(seq_stats.mean_inferences, 1.0);
+}
+
+TEST(Integration, PretrainedConfigIsLoadable) {
+  // The bundled-checkpoint helper must always return a usable selector.
+  const auto cfg = core::pretrained_selector_config();
+  rl::SteinerSelector selector(cfg);
+  EXPECT_GT(selector.net().num_parameters(), 0);
+  EXPECT_FALSE(core::default_checkpoint_path().empty());
+}
+
+}  // namespace
+}  // namespace oar

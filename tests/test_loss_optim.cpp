@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+namespace oar::nn {
+namespace {
+
+TEST(BceWithLogits, MatchesManualComputation) {
+  const Tensor logits = Tensor::from({0.0f, 2.0f, -3.0f});
+  const Tensor targets = Tensor::from({1.0f, 0.0f, 0.5f});
+  Tensor grad;
+  const double loss = bce_with_logits(logits, targets, grad);
+
+  auto manual = [](double x, double t) {
+    const double p = 1.0 / (1.0 + std::exp(-x));
+    return -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+  };
+  const double expected =
+      (manual(0, 1) + manual(2, 0) + manual(-3, 0.5)) / 3.0;
+  EXPECT_NEAR(loss, expected, 1e-9);
+}
+
+TEST(BceWithLogits, GradientIsSigmoidMinusTarget) {
+  const Tensor logits = Tensor::from({0.5f, -1.0f});
+  const Tensor targets = Tensor::from({0.0f, 1.0f});
+  Tensor grad;
+  bce_with_logits(logits, targets, grad);
+  auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  EXPECT_NEAR(grad[0], (sigmoid(0.5) - 0.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad[1], (sigmoid(-1.0) - 1.0) / 2.0, 1e-6);
+}
+
+TEST(BceWithLogits, ExtremeLogitsStayFinite) {
+  const Tensor logits = Tensor::from({80.0f, -80.0f});
+  const Tensor targets = Tensor::from({0.0f, 1.0f});
+  Tensor grad;
+  const double loss = bce_with_logits(logits, targets, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 80.0, 1e-3);
+  EXPECT_TRUE(std::isfinite(grad[0]));
+}
+
+TEST(BceWithLogits, WeightMasksElements) {
+  const Tensor logits = Tensor::from({5.0f, 1.0f});
+  const Tensor targets = Tensor::from({0.0f, 1.0f});
+  const Tensor weight = Tensor::from({0.0f, 1.0f});
+  Tensor grad;
+  const double loss = bce_with_logits(logits, targets, grad, &weight);
+  // Only the second element contributes.
+  const double expected = -std::log(1.0 / (1.0 + std::exp(-1.0)));
+  EXPECT_NEAR(loss, expected, 1e-9);
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);
+}
+
+TEST(BceWithLogits, AllZeroWeightsGiveZeroLoss) {
+  const Tensor logits = Tensor::from({1.0f});
+  const Tensor targets = Tensor::from({1.0f});
+  const Tensor weight = Tensor::from({0.0f});
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(bce_with_logits(logits, targets, grad, &weight), 0.0);
+}
+
+TEST(Mse, ValueAndGradient) {
+  const Tensor pred = Tensor::from({2.0f, -1.0f});
+  const Tensor targets = Tensor::from({0.0f, -1.0f});
+  Tensor grad;
+  const double loss = mse(pred, targets, grad);
+  EXPECT_DOUBLE_EQ(loss, 2.0);  // (4 + 0) / 2
+  EXPECT_FLOAT_EQ(grad[0], 2.0f);
+  EXPECT_FLOAT_EQ(grad[1], 0.0f);
+}
+
+/// One-parameter quadratic f(w) = (w - 3)^2 minimized by each optimizer.
+class QuadraticModel : public Module {
+ public:
+  QuadraticModel() { w_ = Parameter("w", Tensor::from({0.0f})); }
+  Tensor forward(const Tensor&) override { return w_.value; }
+  Tensor backward(const Tensor&) override { return Tensor::from({0.0f}); }
+  void collect_parameters(std::vector<Parameter*>& out) override { out.push_back(&w_); }
+
+  void accumulate_grad() { w_.grad[0] += 2.0f * (w_.value[0] - 3.0f); }
+  float w() const { return w_.value[0]; }
+
+ private:
+  Parameter w_;
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  QuadraticModel model;
+  Sgd opt(model.parameters(), 0.05, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    model.accumulate_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(model.w(), 3.0f, 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  QuadraticModel model;
+  Adam opt(model.parameters(), 0.1);
+  for (int i = 0; i < 500; ++i) {
+    model.accumulate_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(model.w(), 3.0f, 1e-2);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  QuadraticModel model;
+  Adam opt(model.parameters(), 0.05, 0.9, 0.999, 1e-8, /*weight_decay=*/5.0);
+  for (int i = 0; i < 800; ++i) {
+    model.accumulate_grad();
+    opt.step();
+  }
+  EXPECT_LT(model.w(), 2.5f);  // decayed below the unregularized optimum
+  EXPECT_GT(model.w(), 0.0f);
+}
+
+TEST(Optimizer, StepClearsGradients) {
+  QuadraticModel model;
+  Sgd opt(model.parameters(), 0.01);
+  model.accumulate_grad();
+  opt.step();
+  EXPECT_FLOAT_EQ(model.parameters()[0]->grad[0], 0.0f);
+}
+
+TEST(Optimizer, ClipGradNorm) {
+  QuadraticModel model;
+  Sgd opt(model.parameters(), 0.01);
+  model.parameters()[0]->grad[0] = 30.0f;
+  const double pre = opt.clip_grad_norm(3.0);
+  EXPECT_DOUBLE_EQ(pre, 30.0);
+  EXPECT_NEAR(model.parameters()[0]->grad[0], 3.0f, 1e-5);
+  // Below the threshold: untouched.
+  model.parameters()[0]->grad[0] = 1.0f;
+  opt.clip_grad_norm(3.0);
+  EXPECT_FLOAT_EQ(model.parameters()[0]->grad[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace oar::nn

@@ -1,0 +1,163 @@
+#include "route/maze.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "util/rng.hpp"
+
+namespace oar::route {
+namespace {
+
+using hanan::HananGrid;
+
+HananGrid unit_grid(std::int32_t h, std::int32_t v, std::int32_t m, double via = 1.0) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), via);
+}
+
+/// Brute-force Bellman-Ford style relaxation for reference distances.
+std::vector<double> reference_distances(const HananGrid& grid, Vertex source) {
+  const auto n = std::size_t(grid.num_vertices());
+  std::vector<double> dist(n, MazeRouter::kInf);
+  if (!grid.is_blocked(source)) dist[std::size_t(source)] = 0.0;
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (Vertex u = 0; u < grid.num_vertices(); ++u) {
+      if (dist[std::size_t(u)] == MazeRouter::kInf) continue;
+      grid.for_each_neighbor(u, [&](Vertex nb, double w) {
+        if (dist[std::size_t(u)] + w < dist[std::size_t(nb)] - 1e-12) {
+          dist[std::size_t(nb)] = dist[std::size_t(u)] + w;
+          changed = true;
+        }
+      });
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+TEST(Maze, StraightLineDistance) {
+  const HananGrid grid = unit_grid(5, 1, 1);
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(4, 0, 0)), 4.0);
+}
+
+TEST(Maze, ManhattanOnOpenGrid) {
+  const HananGrid grid = unit_grid(6, 6, 1);
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(5, 3, 0)), 8.0);
+}
+
+TEST(Maze, ViaCostCounts) {
+  const HananGrid grid = unit_grid(2, 2, 3, 10.0);
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(0, 0, 2)), 20.0);
+}
+
+TEST(Maze, RoutesAroundBlockage) {
+  HananGrid grid = unit_grid(3, 3, 1);
+  grid.block_vertex(grid.index(1, 1, 0));
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 1, 0)});
+  // Straight through the middle would be 2; the detour costs 4.
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(2, 1, 0)), 4.0);
+}
+
+TEST(Maze, UnreachableTargetReportsInfinity) {
+  HananGrid grid = unit_grid(3, 1, 1);
+  grid.block_vertex(grid.index(1, 0, 0));
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0)});
+  EXPECT_EQ(maze.dist(grid.index(2, 0, 0)), MazeRouter::kInf);
+}
+
+TEST(Maze, MultiSourceTakesNearest) {
+  const HananGrid grid = unit_grid(9, 1, 1);
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0), grid.index(8, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(6, 0, 0)), 2.0);
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(2, 0, 0)), 2.0);
+}
+
+TEST(Maze, EarlyExitReturnsCheapestTarget) {
+  const HananGrid grid = unit_grid(9, 1, 1);
+  MazeRouter maze(grid);
+  const Vertex t1 = grid.index(3, 0, 0), t2 = grid.index(7, 0, 0);
+  const Vertex reached = maze.run({grid.index(0, 0, 0)}, {t1, t2});
+  EXPECT_EQ(reached, t1);
+}
+
+TEST(Maze, PathEndpointsAndContinuity) {
+  HananGrid grid = unit_grid(4, 4, 2, 2.0);
+  grid.block_vertex(grid.index(1, 1, 0));
+  MazeRouter maze(grid);
+  const Vertex src = grid.index(0, 0, 0), dst = grid.index(3, 3, 1);
+  maze.run({src}, {dst});
+  const auto path = maze.path_to(dst);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), src);
+  EXPECT_EQ(path.back(), dst);
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    cost += grid.cost_between(path[i], path[i + 1]);
+  }
+  EXPECT_DOUBLE_EQ(cost, maze.dist(dst));
+}
+
+TEST(Maze, ReusableAcrossRunsWithEpochReset) {
+  const HananGrid grid = unit_grid(5, 5, 1);
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(4, 4, 0)), 8.0);
+  maze.run({grid.index(4, 4, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(0, 0, 0)), 8.0);
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(4, 4, 0)), 0.0);
+}
+
+TEST(Maze, BlockedSourceIsIgnored) {
+  HananGrid grid = unit_grid(3, 1, 1);
+  grid.block_vertex(grid.index(0, 0, 0));
+  MazeRouter maze(grid);
+  const Vertex reached = maze.run({grid.index(0, 0, 0)}, {grid.index(2, 0, 0)});
+  EXPECT_EQ(reached, hanan::kInvalidVertex);
+}
+
+class MazeRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MazeRandomTest, MatchesBruteForceOnRandomGrids) {
+  util::Rng rng(GetParam());
+  gen::RandomGridSpec spec;
+  spec.h = 5;
+  spec.v = 4;
+  spec.m = 2;
+  spec.min_pins = 2;
+  spec.max_pins = 4;
+  spec.min_obstacles = 2;
+  spec.max_obstacles = 5;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 9;
+  spec.ensure_routable = false;
+  const HananGrid grid = gen::random_grid(spec, rng);
+
+  const Vertex source = grid.pins().empty() ? 0 : grid.pins().front();
+  if (grid.is_blocked(source)) return;
+  MazeRouter maze(grid);
+  maze.run({source});
+  const auto reference = reference_distances(grid, source);
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (reference[std::size_t(v)] == MazeRouter::kInf) {
+      EXPECT_EQ(maze.dist(v), MazeRouter::kInf) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(maze.dist(v), reference[std::size_t(v)], 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MazeRandomTest,
+                         ::testing::Range(std::uint64_t(0), std::uint64_t(12)));
+
+}  // namespace
+}  // namespace oar::route

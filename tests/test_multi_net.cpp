@@ -1,0 +1,110 @@
+#include "core/multi_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "steiner/lin08.hpp"
+
+namespace oar::core {
+namespace {
+
+hanan::HananGrid open_grid(std::int32_t h, std::int32_t v, std::int32_t m) {
+  return hanan::HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                          std::vector<double>(std::size_t(v - 1), 1.0), 1.5);
+}
+
+TEST(MultiNet, RoutesIndependentNets) {
+  const auto grid = open_grid(8, 8, 2);
+  std::vector<Net> nets = {
+      {"a", {grid.index(0, 0, 0), grid.index(7, 0, 0)}},
+      {"b", {grid.index(0, 7, 0), grid.index(7, 7, 0)}},
+  };
+  steiner::Lin08Router router;
+  const auto summary = route_nets(grid, nets, router);
+  EXPECT_EQ(summary.routed, 2);
+  EXPECT_EQ(summary.failed, 0);
+  EXPECT_DOUBLE_EQ(summary.total_cost, 14.0);
+  for (const auto& net : summary.nets) {
+    EXPECT_TRUE(net.routed);
+    EXPECT_EQ(net.result.tree.validate({}), "");
+  }
+}
+
+TEST(MultiNet, RoutedWiresBlockLaterNets) {
+  // Net a routes along the only free row of layer 0; net b must detour
+  // through layer 1.
+  auto grid = open_grid(5, 3, 2);
+  for (std::int32_t h = 0; h < 5; ++h) {
+    if (h != 2) {
+      grid.block_vertex(grid.index(h, 0, 0));
+      grid.block_vertex(grid.index(h, 2, 0));
+    }
+  }
+  std::vector<Net> nets = {
+      {"a", {grid.index(0, 1, 0), grid.index(4, 1, 0)}},   // takes row 1
+      {"b", {grid.index(2, 0, 0), grid.index(2, 2, 0)}},   // must cross row 1
+  };
+  steiner::Lin08Router router;
+  const auto summary = route_nets(grid, nets, router);
+  ASSERT_EQ(summary.routed, 2);
+  // Net b's tree must use layer 1 (vias) because row 1 of layer 0 is taken.
+  bool uses_layer1 = false;
+  for (const auto v : summary.nets[1].result.tree.vertices()) {
+    if (grid.cell(v).m == 1) uses_layer1 = true;
+  }
+  EXPECT_TRUE(uses_layer1);
+}
+
+TEST(MultiNet, ReportsUnroutableNet) {
+  // Single layer: net a's wire walls off net b completely.
+  auto grid = open_grid(5, 5, 1);
+  std::vector<Net> nets = {
+      {"wall", {grid.index(2, 0, 0), grid.index(2, 4, 0)}},
+      {"cross", {grid.index(0, 2, 0), grid.index(4, 2, 0)}},
+  };
+  steiner::Lin08Router router;
+  const auto summary = route_nets(grid, nets, router);
+  EXPECT_EQ(summary.routed, 1);
+  EXPECT_EQ(summary.failed, 1);
+  EXPECT_TRUE(summary.nets[0].routed);
+  EXPECT_FALSE(summary.nets[1].routed);
+}
+
+TEST(MultiNet, SmallestFirstOrderChangesSequence) {
+  const auto grid = open_grid(10, 10, 2);
+  std::vector<Net> nets = {
+      {"big", {grid.index(0, 0, 0), grid.index(9, 9, 0), grid.index(0, 9, 0)}},
+      {"small", {grid.index(4, 4, 1), grid.index(5, 4, 1)}},
+  };
+  steiner::Lin08Router router;
+  const auto as_given = route_nets(grid, nets, router, NetOrder::kAsGiven);
+  const auto smallest = route_nets(grid, nets, router, NetOrder::kSmallestFirst);
+  ASSERT_EQ(as_given.nets.size(), 2u);
+  ASSERT_EQ(smallest.nets.size(), 2u);
+  EXPECT_EQ(as_given.nets[0].name, "big");
+  EXPECT_EQ(smallest.nets[0].name, "small");
+  EXPECT_EQ(smallest.routed, 2);
+}
+
+TEST(MultiNet, PinSwallowedByEarlierWireFailsCleanly) {
+  auto grid = open_grid(5, 1, 1);
+  std::vector<Net> nets = {
+      {"a", {grid.index(0, 0, 0), grid.index(4, 0, 0)}},
+      // Pin sits in the middle of net a's wire.
+      {"b", {grid.index(2, 0, 0), grid.index(3, 0, 0)}},
+  };
+  steiner::Lin08Router router;
+  const auto summary = route_nets(grid, nets, router);
+  EXPECT_TRUE(summary.nets[0].routed);
+  EXPECT_FALSE(summary.nets[1].routed);
+}
+
+TEST(MultiNet, EmptyNetListAndEmptyPins) {
+  const auto grid = open_grid(4, 4, 1);
+  steiner::Lin08Router router;
+  EXPECT_EQ(route_nets(grid, {}, router).nets.size(), 0u);
+  const auto summary = route_nets(grid, {{"empty", {}}}, router);
+  EXPECT_EQ(summary.failed, 1);
+}
+
+}  // namespace
+}  // namespace oar::core

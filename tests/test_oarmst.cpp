@@ -1,0 +1,168 @@
+#include "route/oarmst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "steiner/router_base.hpp"
+
+namespace oar::route {
+namespace {
+
+HananGrid unit_grid(std::int32_t h, std::int32_t v, std::int32_t m, double via = 1.0) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), via);
+}
+
+TEST(Oarmst, TwoPinsStraightLine) {
+  HananGrid grid = unit_grid(5, 1, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 0, 0));
+  OarmstRouter router(grid);
+  const auto result = router.build(grid.pins());
+  EXPECT_TRUE(result.connected);
+  EXPECT_DOUBLE_EQ(result.cost, 4.0);
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+}
+
+TEST(Oarmst, SteinerPointEnablesSharing) {
+  // Three pins in a T: explicit Steiner point at the junction saves length.
+  HananGrid grid = unit_grid(3, 3, 1);
+  grid.add_pin(grid.index(0, 2, 0));
+  grid.add_pin(grid.index(2, 2, 0));
+  grid.add_pin(grid.index(1, 0, 0));
+  OarmstRouter router(grid);
+  const Vertex junction = grid.index(1, 2, 0);
+  const auto with_sp = router.build(grid.pins(), {junction});
+  EXPECT_TRUE(with_sp.connected);
+  EXPECT_DOUBLE_EQ(with_sp.cost, 4.0);  // optimal Steiner tree
+  // The junction has degree 3 and is kept as irredundant.
+  EXPECT_EQ(with_sp.kept_steiner, std::vector<Vertex>{junction});
+  EXPECT_EQ(with_sp.tree.degree(junction), 3);
+}
+
+TEST(Oarmst, RedundantSteinerPointRemoved) {
+  HananGrid grid = unit_grid(5, 1, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 0, 0));
+  // A Steiner point on the direct path has degree 2 -> redundant.
+  const auto result = OarmstRouter(grid).build(grid.pins(), {grid.index(2, 0, 0)});
+  EXPECT_TRUE(result.kept_steiner.empty());
+  EXPECT_DOUBLE_EQ(result.cost, 4.0);
+}
+
+TEST(Oarmst, RedundantRemovalCanBeDisabled) {
+  HananGrid grid = unit_grid(5, 1, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 0, 0));
+  OarmstConfig cfg;
+  cfg.remove_redundant_steiner = false;
+  const auto result = OarmstRouter(grid, cfg).build(grid.pins(), {grid.index(2, 0, 0)});
+  EXPECT_EQ(result.kept_steiner.size(), 1u);
+}
+
+TEST(Oarmst, UselessSteinerPointDoesNotHurtAfterRemoval) {
+  HananGrid grid = unit_grid(6, 6, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(5, 5, 0));
+  OarmstRouter router(grid);
+  const double base = router.build(grid.pins()).cost;
+  // An off-path Steiner point is dropped by the redundancy filter.
+  const auto result = router.build(grid.pins(), {grid.index(5, 0, 0)});
+  EXPECT_DOUBLE_EQ(result.cost, base);
+}
+
+TEST(Oarmst, AvoidsObstacles) {
+  HananGrid grid = unit_grid(5, 3, 1);
+  for (std::int32_t v = 0; v < 3; ++v) grid.block_vertex(grid.index(2, v, 0));
+  grid.add_pin(grid.index(0, 1, 0));
+  grid.add_pin(grid.index(4, 1, 0));
+  const auto result = OarmstRouter(grid).build(grid.pins());
+  EXPECT_FALSE(result.connected);  // wall spans the full height on one layer
+}
+
+TEST(Oarmst, EscapesThroughSecondLayer) {
+  HananGrid grid = unit_grid(5, 3, 2, 1.5);
+  for (std::int32_t v = 0; v < 3; ++v) grid.block_vertex(grid.index(2, v, 0));
+  grid.add_pin(grid.index(0, 1, 0));
+  grid.add_pin(grid.index(4, 1, 0));
+  const auto result = OarmstRouter(grid).build(grid.pins());
+  EXPECT_TRUE(result.connected);
+  EXPECT_DOUBLE_EQ(result.cost, 4.0 + 2.0 * 1.5);  // 4 steps + 2 vias
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+}
+
+TEST(Oarmst, DuplicateAndInvalidSteinerInputsFiltered) {
+  HananGrid grid = unit_grid(4, 4, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(3, 3, 0));
+  grid.block_vertex(grid.index(2, 2, 0));
+  OarmstRouter router(grid);
+  const auto result = router.build(
+      grid.pins(),
+      {grid.index(0, 0, 0),        // coincides with a pin
+       grid.index(2, 2, 0),        // blocked
+       grid.index(1, 1, 0), grid.index(1, 1, 0),  // duplicate
+       Vertex(-3), Vertex(9999)});                // out of range
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+}
+
+TEST(Oarmst, TreeAttachmentBeatsTerminalOnlyMst) {
+  // Three collinear-ish pins where a T-junction helps.
+  HananGrid grid = unit_grid(5, 5, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 0, 0));
+  grid.add_pin(grid.index(2, 4, 0));
+
+  OarmstConfig tree_cfg;  // defaults: tree attachment, union length
+  const double st = OarmstRouter(grid, tree_cfg).build(grid.pins()).cost;
+  const double mst = steiner::mst_cost(grid);
+  EXPECT_LE(st, mst);
+  EXPECT_DOUBLE_EQ(st, 8.0);   // trunk + stub via T-junction
+  EXPECT_DOUBLE_EQ(mst, 10.0); // two pairwise paths
+}
+
+TEST(Oarmst, SinglePinZeroCost) {
+  HananGrid grid = unit_grid(3, 3, 1);
+  grid.add_pin(grid.index(1, 1, 0));
+  const auto result = OarmstRouter(grid).build(grid.pins());
+  EXPECT_TRUE(result.connected);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+class OarmstPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OarmstPropertyTest, RandomGridsProduceValidTrees) {
+  util::Rng rng(GetParam());
+  gen::RandomGridSpec spec;
+  spec.h = 8;
+  spec.v = 8;
+  spec.m = 2;
+  spec.min_pins = 3;
+  spec.max_pins = 6;
+  spec.min_obstacles = 4;
+  spec.max_obstacles = 10;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 20;
+  const HananGrid grid = gen::random_grid(spec, rng);
+
+  OarmstRouter router(grid);
+  const auto result = router.build(grid.pins());
+  ASSERT_TRUE(result.connected);
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+
+  // Union-length ST cost never exceeds the terminal-only sum-of-paths MST.
+  EXPECT_LE(result.cost, steiner::mst_cost(grid) + 1e-9);
+
+  // Kept Steiner points all have degree >= 3.
+  const auto with_sp = router.build(grid.pins(), {grid.index(4, 4, 0)});
+  for (Vertex s : with_sp.kept_steiner) {
+    EXPECT_GE(with_sp.tree.degree(s), 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OarmstPropertyTest,
+                         ::testing::Range(std::uint64_t(100), std::uint64_t(116)));
+
+}  // namespace
+}  // namespace oar::route

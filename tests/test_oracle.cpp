@@ -1,0 +1,86 @@
+#include "steiner/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "steiner/lin08.hpp"
+#include "steiner/lin18.hpp"
+#include "steiner/liu14.hpp"
+
+namespace oar::steiner {
+namespace {
+
+HananGrid tiny_grid(std::uint64_t seed, std::int32_t pins = 4) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 5;
+  spec.v = 5;
+  spec.m = 2;
+  spec.min_pins = pins;
+  spec.max_pins = pins;
+  spec.min_obstacles = 2;
+  spec.max_obstacles = 4;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 9;
+  return gen::random_grid(spec, rng);
+}
+
+TEST(Oracle, FindsTheKnownOptimalCross) {
+  HananGrid grid(5, 5, 1, std::vector<double>(4, 1.0), std::vector<double>(4, 1.0),
+                 1.0);
+  grid.add_pin(grid.index(0, 2, 0));
+  grid.add_pin(grid.index(4, 2, 0));
+  grid.add_pin(grid.index(2, 0, 0));
+  grid.add_pin(grid.index(2, 4, 0));
+  OracleRouter oracle(OracleConfig{2, 0});
+  const auto result = oracle.route(grid);
+  EXPECT_DOUBLE_EQ(result.cost, 8.0);
+  EXPECT_TRUE(oracle.last_exhaustive());
+  EXPECT_GT(oracle.last_evaluations(), 1);
+}
+
+class OracleBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleBoundTest, LowerBoundsEveryHeuristic) {
+  const HananGrid grid = tiny_grid(GetParam());
+  OracleRouter oracle(OracleConfig{2, 0});
+  const double opt = oracle.route(grid).cost;
+
+  EXPECT_LE(opt, Lin08Router().route(grid).cost + 1e-9);
+  EXPECT_LE(opt, Liu14Router().route(grid).cost + 1e-9);
+  EXPECT_LE(opt, Lin18Router().route(grid).cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleBoundTest,
+                         ::testing::Range(std::uint64_t(1), std::uint64_t(9)));
+
+TEST(Oracle, SubsetBudgetIsMonotone) {
+  const HananGrid grid = tiny_grid(77, 5);
+  const double c0 = OracleRouter(OracleConfig{0, 0}).route(grid).cost;
+  const double c1 = OracleRouter(OracleConfig{1, 0}).route(grid).cost;
+  const double c2 = OracleRouter(OracleConfig{2, 0}).route(grid).cost;
+  EXPECT_LE(c1, c0 + 1e-9);
+  EXPECT_LE(c2, c1 + 1e-9);
+}
+
+TEST(Oracle, EvaluationCapTruncates) {
+  const HananGrid grid = tiny_grid(5, 5);
+  OracleRouter capped(OracleConfig{2, 10});
+  const auto result = capped.route(grid);
+  EXPECT_TRUE(result.connected);
+  EXPECT_LE(capped.last_evaluations(), 10);
+  EXPECT_FALSE(capped.last_exhaustive());
+}
+
+TEST(Oracle, TwoPinLayoutIsJustTheShortestPath) {
+  HananGrid grid(4, 1, 1, std::vector<double>(3, 2.0), {}, 1.0);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(3, 0, 0));
+  OracleRouter oracle;
+  const auto result = oracle.route(grid);
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_EQ(oracle.last_evaluations(), 1);  // budget is n-2 = 0
+}
+
+}  // namespace
+}  // namespace oar::steiner

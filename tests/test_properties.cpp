@@ -1,0 +1,134 @@
+// Cross-module property tests: invariants that tie the substrates together
+// (encoding vs augmentation, routers vs transforms, selector vs encoding).
+
+#include <gtest/gtest.h>
+
+#include "core/oarsmtrl.hpp"
+#include "rl/augment.hpp"
+
+namespace oar {
+namespace {
+
+hanan::HananGrid property_grid(std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 7;
+  spec.v = 5;
+  spec.m = 3;
+  spec.min_pins = 4;
+  spec.max_pins = 6;
+  spec.min_obstacles = 3;
+  spec.max_obstacles = 6;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 8;
+  return gen::random_grid(spec, rng);
+}
+
+class EncodingAugmentTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EncodingAugmentTest, PinObstacleChannelsFollowTheTransform) {
+  const auto grid = property_grid(11);
+  const auto spec = rl::all_augmentations()[GetParam()];
+  const auto transformed = rl::transform_grid(grid, spec);
+
+  const auto base = hanan::encode_features(grid);
+  const auto trans = hanan::encode_features(transformed);
+
+  for (hanan::Vertex v = 0; v < grid.num_vertices(); ++v) {
+    const auto c = grid.cell(v);
+    const hanan::Vertex tv = rl::transform_vertex(grid, v, spec);
+    const auto tc = transformed.cell(tv);
+    // Channel 0 (pin) and 1 (obstacle) are scalar fields: they must move
+    // with the vertex under any rotation/reflection.
+    EXPECT_FLOAT_EQ(trans.at(0, tc.h, tc.v, tc.m), base.at(0, c.h, c.v, c.m));
+    EXPECT_FLOAT_EQ(trans.at(1, tc.h, tc.v, tc.m), base.at(1, c.h, c.v, c.m));
+    // The four direction-cost channels permute among themselves; their sum
+    // at a vertex is rotation/reflection invariant.
+    const float base_sum = base.at(2, c.h, c.v, c.m) + base.at(3, c.h, c.v, c.m) +
+                           base.at(4, c.h, c.v, c.m) + base.at(5, c.h, c.v, c.m);
+    const float trans_sum = trans.at(2, tc.h, tc.v, tc.m) +
+                            trans.at(3, tc.h, tc.v, tc.m) +
+                            trans.at(4, tc.h, tc.v, tc.m) +
+                            trans.at(5, tc.h, tc.v, tc.m);
+    EXPECT_NEAR(trans_sum, base_sum, 1e-5);
+    // Via channel is uniform and invariant.
+    EXPECT_FLOAT_EQ(trans.at(6, tc.h, tc.v, tc.m), base.at(6, c.h, c.v, c.m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransforms, EncodingAugmentTest,
+                         ::testing::Range(std::size_t(0), std::size_t(16)));
+
+class RouterTransformInvarianceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RouterTransformInvarianceTest, BaselineCostsAreTransformInvariant) {
+  const auto grid = property_grid(23);
+  const auto spec = rl::all_augmentations()[GetParam()];
+  const auto transformed = rl::transform_grid(grid, spec);
+
+  steiner::Lin18Router lin18;
+  const double a = lin18.route(grid).cost;
+  const double b = lin18.route(transformed).cost;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleTransforms, RouterTransformInvarianceTest,
+                         ::testing::Values(std::size_t(0), std::size_t(3),
+                                           std::size_t(5), std::size_t(10),
+                                           std::size_t(15)));
+
+TEST(SelectorEncodingProperty, FspDependsOnlyOnTheEncodedState) {
+  // Two grids with identical encodings must produce identical fsp maps.
+  rl::SelectorConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 5;
+  rl::SteinerSelector selector(cfg);
+  const auto grid = property_grid(31);
+  const auto fsp1 = selector.infer_fsp(grid);
+  const auto fsp2 = selector.infer_fsp(grid);
+  ASSERT_EQ(fsp1.size(), fsp2.size());
+  for (std::size_t i = 0; i < fsp1.size(); ++i) EXPECT_DOUBLE_EQ(fsp1[i], fsp2[i]);
+}
+
+TEST(OarmstProperty, AddingTheKeptSteinerSetBackReproducesTheCost) {
+  // Routing with exactly the irredundant Steiner set of a previous result
+  // must not be worse than that result (idempotence of the removal loop).
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    const auto grid = property_grid(seed);
+    route::OarmstRouter router(grid);
+    const auto first = router.build(grid.pins(), {grid.index(3, 2, 1)});
+    if (!first.connected) continue;
+    const auto second = router.build(grid.pins(), first.kept_steiner);
+    EXPECT_LE(second.cost, first.cost + 1e-9);
+  }
+}
+
+TEST(MstProperty, MstUpperBoundsEveryRouter) {
+  for (std::uint64_t seed = 50; seed < 56; ++seed) {
+    const auto grid = property_grid(seed);
+    const double mst = steiner::mst_cost(grid);
+    steiner::Lin08Router lin08;
+    steiner::Lin18Router lin18;
+    const auto a = lin08.route(grid);
+    const auto b = lin18.route(grid);
+    if (!a.connected || !b.connected) continue;
+    EXPECT_LE(a.cost, mst + 1e-9);
+    EXPECT_LE(b.cost, mst + 1e-9);
+  }
+}
+
+TEST(GridIoProperty, RoutingCostSurvivesSerialization) {
+  for (std::uint64_t seed = 60; seed < 64; ++seed) {
+    const auto grid = property_grid(seed);
+    std::stringstream buffer;
+    ASSERT_TRUE(gen::write_grid(grid, buffer));
+    const auto loaded = gen::read_grid(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    steiner::Lin08Router router;
+    EXPECT_NEAR(router.route(grid).cost, router.route(*loaded).cost, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace oar

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "steiner/lin08.hpp"
+
+namespace oar::gen {
+namespace {
+
+TEST(RandomLayout, RespectsSpec) {
+  util::Rng rng(1);
+  RandomLayoutSpec spec;
+  spec.width = 500;
+  spec.height = 400;
+  spec.layers = 3;
+  spec.min_pins = 5;
+  spec.max_pins = 7;
+  spec.min_obstacles = 2;
+  spec.max_obstacles = 4;
+  for (int i = 0; i < 10; ++i) {
+    const geom::Layout layout = random_layout(spec, rng);
+    EXPECT_EQ(layout.width(), 500);
+    EXPECT_EQ(layout.height(), 400);
+    EXPECT_EQ(layout.num_layers(), 3);
+    EXPECT_GE(layout.pins().size(), 5u);
+    EXPECT_LE(layout.pins().size(), 7u);
+    EXPECT_GE(layout.obstacles().size(), 2u);
+    EXPECT_LE(layout.obstacles().size(), 4u);
+    EXPECT_EQ(layout.validate(), "") << "trial " << i;
+  }
+}
+
+TEST(RandomLayout, NoBuriedPins) {
+  util::Rng rng(2);
+  RandomLayoutSpec spec;
+  spec.min_obstacles = 6;
+  spec.max_obstacles = 10;
+  spec.max_obstacle_frac = 0.5;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(random_layout(spec, rng).has_buried_pin());
+  }
+}
+
+TEST(RandomLayout, ConvertsAndRoutesEndToEnd) {
+  util::Rng rng(3);
+  RandomLayoutSpec spec;
+  spec.layers = 4;
+  int routed = 0;
+  for (int i = 0; i < 6; ++i) {
+    const geom::Layout layout = random_layout(spec, rng);
+    const hanan::HananGrid grid = hanan::HananGrid::from_layout(layout);
+    ASSERT_EQ(grid.validate(), "");
+    steiner::Lin08Router router;
+    const auto result = router.route(grid);
+    if (result.connected) {
+      ++routed;
+      EXPECT_EQ(result.tree.validate(grid.pins()), "");
+    }
+  }
+  EXPECT_GE(routed, 5);  // multi-layer layouts are almost always routable
+}
+
+TEST(RandomLayout, DeterministicForSeed) {
+  RandomLayoutSpec spec;
+  util::Rng r1(9), r2(9);
+  const geom::Layout a = random_layout(spec, r1);
+  const geom::Layout b = random_layout(spec, r2);
+  EXPECT_EQ(a.pins(), b.pins());
+  EXPECT_EQ(a.obstacles(), b.obstacles());
+  EXPECT_DOUBLE_EQ(a.via_cost(), b.via_cost());
+}
+
+}  // namespace
+}  // namespace oar::gen

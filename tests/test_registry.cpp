@@ -1,0 +1,68 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/random_layout.hpp"
+#include "steiner/lin08.hpp"
+#include "steiner/lin18.hpp"
+
+namespace oar::core {
+namespace {
+
+TEST(Registry, BuiltInsArePresent) {
+  auto& registry = RouterRegistry::instance();
+  for (const char* name : {"lin08", "liu14", "lin18", "oracle", "rl-ours"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.contains("nope"));
+  EXPECT_EQ(registry.create("nope"), nullptr);
+}
+
+TEST(Registry, NamesAreSorted) {
+  const auto names = RouterRegistry::instance().names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, CreatedRouterRoutes) {
+  auto router = RouterRegistry::instance().create("lin08");
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(router->name(), "lin08");
+
+  util::Rng rng(3);
+  gen::RandomGridSpec spec;
+  spec.h = 6;
+  spec.v = 6;
+  spec.m = 2;
+  spec.min_obstacles = 2;
+  spec.max_obstacles = 4;
+  const auto grid = gen::random_grid(spec, rng);
+  const auto result = router->route(grid);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.tree.validate(grid.pins()), "");
+}
+
+TEST(Registry, CustomRegistrationAndReplacement) {
+  RouterRegistry registry;
+  int calls = 0;
+  registry.register_router("custom", [&calls] {
+    ++calls;
+    return std::unique_ptr<steiner::Router>(new steiner::Lin08Router());
+  });
+  EXPECT_TRUE(registry.contains("custom"));
+  auto r = registry.create("custom");
+  EXPECT_NE(r, nullptr);
+  EXPECT_EQ(calls, 1);
+
+  // Replacement under the same name wins.
+  registry.register_router("custom", [] {
+    return std::unique_ptr<steiner::Router>(new steiner::Lin18Router());
+  });
+  EXPECT_EQ(registry.create("custom")->name(), "lin18");
+  EXPECT_EQ(registry.names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace oar::core

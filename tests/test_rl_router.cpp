@@ -1,0 +1,89 @@
+#include "core/rl_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_layout.hpp"
+#include "steiner/lin08.hpp"
+
+namespace oar::core {
+namespace {
+
+std::shared_ptr<rl::SteinerSelector> tiny_selector() {
+  rl::SelectorConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 404;
+  return std::make_shared<rl::SteinerSelector>(cfg);
+}
+
+hanan::HananGrid test_grid(std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 8;
+  spec.v = 8;
+  spec.m = 2;
+  spec.min_pins = 5;
+  spec.max_pins = 6;
+  spec.min_obstacles = 4;
+  spec.max_obstacles = 8;
+  return gen::random_grid(spec, rng);
+}
+
+TEST(RlRouterTest, NamesReflectConfig) {
+  auto selector = tiny_selector();
+  EXPECT_EQ(RlRouter(selector).name(), "rl-ours");
+  EXPECT_EQ(RlRouter(selector, RlRouterConfig{true}).name(), "rl-ours+sweep");
+}
+
+TEST(RlRouterTest, ProducesValidTreesAndTimings) {
+  auto selector = tiny_selector();
+  RlRouter router(selector);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto grid = test_grid(seed);
+    const auto result = router.route(grid);
+    if (!result.connected) continue;
+    EXPECT_EQ(result.tree.validate(grid.pins()), "");
+    EXPECT_GT(router.last_timing().select_seconds, 0.0);
+    EXPECT_GE(router.last_timing().total_seconds,
+              router.last_timing().select_seconds);
+  }
+}
+
+class PrefixSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixSweepTest, SweepNeverLosesToPlainOrTopK) {
+  auto selector = tiny_selector();
+  RlRouter plain(selector);
+  RlRouter swept(selector, RlRouterConfig{true});
+  steiner::Lin08Router lin08;
+
+  const auto grid = test_grid(GetParam());
+  const auto p = plain.route(grid);
+  const auto s = swept.route(grid);
+  const auto base = lin08.route(grid);
+  if (!p.connected || !s.connected || !base.connected) return;
+  // Sweep includes the top-(n-2) choice and the empty prefix, so it can
+  // lose to neither.
+  EXPECT_LE(s.cost, p.cost + 1e-9);
+  EXPECT_LE(s.cost, base.cost + 1e-9);
+  EXPECT_EQ(s.tree.validate(grid.pins()), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixSweepTest,
+                         ::testing::Range(std::uint64_t(10), std::uint64_t(20)));
+
+TEST(RlRouterTest, TwoPinNetNeedsNoSteinerPoints) {
+  auto selector = tiny_selector();
+  RlRouter router(selector);
+  hanan::HananGrid grid(5, 5, 1, std::vector<double>(4, 1.0),
+                        std::vector<double>(4, 1.0), 1.0);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 4, 0));
+  const auto result = router.route(grid);
+  EXPECT_TRUE(result.connected);
+  EXPECT_TRUE(result.kept_steiner.empty());
+  EXPECT_DOUBLE_EQ(result.cost, 8.0);
+}
+
+}  // namespace
+}  // namespace oar::core

@@ -1,0 +1,88 @@
+#include "route/route_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oar::route {
+namespace {
+
+HananGrid unit_grid(std::int32_t h, std::int32_t v, std::int32_t m, double via = 1.0) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), via);
+}
+
+TEST(RouteTree, AddEdgeDeduplicates) {
+  const HananGrid grid = unit_grid(3, 1, 1);
+  RouteTree tree(&grid);
+  EXPECT_TRUE(tree.add_edge(0, 1));
+  EXPECT_FALSE(tree.add_edge(1, 0));  // same edge, reversed
+  EXPECT_EQ(tree.num_edges(), 1u);
+  EXPECT_EQ(tree.degree(0), 1);
+  EXPECT_EQ(tree.degree(1), 1);
+}
+
+TEST(RouteTree, AddPathAndDegrees) {
+  const HananGrid grid = unit_grid(4, 1, 1);
+  RouteTree tree(&grid);
+  tree.add_path({0, 1, 2, 3});
+  EXPECT_EQ(tree.num_edges(), 3u);
+  EXPECT_EQ(tree.degree(0), 1);
+  EXPECT_EQ(tree.degree(1), 2);
+  EXPECT_EQ(tree.degree(3), 1);
+  EXPECT_TRUE(tree.contains_vertex(2));
+  EXPECT_FALSE(tree.contains_vertex(99));
+}
+
+TEST(RouteTree, CostSumsEdgeCosts) {
+  HananGrid grid(3, 2, 1, {2.0, 7.0}, {5.0}, 1.0);
+  RouteTree tree(&grid);
+  tree.add_edge(grid.index(0, 0, 0), grid.index(1, 0, 0));  // 2
+  tree.add_edge(grid.index(1, 0, 0), grid.index(2, 0, 0));  // 7
+  tree.add_edge(grid.index(1, 0, 0), grid.index(1, 1, 0));  // 5
+  EXPECT_DOUBLE_EQ(tree.cost(), 14.0);
+}
+
+TEST(RouteTree, ValidateAcceptsConnectedTree) {
+  const HananGrid grid = unit_grid(3, 3, 1);
+  RouteTree tree(&grid);
+  tree.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0), grid.index(2, 0, 0)});
+  EXPECT_EQ(tree.validate({grid.index(0, 0, 0), grid.index(2, 0, 0)}), "");
+}
+
+TEST(RouteTree, ValidateFlagsUnreachedTerminal) {
+  const HananGrid grid = unit_grid(3, 3, 1);
+  RouteTree tree(&grid);
+  tree.add_edge(grid.index(0, 0, 0), grid.index(1, 0, 0));
+  const auto report = tree.validate({grid.index(0, 0, 0), grid.index(2, 2, 0)});
+  EXPECT_NE(report.find("terminal unreached"), std::string::npos);
+}
+
+TEST(RouteTree, ValidateFlagsCycle) {
+  const HananGrid grid = unit_grid(2, 2, 1);
+  RouteTree tree(&grid);
+  tree.add_edge(grid.index(0, 0, 0), grid.index(1, 0, 0));
+  tree.add_edge(grid.index(1, 0, 0), grid.index(1, 1, 0));
+  tree.add_edge(grid.index(1, 1, 0), grid.index(0, 1, 0));
+  tree.add_edge(grid.index(0, 1, 0), grid.index(0, 0, 0));
+  const auto report = tree.validate({grid.index(0, 0, 0)});
+  EXPECT_NE(report.find("cycle"), std::string::npos);
+}
+
+TEST(RouteTree, ValidateFlagsBlockedVertex) {
+  HananGrid grid = unit_grid(3, 1, 1);
+  RouteTree tree(&grid);
+  tree.add_edge(grid.index(0, 0, 0), grid.index(1, 0, 0));
+  grid.block_vertex(grid.index(1, 0, 0));
+  const auto report = tree.validate({grid.index(0, 0, 0)});
+  EXPECT_NE(report.find("blocked"), std::string::npos);
+}
+
+TEST(RouteTree, VerticesSortedUnique) {
+  const HananGrid grid = unit_grid(4, 1, 1);
+  RouteTree tree(&grid);
+  tree.add_path({3, 2, 1});
+  const auto vs = tree.vertices();
+  EXPECT_EQ(vs, (std::vector<Vertex>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace oar::route

@@ -1,0 +1,98 @@
+#include "gen/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gen/random_layout.hpp"
+#include "route/oarmst.hpp"
+
+namespace oar::gen {
+namespace {
+
+using hanan::HananGrid;
+
+HananGrid sample_grid() {
+  util::Rng rng(7);
+  RandomGridSpec spec;
+  spec.h = 6;
+  spec.v = 6;
+  spec.m = 2;
+  spec.min_pins = 4;
+  spec.max_pins = 4;
+  spec.min_obstacles = 3;
+  spec.max_obstacles = 5;
+  return random_grid(spec, rng);
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  const HananGrid grid = sample_grid();
+  const std::string svg = render_svg(grid);
+  EXPECT_EQ(svg.find("<svg"), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One panel label per layer.
+  EXPECT_NE(svg.find("layer 0"), std::string::npos);
+  EXPECT_NE(svg.find("layer 1"), std::string::npos);
+  EXPECT_EQ(svg.find("layer 2"), std::string::npos);
+}
+
+TEST(Svg, DrawsAllPins) {
+  const HananGrid grid = sample_grid();
+  const std::string svg = render_svg(grid);
+  std::size_t circles = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    pos += 7;
+  }
+  EXPECT_EQ(circles, grid.pins().size());  // no Steiner points passed
+}
+
+TEST(Svg, DrawsTreeEdgesAndVias) {
+  const HananGrid grid = sample_grid();
+  route::OarmstRouter router(grid);
+  const auto result = router.build(grid.pins());
+  ASSERT_TRUE(result.connected);
+  const std::string svg =
+      render_svg(grid, &result.tree, result.kept_steiner);
+  // Wire color appears when in-plane edges exist.
+  SvgOptions options;
+  EXPECT_NE(svg.find(options.wire_color), std::string::npos);
+}
+
+TEST(Svg, SteinerPointsUseDistinctColor) {
+  const HananGrid grid = sample_grid();
+  hanan::Vertex sp = hanan::kInvalidVertex;
+  for (hanan::Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (!grid.is_pin(v) && !grid.is_blocked(v)) {
+      sp = v;
+      break;
+    }
+  }
+  const std::string svg = render_svg(grid, nullptr, {sp});
+  SvgOptions options;
+  EXPECT_NE(svg.find(options.steiner_color), std::string::npos);
+}
+
+TEST(Svg, SaveWritesFile) {
+  const std::string path = ::testing::TempDir() + "/layout.svg";
+  const HananGrid grid = sample_grid();
+  ASSERT_TRUE(save_svg(path, grid));
+  std::ifstream in(path);
+  ASSERT_TRUE(bool(in));
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, GridLinesToggle) {
+  const HananGrid grid = sample_grid();
+  SvgOptions with, without;
+  without.draw_grid_lines = false;
+  EXPECT_GT(render_svg(grid, nullptr, {}, with).size(),
+            render_svg(grid, nullptr, {}, without).size());
+}
+
+}  // namespace
+}  // namespace oar::gen

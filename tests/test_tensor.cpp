@@ -1,0 +1,89 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oar::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.shape(1), 3);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_FLOAT_EQ(t[0], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_FLOAT_EQ(t[2], -1.0f);
+}
+
+TEST(Tensor, MultiIndexAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+  t.at({0, 1}) = 3.0f;
+  EXPECT_FLOAT_EQ(t[1], 3.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from({1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({2, 3});
+  EXPECT_EQ(r.dim(), 2);
+  EXPECT_FLOAT_EQ(r.at({1, 0}), 4.0f);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({10, 20, 30});
+  a += b;
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[1], 14.0f);
+  const Tensor c = a + b;
+  EXPECT_FLOAT_EQ(c[0], 17.0f);
+  const Tensor d = b - a;
+  EXPECT_FLOAT_EQ(d[0], 3.0f);
+  const Tensor e = b * 0.1f;
+  EXPECT_FLOAT_EQ(e[2], 3.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from({-1, 4, 2, -5});
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_FLOAT_EQ(t.max_value(), 4.0f);
+  EXPECT_FLOAT_EQ(t.min_value(), -5.0f);
+  EXPECT_EQ(t.argmax(), 1);
+  EXPECT_NEAR(t.norm(), std::sqrt(1.0 + 16 + 4 + 25), 1e-6);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(1);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.mean(), 0.0, 0.1);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) var += double(t[i]) * t[i];
+  EXPECT_NEAR(var / double(t.numel()), 4.0, 0.3);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "(2,3)");
+}
+
+}  // namespace
+}  // namespace oar::nn

@@ -1,0 +1,52 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace oar::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(8);
+  std::atomic<long> total{0};
+  pool.parallel_for(1000, [&](std::size_t i) { total += long(i); });
+  EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace oar::util
