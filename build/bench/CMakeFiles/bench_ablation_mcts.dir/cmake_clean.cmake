@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mcts.dir/bench_ablation_mcts.cpp.o"
+  "CMakeFiles/bench_ablation_mcts.dir/bench_ablation_mcts.cpp.o.d"
+  "bench_ablation_mcts"
+  "bench_ablation_mcts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

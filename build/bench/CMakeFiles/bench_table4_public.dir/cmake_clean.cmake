@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_public.dir/bench_table4_public.cpp.o"
+  "CMakeFiles/bench_table4_public.dir/bench_table4_public.cpp.o.d"
+  "bench_table4_public"
+  "bench_table4_public.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_public.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_suite.dir/benchmark_suite.cpp.o"
+  "CMakeFiles/benchmark_suite.dir/benchmark_suite.cpp.o.d"
+  "benchmark_suite"
+  "benchmark_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

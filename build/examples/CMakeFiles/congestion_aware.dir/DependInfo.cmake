@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/congestion_aware.cpp" "examples/CMakeFiles/congestion_aware.dir/congestion_aware.cpp.o" "gcc" "examples/CMakeFiles/congestion_aware.dir/congestion_aware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/oar_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcts/CMakeFiles/oar_mcts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/oar_rl_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/oar_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/oar_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/oar_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_aware.dir/congestion_aware.cpp.o"
+  "CMakeFiles/congestion_aware.dir/congestion_aware.cpp.o.d"
+  "congestion_aware"
+  "congestion_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

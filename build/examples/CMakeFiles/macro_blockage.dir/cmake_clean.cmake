@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_blockage.dir/macro_blockage.cpp.o"
+  "CMakeFiles/macro_blockage.dir/macro_blockage.cpp.o.d"
+  "macro_blockage"
+  "macro_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oarsmt_cli.dir/oarsmt_cli.cpp.o"
+  "CMakeFiles/oarsmt_cli.dir/oarsmt_cli.cpp.o.d"
+  "oarsmt_cli"
+  "oarsmt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oarsmt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

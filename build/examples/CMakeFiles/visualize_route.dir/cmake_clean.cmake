@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_route.dir/visualize_route.cpp.o"
+  "CMakeFiles/visualize_route.dir/visualize_route.cpp.o.d"
+  "visualize_route"
+  "visualize_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_core.dir/multi_net.cpp.o"
+  "CMakeFiles/oar_core.dir/multi_net.cpp.o.d"
+  "CMakeFiles/oar_core.dir/pretrained.cpp.o"
+  "CMakeFiles/oar_core.dir/pretrained.cpp.o.d"
+  "CMakeFiles/oar_core.dir/registry.cpp.o"
+  "CMakeFiles/oar_core.dir/registry.cpp.o.d"
+  "CMakeFiles/oar_core.dir/rl_router.cpp.o"
+  "CMakeFiles/oar_core.dir/rl_router.cpp.o.d"
+  "liboar_core.a"
+  "liboar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/grid_io.cpp" "src/gen/CMakeFiles/oar_gen.dir/grid_io.cpp.o" "gcc" "src/gen/CMakeFiles/oar_gen.dir/grid_io.cpp.o.d"
+  "/root/repo/src/gen/public_benchmarks.cpp" "src/gen/CMakeFiles/oar_gen.dir/public_benchmarks.cpp.o" "gcc" "src/gen/CMakeFiles/oar_gen.dir/public_benchmarks.cpp.o.d"
+  "/root/repo/src/gen/random_layout.cpp" "src/gen/CMakeFiles/oar_gen.dir/random_layout.cpp.o" "gcc" "src/gen/CMakeFiles/oar_gen.dir/random_layout.cpp.o.d"
+  "/root/repo/src/gen/svg.cpp" "src/gen/CMakeFiles/oar_gen.dir/svg.cpp.o" "gcc" "src/gen/CMakeFiles/oar_gen.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/oar_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_gen.dir/grid_io.cpp.o"
+  "CMakeFiles/oar_gen.dir/grid_io.cpp.o.d"
+  "CMakeFiles/oar_gen.dir/public_benchmarks.cpp.o"
+  "CMakeFiles/oar_gen.dir/public_benchmarks.cpp.o.d"
+  "CMakeFiles/oar_gen.dir/random_layout.cpp.o"
+  "CMakeFiles/oar_gen.dir/random_layout.cpp.o.d"
+  "CMakeFiles/oar_gen.dir/svg.cpp.o"
+  "CMakeFiles/oar_gen.dir/svg.cpp.o.d"
+  "liboar_gen.a"
+  "liboar_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_geom.dir/layout.cpp.o"
+  "CMakeFiles/oar_geom.dir/layout.cpp.o.d"
+  "liboar_geom.a"
+  "liboar_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

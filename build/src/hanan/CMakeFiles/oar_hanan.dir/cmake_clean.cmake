@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_hanan.dir/features.cpp.o"
+  "CMakeFiles/oar_hanan.dir/features.cpp.o.d"
+  "CMakeFiles/oar_hanan.dir/hanan_grid.cpp.o"
+  "CMakeFiles/oar_hanan.dir/hanan_grid.cpp.o.d"
+  "liboar_hanan.a"
+  "liboar_hanan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_hanan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboar_hanan.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcts/actor_critic.cpp" "src/mcts/CMakeFiles/oar_mcts.dir/actor_critic.cpp.o" "gcc" "src/mcts/CMakeFiles/oar_mcts.dir/actor_critic.cpp.o.d"
+  "/root/repo/src/mcts/comb_mcts.cpp" "src/mcts/CMakeFiles/oar_mcts.dir/comb_mcts.cpp.o" "gcc" "src/mcts/CMakeFiles/oar_mcts.dir/comb_mcts.cpp.o.d"
+  "/root/repo/src/mcts/seq_mcts.cpp" "src/mcts/CMakeFiles/oar_mcts.dir/seq_mcts.cpp.o" "gcc" "src/mcts/CMakeFiles/oar_mcts.dir/seq_mcts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/oar_rl_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/oar_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

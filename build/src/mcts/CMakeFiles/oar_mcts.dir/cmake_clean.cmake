@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_mcts.dir/actor_critic.cpp.o"
+  "CMakeFiles/oar_mcts.dir/actor_critic.cpp.o.d"
+  "CMakeFiles/oar_mcts.dir/comb_mcts.cpp.o"
+  "CMakeFiles/oar_mcts.dir/comb_mcts.cpp.o.d"
+  "CMakeFiles/oar_mcts.dir/seq_mcts.cpp.o"
+  "CMakeFiles/oar_mcts.dir/seq_mcts.cpp.o.d"
+  "liboar_mcts.a"
+  "liboar_mcts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/oar_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv3d.cpp" "src/nn/CMakeFiles/oar_nn.dir/conv3d.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/conv3d.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/oar_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/group_norm.cpp" "src/nn/CMakeFiles/oar_nn.dir/group_norm.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/group_norm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/oar_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/oar_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/oar_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/pool3d.cpp" "src/nn/CMakeFiles/oar_nn.dir/pool3d.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/pool3d.cpp.o.d"
+  "/root/repo/src/nn/residual_block.cpp" "src/nn/CMakeFiles/oar_nn.dir/residual_block.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/residual_block.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/oar_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/oar_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/unet3d.cpp" "src/nn/CMakeFiles/oar_nn.dir/unet3d.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/unet3d.cpp.o.d"
+  "/root/repo/src/nn/value_net.cpp" "src/nn/CMakeFiles/oar_nn.dir/value_net.cpp.o" "gcc" "src/nn/CMakeFiles/oar_nn.dir/value_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_nn.dir/activations.cpp.o"
+  "CMakeFiles/oar_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/conv3d.cpp.o"
+  "CMakeFiles/oar_nn.dir/conv3d.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/oar_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/group_norm.cpp.o"
+  "CMakeFiles/oar_nn.dir/group_norm.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/linear.cpp.o"
+  "CMakeFiles/oar_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/loss.cpp.o"
+  "CMakeFiles/oar_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/optim.cpp.o"
+  "CMakeFiles/oar_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/pool3d.cpp.o"
+  "CMakeFiles/oar_nn.dir/pool3d.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/residual_block.cpp.o"
+  "CMakeFiles/oar_nn.dir/residual_block.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/serialize.cpp.o"
+  "CMakeFiles/oar_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/tensor.cpp.o"
+  "CMakeFiles/oar_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/unet3d.cpp.o"
+  "CMakeFiles/oar_nn.dir/unet3d.cpp.o.d"
+  "CMakeFiles/oar_nn.dir/value_net.cpp.o"
+  "CMakeFiles/oar_nn.dir/value_net.cpp.o.d"
+  "liboar_nn.a"
+  "liboar_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_rl.dir/augment.cpp.o"
+  "CMakeFiles/oar_rl.dir/augment.cpp.o.d"
+  "CMakeFiles/oar_rl.dir/dataset.cpp.o"
+  "CMakeFiles/oar_rl.dir/dataset.cpp.o.d"
+  "CMakeFiles/oar_rl.dir/evaluate.cpp.o"
+  "CMakeFiles/oar_rl.dir/evaluate.cpp.o.d"
+  "CMakeFiles/oar_rl.dir/ppo.cpp.o"
+  "CMakeFiles/oar_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/oar_rl.dir/seq_trainer.cpp.o"
+  "CMakeFiles/oar_rl.dir/seq_trainer.cpp.o.d"
+  "CMakeFiles/oar_rl.dir/trainer.cpp.o"
+  "CMakeFiles/oar_rl.dir/trainer.cpp.o.d"
+  "liboar_rl.a"
+  "liboar_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

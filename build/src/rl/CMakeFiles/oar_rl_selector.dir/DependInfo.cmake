@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/selector.cpp" "src/rl/CMakeFiles/oar_rl_selector.dir/selector.cpp.o" "gcc" "src/rl/CMakeFiles/oar_rl_selector.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/oar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_rl_selector.dir/selector.cpp.o"
+  "CMakeFiles/oar_rl_selector.dir/selector.cpp.o.d"
+  "liboar_rl_selector.a"
+  "liboar_rl_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_rl_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/astar.cpp" "src/route/CMakeFiles/oar_route.dir/astar.cpp.o" "gcc" "src/route/CMakeFiles/oar_route.dir/astar.cpp.o.d"
+  "/root/repo/src/route/maze.cpp" "src/route/CMakeFiles/oar_route.dir/maze.cpp.o" "gcc" "src/route/CMakeFiles/oar_route.dir/maze.cpp.o.d"
+  "/root/repo/src/route/oarmst.cpp" "src/route/CMakeFiles/oar_route.dir/oarmst.cpp.o" "gcc" "src/route/CMakeFiles/oar_route.dir/oarmst.cpp.o.d"
+  "/root/repo/src/route/route_tree.cpp" "src/route/CMakeFiles/oar_route.dir/route_tree.cpp.o" "gcc" "src/route/CMakeFiles/oar_route.dir/route_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_route.dir/astar.cpp.o"
+  "CMakeFiles/oar_route.dir/astar.cpp.o.d"
+  "CMakeFiles/oar_route.dir/maze.cpp.o"
+  "CMakeFiles/oar_route.dir/maze.cpp.o.d"
+  "CMakeFiles/oar_route.dir/oarmst.cpp.o"
+  "CMakeFiles/oar_route.dir/oarmst.cpp.o.d"
+  "CMakeFiles/oar_route.dir/route_tree.cpp.o"
+  "CMakeFiles/oar_route.dir/route_tree.cpp.o.d"
+  "liboar_route.a"
+  "liboar_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/baselines.cpp" "src/steiner/CMakeFiles/oar_steiner.dir/baselines.cpp.o" "gcc" "src/steiner/CMakeFiles/oar_steiner.dir/baselines.cpp.o.d"
+  "/root/repo/src/steiner/candidates.cpp" "src/steiner/CMakeFiles/oar_steiner.dir/candidates.cpp.o" "gcc" "src/steiner/CMakeFiles/oar_steiner.dir/candidates.cpp.o.d"
+  "/root/repo/src/steiner/oracle.cpp" "src/steiner/CMakeFiles/oar_steiner.dir/oracle.cpp.o" "gcc" "src/steiner/CMakeFiles/oar_steiner.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/oar_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_steiner.dir/baselines.cpp.o"
+  "CMakeFiles/oar_steiner.dir/baselines.cpp.o.d"
+  "CMakeFiles/oar_steiner.dir/candidates.cpp.o"
+  "CMakeFiles/oar_steiner.dir/candidates.cpp.o.d"
+  "CMakeFiles/oar_steiner.dir/oracle.cpp.o"
+  "CMakeFiles/oar_steiner.dir/oracle.cpp.o.d"
+  "liboar_steiner.a"
+  "liboar_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oar_util.dir/csv.cpp.o"
+  "CMakeFiles/oar_util.dir/csv.cpp.o.d"
+  "CMakeFiles/oar_util.dir/logging.cpp.o"
+  "CMakeFiles/oar_util.dir/logging.cpp.o.d"
+  "CMakeFiles/oar_util.dir/rng.cpp.o"
+  "CMakeFiles/oar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/oar_util.dir/stats.cpp.o"
+  "CMakeFiles/oar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/oar_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/oar_util.dir/thread_pool.cpp.o.d"
+  "liboar_util.a"
+  "liboar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

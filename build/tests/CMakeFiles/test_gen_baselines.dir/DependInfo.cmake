@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_grid_io.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_grid_io.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_grid_io.cpp.o.d"
+  "/root/repo/tests/test_multi_net.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_multi_net.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_multi_net.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_random_layout_geom.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_random_layout_geom.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_random_layout_geom.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_rl_router.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_rl_router.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_rl_router.cpp.o.d"
+  "/root/repo/tests/test_svg.cpp" "tests/CMakeFiles/test_gen_baselines.dir/test_svg.cpp.o" "gcc" "tests/CMakeFiles/test_gen_baselines.dir/test_svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/oar_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcts/CMakeFiles/oar_mcts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/oar_rl_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/oar_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/oar_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/oar_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/hanan/CMakeFiles/oar_hanan.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/oar_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen_baselines.dir/test_baselines.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_gen.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_gen.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_grid_io.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_grid_io.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_multi_net.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_multi_net.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_oracle.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_oracle.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_random_layout_geom.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_random_layout_geom.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_registry.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_registry.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_rl_router.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_rl_router.cpp.o.d"
+  "CMakeFiles/test_gen_baselines.dir/test_svg.cpp.o"
+  "CMakeFiles/test_gen_baselines.dir/test_svg.cpp.o.d"
+  "test_gen_baselines"
+  "test_gen_baselines.pdb"
+  "test_gen_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

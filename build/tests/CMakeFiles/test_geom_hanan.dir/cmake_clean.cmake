@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_hanan.dir/test_features.cpp.o"
+  "CMakeFiles/test_geom_hanan.dir/test_features.cpp.o.d"
+  "CMakeFiles/test_geom_hanan.dir/test_geom.cpp.o"
+  "CMakeFiles/test_geom_hanan.dir/test_geom.cpp.o.d"
+  "CMakeFiles/test_geom_hanan.dir/test_hanan.cpp.o"
+  "CMakeFiles/test_geom_hanan.dir/test_hanan.cpp.o.d"
+  "test_geom_hanan"
+  "test_geom_hanan.pdb"
+  "test_geom_hanan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_hanan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

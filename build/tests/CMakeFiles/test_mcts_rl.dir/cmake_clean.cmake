@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcts_rl.dir/test_actor_critic.cpp.o"
+  "CMakeFiles/test_mcts_rl.dir/test_actor_critic.cpp.o.d"
+  "CMakeFiles/test_mcts_rl.dir/test_augment.cpp.o"
+  "CMakeFiles/test_mcts_rl.dir/test_augment.cpp.o.d"
+  "CMakeFiles/test_mcts_rl.dir/test_comb_mcts.cpp.o"
+  "CMakeFiles/test_mcts_rl.dir/test_comb_mcts.cpp.o.d"
+  "CMakeFiles/test_mcts_rl.dir/test_dataset.cpp.o"
+  "CMakeFiles/test_mcts_rl.dir/test_dataset.cpp.o.d"
+  "CMakeFiles/test_mcts_rl.dir/test_selector.cpp.o"
+  "CMakeFiles/test_mcts_rl.dir/test_selector.cpp.o.d"
+  "CMakeFiles/test_mcts_rl.dir/test_seq_mcts.cpp.o"
+  "CMakeFiles/test_mcts_rl.dir/test_seq_mcts.cpp.o.d"
+  "test_mcts_rl"
+  "test_mcts_rl.pdb"
+  "test_mcts_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcts_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

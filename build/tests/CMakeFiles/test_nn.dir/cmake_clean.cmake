@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/test_loss_optim.cpp.o"
+  "CMakeFiles/test_nn.dir/test_loss_optim.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_nn_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/test_nn_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_tensor.cpp.o"
+  "CMakeFiles/test_nn.dir/test_tensor.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_unet.cpp.o"
+  "CMakeFiles/test_nn.dir/test_unet.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

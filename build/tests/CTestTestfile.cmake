@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_geom_hanan[1]_include.cmake")
+include("/root/repo/build/tests/test_route[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_mcts_rl[1]_include.cmake")
+include("/root/repo/build/tests/test_gen_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_training[1]_include.cmake")
