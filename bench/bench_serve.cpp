@@ -1,0 +1,113 @@
+// Serving-layer acceptance bench: micro-batched throughput and result-cache
+// speedup over 64 random 16x16x4 layouts (the paper's training-size grids).
+//
+// Three phases, each against a fresh RouterService:
+//   1. baseline  — max_batch = 1, cache off (the legacy per-request path),
+//   2. batched   — max_batch = 8, cache off (one U-Net pass per micro-batch),
+//   3. cached    — max_batch = 8, cache on; a cold pass then a 100%-hit rerun.
+//
+// Acceptance: batched >= 2x baseline throughput, rerun >= 10x cold pass.
+// Per-stage latency percentiles land in bench_serve_metrics.csv.
+
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/random_layout.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace oar;
+
+std::vector<std::shared_ptr<const hanan::HananGrid>> make_layouts(
+    std::size_t count) {
+  gen::RandomGridSpec spec;  // defaults: 16x16x4, 3..6 pins
+  util::Rng rng(20240805);
+  std::vector<std::shared_ptr<const hanan::HananGrid>> grids;
+  grids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    grids.push_back(
+        std::make_shared<const hanan::HananGrid>(gen::random_grid(spec, rng)));
+  }
+  return grids;
+}
+
+/// Submits every layout up front (a deep queue, as a loaded server sees) and
+/// waits for all replies; returns the wall seconds for the whole sweep.
+double run_sweep(serve::RouterService& service,
+                 const std::vector<std::shared_ptr<const hanan::HananGrid>>& grids) {
+  util::Timer timer;
+  std::vector<std::future<serve::RouteReply>> replies;
+  replies.reserve(grids.size());
+  for (const auto& grid : grids) {
+    replies.push_back(service.submit(serve::RouteRequest{grid, std::nullopt}));
+  }
+  for (auto& reply : replies) reply.get();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kLayouts = 64;
+  auto selector = bench::bench_selector();
+  const auto grids = make_layouts(kLayouts);
+
+  std::printf("bench_serve: %zu random 16x16x4 layouts\n\n", kLayouts);
+
+  // Phase 1: batch-size-1 baseline (legacy single-sample inference path).
+  double base_seconds = 0.0;
+  {
+    serve::RouterServiceConfig cfg;
+    cfg.max_batch = 1;
+    cfg.cache_capacity = 0;
+    serve::RouterService service(selector, cfg);
+    base_seconds = run_sweep(service, grids);
+  }
+  const double base_rps = double(kLayouts) / base_seconds;
+  std::printf("baseline   (batch=1):  %7.3fs  %6.1f req/s\n", base_seconds,
+              base_rps);
+
+  // Phase 2: micro-batched, cache still off so every request infers.
+  double batch_seconds = 0.0;
+  double mean_batch = 0.0;
+  {
+    serve::RouterServiceConfig cfg;
+    cfg.max_batch = 8;
+    cfg.cache_capacity = 0;
+    serve::RouterService service(selector, cfg);
+    batch_seconds = run_sweep(service, grids);
+    mean_batch = service.metrics().snapshot().mean_batch_size;
+  }
+  const double batch_rps = double(kLayouts) / batch_seconds;
+  const double speedup = base_seconds / batch_seconds;
+  std::printf("batched    (batch=8):  %7.3fs  %6.1f req/s   mean batch %.1f\n",
+              batch_seconds, batch_rps, mean_batch);
+  std::printf("micro-batching speedup: %.2fx  [%s] (need >= 2x)\n\n", speedup,
+              speedup >= 2.0 ? "PASS" : "FAIL");
+
+  // Phase 3: cache on — cold sweep populates, identical rerun must be hits.
+  double cold_seconds = 0.0, warm_seconds = 0.0, hit_rate = 0.0;
+  {
+    serve::RouterServiceConfig cfg;
+    cfg.max_batch = 8;
+    cfg.cache_capacity = 2 * kLayouts;
+    serve::RouterService service(selector, cfg);
+    cold_seconds = run_sweep(service, grids);
+    warm_seconds = run_sweep(service, grids);
+    const auto snap = service.metrics().snapshot();
+    hit_rate = snap.cache_hit_rate();
+    service.metrics().dump_csv("bench_serve_metrics.csv");
+  }
+  const double cache_speedup = cold_seconds / warm_seconds;
+  std::printf("cache cold:            %7.3fs\n", cold_seconds);
+  std::printf("cache rerun:           %7.3fs   overall hit rate %.0f%%\n",
+              warm_seconds, 100.0 * hit_rate);
+  std::printf("cache speedup: %.1fx  [%s] (need >= 10x)\n\n", cache_speedup,
+              cache_speedup >= 10.0 ? "PASS" : "FAIL");
+
+  std::printf("per-stage latency histograms -> bench_serve_metrics.csv\n");
+  return (speedup >= 2.0 && cache_speedup >= 10.0) ? 0 : 1;
+}

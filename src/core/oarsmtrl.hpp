@@ -11,6 +11,8 @@
 //   rl::CombTrainer         — combinatorial-MCTS training pipeline
 //   core::RlRouter          — the trained RL ML-OARSMT router
 //   core::pretrained_*      — bundled tiny checkpoint helpers
+//   serve::RouterService    — micro-batching + result-cache serving layer
+//                             (see examples/serve_demo.cpp)
 
 #include "core/multi_net.hpp"
 #include "core/pretrained.hpp"
@@ -32,6 +34,10 @@
 #include "rl/trainer.hpp"
 #include "route/astar.hpp"
 #include "route/oarmst.hpp"
+#include "serve/canonical.hpp"
+#include "serve/metrics.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/service.hpp"
 #include "steiner/lin08.hpp"
 #include "steiner/oracle.hpp"
 #include "steiner/lin18.hpp"

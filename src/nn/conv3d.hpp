@@ -17,6 +17,10 @@ class Conv3d : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// (N, IC, D0, D1, D2) -> (N, OC, O0, O1, O2).  Unlike the looped base
+  /// default, this runs one im2col + register-blocked GEMM over the whole
+  /// batch — the kernel the serving layer's micro-batching amortizes.
+  Tensor forward_batch(const Tensor& input) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
   std::int32_t in_channels() const { return in_channels_; }

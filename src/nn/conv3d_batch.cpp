@@ -1,0 +1,418 @@
+#include <algorithm>
+#include <vector>
+
+#include "nn/conv3d.hpp"
+
+// Batched convolution kernels.  Kept in their own translation unit so the
+// build can compile just this file with wider vector flags (see
+// src/nn/CMakeLists.txt) without touching the training path's numerics: the
+// single-sample forward/backward in conv3d.cpp stay on the default flags.
+//
+// For the channel counts the U-Net instantiates we run a direct convolution
+// with a register tile of TILE output voxels (a run along the innermost,
+// layer axis) x OC accumulators; both extents are template constants so the
+// accumulators live in registers and the per-weight axpy fully unrolls.
+// This beats im2col here because routing volumes are shallow (M ~ 2..8): the
+// contiguous runs im2col copies are only M long, so patch assembly costs as
+// much as the GEMM it feeds.  Other channel counts fall back to an im2col +
+// register-blocked GEMM that handles any OC.
+
+namespace oar::nn {
+
+namespace {
+
+/// Accumulate one (TILE output voxels) x OC register tile at output line
+/// position t: out voxels (n, :, o0, o1, t..t+TILE).  Weights arrive
+/// transposed as wt(kk, oc) with kk = (ic, k0, k1, k2) so the accumulation
+/// order matches the single-sample forward.
+template <std::int32_t OC, std::int32_t TILE>
+inline void conv_tile(const float* in_sample_ptr, const float* wt, const float* bias,
+                      float* out_line, std::int32_t IC, std::int32_t D0,
+                      std::int32_t D1, std::int32_t D2, std::int32_t kernel,
+                      std::int32_t pad, std::int32_t o0, std::int32_t o1,
+                      std::int32_t t, std::int64_t out_chan) {
+  const std::int64_t in_plane = std::int64_t(D1) * D2;
+  const std::int64_t in_chan = std::int64_t(D0) * in_plane;
+
+  float a[TILE][OC];
+  for (std::int32_t j = 0; j < TILE; ++j) {
+    for (std::int32_t oc = 0; oc < OC; ++oc) a[j][oc] = bias[oc];
+  }
+
+  const float* wk = wt;
+  for (std::int32_t ic = 0; ic < IC; ++ic) {
+    const float* ichan = in_sample_ptr + ic * in_chan;
+    for (std::int32_t k0 = 0; k0 < kernel; ++k0) {
+      const std::int32_t z0 = o0 + k0 - pad;
+      for (std::int32_t k1 = 0; k1 < kernel; ++k1) {
+        const std::int32_t z1 = o1 + k1 - pad;
+        if (z0 < 0 || z0 >= D0 || z1 < 0 || z1 >= D1) {
+          wk += std::size_t(kernel) * OC;
+          continue;
+        }
+        const float* L = ichan + std::int64_t(z0) * in_plane + std::int64_t(z1) * D2;
+        for (std::int32_t k2 = 0; k2 < kernel; ++k2, wk += OC) {
+          const std::int32_t z2_base = t + k2 - pad;
+          const float* __restrict__ w = wk;
+          for (std::int32_t j = 0; j < TILE; ++j) {
+            const std::int32_t z2 = z2_base + j;
+            if (std::uint32_t(z2) >= std::uint32_t(D2)) continue;
+            const float s = L[z2];
+            // Skipping zero activations only pays once the axpy is wide
+            // enough to outweigh the branch.
+            if (OC >= 16 && s == 0.0f) continue;
+            for (std::int32_t oc = 0; oc < OC; ++oc) a[j][oc] += s * w[oc];
+          }
+        }
+      }
+    }
+  }
+
+  // Scatter to the channel-major output: out(oc, o0, o1, t + j).
+  for (std::int32_t oc = 0; oc < OC; ++oc) {
+    float* orow = out_line + oc * out_chan;
+    for (std::int32_t j = 0; j < TILE; ++j) orow[j] = a[j][oc];
+  }
+}
+
+/// Full-line specialization for 3x3x3 same-padding convolutions whose
+/// innermost (layer) extent is exactly TILE: every k2 tap then has
+/// compile-time valid j bounds, so the whole accumulate is branch-free and
+/// the tile never leaves registers.  This is the shape the router serves
+/// constantly — shallow volumes with M = D2 in {1, 2, 4, 8}.
+template <std::int32_t OC, std::int32_t TILE>
+inline void conv_line3(const float* in_sample_ptr, const float* wt,
+                       const float* bias, float* out_line, std::int32_t IC,
+                       std::int32_t D0, std::int32_t D1, std::int32_t o0,
+                       std::int32_t o1, std::int64_t out_chan) {
+  constexpr std::int32_t D2 = TILE;
+  const std::int64_t in_plane = std::int64_t(D1) * D2;
+  const std::int64_t in_chan = std::int64_t(D0) * in_plane;
+
+  float a[TILE][OC];
+  for (std::int32_t j = 0; j < TILE; ++j) {
+    for (std::int32_t oc = 0; oc < OC; ++oc) a[j][oc] = bias[oc];
+  }
+
+  const float* wk = wt;
+  for (std::int32_t ic = 0; ic < IC; ++ic) {
+    const float* ichan = in_sample_ptr + ic * in_chan;
+    for (std::int32_t k0 = 0; k0 < 3; ++k0) {
+      const std::int32_t z0 = o0 + k0 - 1;
+      for (std::int32_t k1 = 0; k1 < 3; ++k1, wk += 3 * OC) {
+        const std::int32_t z1 = o1 + k1 - 1;
+        if (z0 < 0 || z0 >= D0 || z1 < 0 || z1 >= D1) continue;
+        const float* L = ichan + std::int64_t(z0) * in_plane + std::int64_t(z1) * D2;
+        const float* __restrict__ w0 = wk;            // k2 = 0: z2 = j - 1
+        const float* __restrict__ w1 = wk + OC;       // k2 = 1: z2 = j
+        const float* __restrict__ w2 = wk + 2 * OC;   // k2 = 2: z2 = j + 1
+        for (std::int32_t j = 1; j < TILE; ++j) {
+          const float s = L[j - 1];
+          for (std::int32_t oc = 0; oc < OC; ++oc) a[j][oc] += s * w0[oc];
+        }
+        for (std::int32_t j = 0; j < TILE; ++j) {
+          const float s = L[j];
+          for (std::int32_t oc = 0; oc < OC; ++oc) a[j][oc] += s * w1[oc];
+        }
+        for (std::int32_t j = 0; j < TILE - 1; ++j) {
+          const float s = L[j + 1];
+          for (std::int32_t oc = 0; oc < OC; ++oc) a[j][oc] += s * w2[oc];
+        }
+      }
+    }
+  }
+
+  for (std::int32_t oc = 0; oc < OC; ++oc) {
+    float* orow = out_line + oc * out_chan;
+    for (std::int32_t j = 0; j < TILE; ++j) orow[j] = a[j][oc];
+  }
+}
+
+template <std::int32_t OC>
+void direct_conv(const float* in, const float* wt, const float* bias, float* out,
+                 std::int32_t N, std::int32_t IC, std::int32_t D0, std::int32_t D1,
+                 std::int32_t D2, std::int32_t kernel, std::int32_t pad,
+                 std::int32_t O0, std::int32_t O1, std::int32_t O2) {
+  const std::int64_t in_sample = std::int64_t(IC) * D0 * D1 * D2;
+  const std::int64_t out_chan = std::int64_t(O0) * O1 * O2;
+  const std::int64_t out_sample = std::int64_t(OC) * out_chan;
+  const std::int64_t out_plane = std::int64_t(O1) * O2;
+
+  if (kernel == 3 && pad == 1 && O2 == D2 &&
+      (D2 == 1 || D2 == 2 || D2 == 4 || D2 == 8)) {
+    for (std::int32_t n = 0; n < N; ++n) {
+      const float* isample = in + n * in_sample;
+      float* osample = out + n * out_sample;
+      for (std::int32_t o0 = 0; o0 < O0; ++o0) {
+        for (std::int32_t o1 = 0; o1 < O1; ++o1) {
+          float* oline =
+              osample + std::int64_t(o0) * out_plane + std::int64_t(o1) * O2;
+          switch (D2) {
+            case 1:
+              conv_line3<OC, 1>(isample, wt, bias, oline, IC, D0, D1, o0, o1,
+                                out_chan);
+              break;
+            case 2:
+              conv_line3<OC, 2>(isample, wt, bias, oline, IC, D0, D1, o0, o1,
+                                out_chan);
+              break;
+            case 4:
+              conv_line3<OC, 4>(isample, wt, bias, oline, IC, D0, D1, o0, o1,
+                                out_chan);
+              break;
+            default:
+              conv_line3<OC, 8>(isample, wt, bias, oline, IC, D0, D1, o0, o1,
+                                out_chan);
+              break;
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  for (std::int32_t n = 0; n < N; ++n) {
+    const float* isample = in + n * in_sample;
+    float* osample = out + n * out_sample;
+    for (std::int32_t o0 = 0; o0 < O0; ++o0) {
+      for (std::int32_t o1 = 0; o1 < O1; ++o1) {
+        float* oline = osample + std::int64_t(o0) * out_plane + std::int64_t(o1) * O2;
+        std::int32_t t = 0;
+        for (; t + 8 <= O2; t += 8) {
+          conv_tile<OC, 8>(isample, wt, bias, oline + t, IC, D0, D1, D2, kernel,
+                           pad, o0, o1, t, out_chan);
+        }
+        for (; t + 4 <= O2; t += 4) {
+          conv_tile<OC, 4>(isample, wt, bias, oline + t, IC, D0, D1, D2, kernel,
+                           pad, o0, o1, t, out_chan);
+        }
+        for (; t + 2 <= O2; t += 2) {
+          conv_tile<OC, 2>(isample, wt, bias, oline + t, IC, D0, D1, D2, kernel,
+                           pad, o0, o1, t, out_chan);
+        }
+        for (; t < O2; ++t) {
+          conv_tile<OC, 1>(isample, wt, bias, oline + t, IC, D0, D1, D2, kernel,
+                           pad, o0, o1, t, out_chan);
+        }
+      }
+    }
+  }
+}
+
+/// 1x1x1 convolution: a per-voxel channel mix.  The spatial axis is
+/// contiguous, so an axpy per (oc, ic) pair vectorizes without any patch
+/// assembly.  Handles the output head and every residual projection.
+void pointwise_conv(const float* in, const float* w, const float* bias,
+                    float* out, std::int32_t N, std::int32_t IC, std::int32_t OC,
+                    std::int64_t spatial) {
+  const std::int64_t in_sample = std::int64_t(IC) * spatial;
+  const std::int64_t out_sample = std::int64_t(OC) * spatial;
+  for (std::int32_t n = 0; n < N; ++n) {
+    const float* isample = in + n * in_sample;
+    float* osample = out + n * out_sample;
+    for (std::int32_t oc = 0; oc < OC; ++oc) {
+      float* __restrict__ orow = osample + oc * spatial;
+      const float b = bias[oc];
+      for (std::int64_t i = 0; i < spatial; ++i) orow[i] = b;
+      for (std::int32_t ic = 0; ic < IC; ++ic) {
+        const float s = w[std::int64_t(oc) * IC + ic];
+        if (s == 0.0f) continue;
+        const float* __restrict__ irow = isample + ic * spatial;
+        for (std::int64_t i = 0; i < spatial; ++i) orow[i] += s * irow[i];
+      }
+    }
+  }
+}
+
+constexpr std::int64_t kRowBlock = 128;
+
+/// im2col + 4-row register-blocked GEMM fallback for any output-channel
+/// count: out(r, oc) = bias(oc) + sum_k col(r, k) * wt(k, oc).
+void gemm_block_generic(const float* col, std::int64_t rows, std::int64_t K,
+                        std::int32_t OC, const float* wt, const float* bias,
+                        float* out) {
+  std::vector<float> acc(std::size_t(OC) * 4, 0.0f);
+  std::int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    float* __restrict__ a0 = acc.data();
+    float* __restrict__ a1 = a0 + OC;
+    float* __restrict__ a2 = a1 + OC;
+    float* __restrict__ a3 = a2 + OC;
+    for (std::int32_t oc = 0; oc < OC; ++oc) {
+      a0[oc] = a1[oc] = a2[oc] = a3[oc] = bias[oc];
+    }
+    const float* c0 = col + r * K;
+    const float* c1 = c0 + K;
+    const float* c2 = c1 + K;
+    const float* c3 = c2 + K;
+    for (std::int64_t kk = 0; kk < K; ++kk) {
+      const float s0 = c0[kk], s1 = c1[kk], s2 = c2[kk], s3 = c3[kk];
+      if (s0 == 0.0f && s1 == 0.0f && s2 == 0.0f && s3 == 0.0f) continue;
+      const float* __restrict__ w = wt + std::size_t(kk) * OC;
+      for (std::int32_t oc = 0; oc < OC; ++oc) {
+        a0[oc] += s0 * w[oc];
+        a1[oc] += s1 * w[oc];
+        a2[oc] += s2 * w[oc];
+        a3[oc] += s3 * w[oc];
+      }
+    }
+    float* o = out + r * OC;
+    std::copy(a0, a0 + OC, o);
+    std::copy(a1, a1 + OC, o + OC);
+    std::copy(a2, a2 + OC, o + 2 * OC);
+    std::copy(a3, a3 + OC, o + 3 * OC);
+  }
+  for (; r < rows; ++r) {
+    float* __restrict__ a = acc.data();
+    for (std::int32_t oc = 0; oc < OC; ++oc) a[oc] = bias[oc];
+    const float* c0 = col + r * K;
+    for (std::int64_t kk = 0; kk < K; ++kk) {
+      const float s = c0[kk];
+      if (s == 0.0f) continue;
+      const float* __restrict__ w = wt + std::size_t(kk) * OC;
+      for (std::int32_t oc = 0; oc < OC; ++oc) a[oc] += s * w[oc];
+    }
+    std::copy(a, a + OC, out + r * OC);
+  }
+}
+
+void im2col_conv(const float* in, const float* wt, const float* bias, float* out,
+                 std::int32_t N, std::int32_t IC, std::int32_t D0, std::int32_t D1,
+                 std::int32_t D2, std::int32_t kernel, std::int32_t pad,
+                 std::int32_t O0, std::int32_t O1, std::int32_t O2,
+                 std::int32_t OC) {
+  const std::int64_t in_plane = std::int64_t(D1) * D2;
+  const std::int64_t in_chan = std::int64_t(D0) * in_plane;
+  const std::int64_t in_sample = std::int64_t(IC) * in_chan;
+  const std::int64_t out_chan = std::int64_t(O0) * O1 * O2;
+  const std::int64_t out_sample = std::int64_t(OC) * out_chan;
+  const std::int64_t k3 = std::int64_t(kernel) * kernel * kernel;
+  const std::int64_t K = std::int64_t(IC) * k3;
+  const std::int64_t rows_total = std::int64_t(N) * out_chan;
+
+  std::vector<float> col(std::size_t(kRowBlock) * K);
+  std::vector<float> prod(std::size_t(kRowBlock) * OC);
+
+  for (std::int64_t r0 = 0; r0 < rows_total; r0 += kRowBlock) {
+    const std::int64_t rblk = std::min(kRowBlock, rows_total - r0);
+
+    // im2col: one row per (sample, output voxel); padding stays zero.
+    std::fill(col.begin(), col.begin() + rblk * K, 0.0f);
+    for (std::int64_t r = 0; r < rblk; ++r) {
+      const std::int64_t row = r0 + r;
+      const std::int32_t n = std::int32_t(row / out_chan);
+      const std::int64_t s = row % out_chan;
+      const std::int32_t o0 = std::int32_t(s / (std::int64_t(O1) * O2));
+      const std::int32_t o1 = std::int32_t((s / O2) % O1);
+      const std::int32_t o2 = std::int32_t(s % O2);
+      float* crow = col.data() + r * K;
+      const float* isample = in + n * in_sample;
+      const std::int32_t k2_lo = std::max(0, pad - o2);
+      const std::int32_t k2_hi = std::min(kernel, D2 + pad - o2);
+      if (k2_lo >= k2_hi) continue;
+      for (std::int32_t ic = 0; ic < IC; ++ic) {
+        const float* ichan = isample + ic * in_chan;
+        float* cchan = crow + ic * k3;
+        for (std::int32_t k0 = 0; k0 < kernel; ++k0) {
+          const std::int32_t z0 = o0 + k0 - pad;
+          if (z0 < 0 || z0 >= D0) continue;
+          for (std::int32_t k1 = 0; k1 < kernel; ++k1) {
+            const std::int32_t z1 = o1 + k1 - pad;
+            if (z1 < 0 || z1 >= D1) continue;
+            float* cdst = cchan + (std::int64_t(k0) * kernel + k1) * kernel + k2_lo;
+            const float* isrc = ichan + std::int64_t(z0) * in_plane +
+                                std::int64_t(z1) * D2 + (o2 + k2_lo - pad);
+            std::copy(isrc, isrc + (k2_hi - k2_lo), cdst);
+          }
+        }
+      }
+    }
+
+    gemm_block_generic(col.data(), rblk, K, OC, wt, bias, prod.data());
+
+    // Scatter (row, oc) back to the channel-major output layout.
+    for (std::int64_t r = 0; r < rblk; ++r) {
+      const std::int64_t row = r0 + r;
+      const std::int32_t n = std::int32_t(row / out_chan);
+      const std::int64_t s = row % out_chan;
+      float* obase = out + n * out_sample + s;
+      const float* p = prod.data() + r * OC;
+      for (std::int32_t oc = 0; oc < OC; ++oc) {
+        obase[std::int64_t(oc) * out_chan] = p[oc];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Conv3d::forward_batch(const Tensor& input) {
+  assert(input.dim() == 5);
+  assert(input.shape(1) == in_channels_);
+
+  const std::int32_t N = input.shape(0);
+  const std::int32_t D0 = input.shape(2), D1 = input.shape(3), D2 = input.shape(4);
+  const std::int32_t O0 = D0 + 2 * padding_ - kernel_ + 1;
+  const std::int32_t O1 = D1 + 2 * padding_ - kernel_ + 1;
+  const std::int32_t O2 = D2 + 2 * padding_ - kernel_ + 1;
+  assert(O0 > 0 && O1 > 0 && O2 > 0);
+
+  Tensor out({N, out_channels_, O0, O1, O2});
+
+  if (kernel_ == 1 && padding_ == 0) {
+    pointwise_conv(input.data(), weight_.value.data(), bias_.value.data(),
+                   out.data(), N, in_channels_, out_channels_,
+                   std::int64_t(O0) * O1 * O2);
+    return out;
+  }
+
+  // Weight transposed to (K, OC) so every kernel variant streams a
+  // contiguous axpy over output channels.  The kk = (ic, k0, k1, k2)
+  // accumulation order matches the single-sample forward, keeping the two
+  // paths numerically aligned up to flag-dependent FP contraction here.
+  const std::int64_t K =
+      std::int64_t(in_channels_) * kernel_ * kernel_ * kernel_;
+  std::vector<float> wt(std::size_t(K) * out_channels_);
+  {
+    const float* w = weight_.value.data();
+    for (std::int32_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::int64_t kk = 0; kk < K; ++kk) {
+        wt[std::size_t(kk) * out_channels_ + oc] = w[oc * K + kk];
+      }
+    }
+  }
+
+  const float* in = input.data();
+  const float* bias = bias_.value.data();
+  float* o = out.data();
+
+  switch (out_channels_) {
+    case 1:
+      direct_conv<1>(in, wt.data(), bias, o, N, in_channels_, D0, D1, D2,
+                     kernel_, padding_, O0, O1, O2);
+      break;
+    case 8:
+      direct_conv<8>(in, wt.data(), bias, o, N, in_channels_, D0, D1, D2,
+                     kernel_, padding_, O0, O1, O2);
+      break;
+    case 16:
+      direct_conv<16>(in, wt.data(), bias, o, N, in_channels_, D0, D1, D2,
+                      kernel_, padding_, O0, O1, O2);
+      break;
+    case 32:
+      direct_conv<32>(in, wt.data(), bias, o, N, in_channels_, D0, D1, D2,
+                      kernel_, padding_, O0, O1, O2);
+      break;
+    case 64:
+      direct_conv<64>(in, wt.data(), bias, o, N, in_channels_, D0, D1, D2,
+                      kernel_, padding_, O0, O1, O2);
+      break;
+    default:
+      im2col_conv(in, wt.data(), bias, o, N, in_channels_, D0, D1, D2, kernel_,
+                  padding_, O0, O1, O2, out_channels_);
+      break;
+  }
+  return out;
+}
+
+}  // namespace oar::nn

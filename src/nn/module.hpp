@@ -2,13 +2,24 @@
 
 // Module protocol for the manual-backprop DL library.
 //
-// Modules process ONE sample at a time (no batch axis); batching is done by
-// the trainer, which runs forward/backward per sample and accumulates
-// parameter gradients before an optimizer step.  This matches the paper's
-// same-size batches while keeping every layer's backward simple and easy to
-// verify with finite differences.  A module caches whatever it needs in
-// forward(); backward(grad_out) must be called after the matching forward.
+// Modules process ONE sample at a time (no batch axis) on the training
+// path; batching is done by the trainer, which runs forward/backward per
+// sample and accumulates parameter gradients before an optimizer step.
+// This matches the paper's same-size batches while keeping every layer's
+// backward simple and easy to verify with finite differences.  A module
+// caches whatever it needs in forward(); backward(grad_out) must be called
+// after the matching forward.
+//
+// For inference there is additionally ONE public batched API:
+// forward_batch() takes a tensor with a leading batch dimension (N, ...)
+// and returns the stacked outputs (N, ...).  The base-class default loops
+// forward() over the samples, so every module is batch-callable; hot
+// modules (Conv3d) override it with genuinely batched kernels.  The
+// serving layer (src/serve) feeds micro-batches through this path.
+// forward_batch() clobbers the single-sample caches, so backward() must
+// not be called after it.
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +50,10 @@ class Module {
   /// dLoss/dInput.
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Batched inference over (N, <sample shape>) -> (N, <output shape>).
+  /// Inference-only: invalidates the caches backward() relies on.
+  virtual Tensor forward_batch(const Tensor& input);
+
   /// Appends raw pointers to this module's (and submodules') parameters.
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
 
@@ -64,5 +79,27 @@ class Module {
  protected:
   bool training_ = true;
 };
+
+inline Tensor Module::forward_batch(const Tensor& input) {
+  assert(input.dim() >= 2 && input.shape(0) > 0);
+  const std::int32_t n = input.shape(0);
+  const std::vector<std::int32_t> sample_shape(input.shape().begin() + 1,
+                                               input.shape().end());
+  Tensor sample(sample_shape);
+  const std::int64_t stride = sample.numel();
+  Tensor out;
+  for (std::int32_t i = 0; i < n; ++i) {
+    std::copy(input.data() + i * stride, input.data() + (i + 1) * stride,
+              sample.data());
+    const Tensor y = forward(sample);
+    if (i == 0) {
+      std::vector<std::int32_t> out_shape{n};
+      out_shape.insert(out_shape.end(), y.shape().begin(), y.shape().end());
+      out = Tensor(std::move(out_shape));
+    }
+    std::copy(y.data(), y.data() + y.numel(), out.data() + i * y.numel());
+  }
+  return out;
+}
 
 }  // namespace oar::nn

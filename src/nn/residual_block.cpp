@@ -56,6 +56,21 @@ Tensor ResidualBlock3d::forward(const Tensor& input) {
   return main;
 }
 
+Tensor ResidualBlock3d::forward_batch(const Tensor& input) {
+  Tensor main = norm1_.forward_batch(conv1_.forward_batch(input));
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    main[i] = std::max(0.0f, main[i]);
+  }
+  main = norm2_.forward_batch(conv2_.forward_batch(main));
+  const Tensor skip = projection_ ? projection_->forward_batch(input) : input;
+  assert(main.shape() == skip.shape());
+  main += skip;
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    main[i] = std::max(0.0f, main[i]);
+  }
+  return main;
+}
+
 Tensor ResidualBlock3d::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   for (std::int64_t i = 0; i < grad.numel(); ++i) {

@@ -44,6 +44,10 @@ class UNet3d : public Module {
   /// (in_channels, H, V, M) -> logits (1, H, V, M).
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// (N, in_channels, H, V, M) -> logits (N, 1, H, V, M); all samples of a
+  /// micro-batch must share one (H, V, M) shape.  Inference-only: threads
+  /// the batch through each layer's batched kernel (GEMM convolutions).
+  Tensor forward_batch(const Tensor& input) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void set_training(bool training) override;
 

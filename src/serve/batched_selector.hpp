@@ -1,0 +1,26 @@
+#pragma once
+
+// Micro-batched Steiner-point inference: encodes N same-shape layouts into
+// one (N, C, H, V, M) tensor and runs a single batched U-Net pass
+// (Module::forward_batch, the im2col/direct-conv kernels of
+// nn/conv3d_batch.cpp), returning per-layout fsp in priority order.  A
+// batch of one falls back to the selector's plain single-sample path, so a
+// batch-size-1 service is exactly the legacy router.
+
+#include <vector>
+
+#include "rl/selector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oar::serve {
+
+using hanan::HananGrid;
+
+/// fsp (sigmoid probabilities in priority order) for every grid.  All grids
+/// must share one (H, V, M) shape.  Feature encoding fans out across `pool`
+/// when provided.
+std::vector<std::vector<double>> batched_fsp(rl::SteinerSelector& selector,
+                                             const std::vector<const HananGrid*>& grids,
+                                             util::ThreadPool* pool = nullptr);
+
+}  // namespace oar::serve

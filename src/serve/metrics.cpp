@@ -1,0 +1,91 @@
+#include "serve/metrics.hpp"
+
+#include "util/csv.hpp"
+
+namespace oar::serve {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kBatchAssembly:
+      return "batch_assembly";
+    case Stage::kInference:
+      return "inference";
+    case Stage::kRouting:
+      return "routing";
+    case Stage::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+void ServiceMetrics::record_stage(Stage stage, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_[std::size_t(stage)].add(seconds);
+  samples_[std::size_t(stage)].push_back(seconds);
+}
+
+void ServiceMetrics::add_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  requests_++;
+}
+
+void ServiceMetrics::add_cache_hit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_hits_++;
+}
+
+void ServiceMetrics::add_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  batches_++;
+  batch_sizes_.add(double(batch_size));
+}
+
+void ServiceMetrics::add_deadline_miss() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  deadline_misses_++;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.requests = requests_;
+  snap.cache_hits = cache_hits_;
+  snap.batches = batches_;
+  snap.deadline_misses = deadline_misses_;
+  snap.mean_batch_size = batch_sizes_.count() == 0 ? 0.0 : batch_sizes_.mean();
+  for (int s = 0; s < kNumStages; ++s) {
+    const util::RunningStats& st = stats_[std::size_t(s)];
+    StageSummary& out = snap.stages[std::size_t(s)];
+    out.count = st.count();
+    if (st.count() == 0) continue;
+    out.mean_ms = st.mean() * 1e3;
+    out.max_ms = st.max() * 1e3;
+    out.p50_ms = util::percentile(samples_[std::size_t(s)], 50.0) * 1e3;
+    out.p90_ms = util::percentile(samples_[std::size_t(s)], 90.0) * 1e3;
+    out.p99_ms = util::percentile(samples_[std::size_t(s)], 99.0) * 1e3;
+  }
+  return snap;
+}
+
+bool ServiceMetrics::dump_csv(const std::string& path) const {
+  const MetricsSnapshot snap = snapshot();
+  util::CsvWriter csv(path, {"stage", "count", "mean_ms", "p50_ms", "p90_ms",
+                             "p99_ms", "max_ms"});
+  if (!csv.is_open()) return false;
+  for (int s = 0; s < kNumStages; ++s) {
+    const StageSummary& st = snap.stages[std::size_t(s)];
+    csv.row_values(stage_name(Stage(s)), st.count, st.mean_ms, st.p50_ms,
+                   st.p90_ms, st.p99_ms, st.max_ms);
+  }
+  csv.row_values("requests", snap.requests, "", "", "", "", "");
+  csv.row_values("cache_hits", snap.cache_hits, "", "", "", "", "");
+  csv.row_values("cache_hit_rate", snap.cache_hit_rate(), "", "", "", "", "");
+  csv.row_values("batches", snap.batches, "", "", "", "", "");
+  csv.row_values("mean_batch_size", snap.mean_batch_size, "", "", "", "", "");
+  csv.row_values("deadline_misses", snap.deadline_misses, "", "", "", "", "");
+  return true;
+}
+
+}  // namespace oar::serve

@@ -1,0 +1,78 @@
+#pragma once
+
+// Per-stage serving metrics: request counters plus latency distributions
+// for every pipeline stage (queue wait, batch assembly, inference, OARMST
+// routing, end-to-end).  Aggregation rides on util::RunningStats; the
+// percentiles come from util::percentile over the retained samples.  A
+// snapshot() is cheap enough to take mid-run and dump_csv() writes the
+// bench-standard machine-readable table.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace oar::serve {
+
+enum class Stage : int {
+  kQueueWait = 0,   // submit -> popped into a batch
+  kBatchAssembly,   // batch leader popped -> features stacked
+  kInference,       // batched U-Net pass (per batch)
+  kRouting,         // per-net OARMST fan-out (per batch)
+  kTotal,           // submit -> reply ready (per request)
+};
+constexpr int kNumStages = 5;
+
+const char* stage_name(Stage stage);
+
+struct StageSummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t deadline_misses = 0;
+  double mean_batch_size = 0.0;
+  std::array<StageSummary, kNumStages> stages;
+
+  double cache_hit_rate() const {
+    return requests == 0 ? 0.0 : double(cache_hits) / double(requests);
+  }
+};
+
+class ServiceMetrics {
+ public:
+  void record_stage(Stage stage, double seconds);
+  void add_request();
+  void add_cache_hit();
+  void add_batch(std::size_t batch_size);
+  void add_deadline_miss();
+
+  MetricsSnapshot snapshot() const;
+
+  /// One row per stage (count/mean/percentiles in ms) followed by the
+  /// counter rows.  Returns false when the file cannot be opened.
+  bool dump_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<util::RunningStats, kNumStages> stats_;
+  std::array<std::vector<double>, kNumStages> samples_;
+  util::RunningStats batch_sizes_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+};
+
+}  // namespace oar::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+// Thread-safe LRU cache of routing results, keyed by the canonical layout
+// bytes of serve/canonical.hpp.  Values are stored in *canonical* vertex
+// space so one entry serves all 16 symmetry variants of a layout; the
+// service maps edges back through the request's inverse vertex permutation
+// on a hit.
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "route/route_tree.hpp"
+
+namespace oar::serve {
+
+using hanan::Vertex;
+
+/// A routed tree in canonical vertex space.
+struct CachedRoute {
+  std::vector<route::GridEdge> edges;
+  std::vector<Vertex> steiner;
+  double cost = 0.0;
+  bool connected = false;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the entry and marks it most-recently used.
+  std::optional<CachedRoute> get(const std::string& key);
+
+  /// Inserts or refreshes an entry, evicting the least-recently-used one
+  /// when over capacity.  A capacity of 0 disables storage entirely.
+  void put(const std::string& key, CachedRoute value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  using Entry = std::pair<std::string, CachedRoute>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace oar::serve

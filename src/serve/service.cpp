@@ -1,0 +1,226 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+
+#include "serve/batched_selector.hpp"
+#include "util/timer.hpp"
+
+namespace oar::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool same_shape(const HananGrid& a, const HananGrid& b) {
+  return a.h_dim() == b.h_dim() && a.v_dim() == b.v_dim() &&
+         a.m_dim() == b.m_dim();
+}
+
+}  // namespace
+
+RouterService::RouterService(std::shared_ptr<rl::SteinerSelector> selector,
+                             RouterServiceConfig config)
+    : config_(config),
+      selector_(std::move(selector)),
+      cache_(config.cache_capacity),
+      pool_(config.worker_threads) {
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+RouterService::~RouterService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  batcher_.join();
+}
+
+std::future<RouteReply> RouterService::submit(RouteRequest request) {
+  metrics_.add_request();
+  const Clock::time_point now = Clock::now();
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = now;
+  std::future<RouteReply> fut = pending.promise.get_future();
+
+  if (cache_.capacity() > 0) {
+    pending.canon = canonicalize(*pending.request.grid);
+    if (std::optional<CachedRoute> hit = cache_.get(pending.canon.key)) {
+      metrics_.add_cache_hit();
+      RouteReply reply = replay_cached(pending.request, pending.canon, *hit);
+      reply.total_seconds = seconds_between(now, Clock::now());
+      if (pending.request.deadline && Clock::now() > *pending.request.deadline) {
+        reply.deadline_met = false;
+        metrics_.add_deadline_miss();
+      }
+      metrics_.record_stage(Stage::kTotal, reply.total_seconds);
+      pending.promise.set_value(std::move(reply));
+      return fut;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+RouteReply RouterService::route(std::shared_ptr<const HananGrid> grid) {
+  return submit(RouteRequest{std::move(grid), std::nullopt}).get();
+}
+
+void RouterService::batcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch = take_batch();
+    if (batch.empty()) return;
+    process_batch(std::move(batch));
+  }
+}
+
+std::vector<RouterService::Pending> RouterService::take_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // stopping and drained
+
+  std::vector<Pending> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const HananGrid& shape = *batch.front().request.grid;
+
+  const auto harvest = [&] {
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < config_.max_batch;) {
+      if (same_shape(*it->request.grid, shape)) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  const Clock::time_point wait_until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             config_.batch_wait_ms));
+  harvest();
+  while (batch.size() < config_.max_batch && !stopping_) {
+    if (cv_.wait_until(lock, wait_until) == std::cv_status::timeout) {
+      harvest();
+      break;
+    }
+    harvest();
+  }
+  return batch;
+}
+
+void RouterService::process_batch(std::vector<Pending> batch) {
+  const Clock::time_point popped = Clock::now();
+  for (const Pending& p : batch) {
+    metrics_.record_stage(Stage::kQueueWait, seconds_between(p.enqueued, popped));
+  }
+  metrics_.add_batch(batch.size());
+
+  std::vector<const HananGrid*> grids;
+  grids.reserve(batch.size());
+  for (const Pending& p : batch) grids.push_back(p.request.grid.get());
+
+  // Stage 1: one batched U-Net pass for the whole micro-batch.
+  util::Timer infer_timer;
+  const std::vector<std::vector<double>> fsp =
+      batched_fsp(*selector_, grids, &pool_);
+  const double infer_seconds = infer_timer.seconds();
+  metrics_.record_stage(Stage::kBatchAssembly, 0.0);
+  metrics_.record_stage(Stage::kInference, infer_seconds);
+
+  // Stage 2: per-net top-k + OARMST construction across the pool.
+  util::Timer route_timer;
+  std::vector<route::OarmstResult> results(batch.size());
+  pool_.parallel_for(batch.size(), [&](std::size_t i) {
+    const HananGrid& grid = *batch[i].request.grid;
+    const std::int32_t budget =
+        std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
+    const std::vector<Vertex> steiner =
+        rl::SteinerSelector::top_k_valid(grid, fsp[i], budget, {});
+    route::OarmstRouter router(grid);
+    results[i] = router.build(grid.pins(), steiner);
+  });
+  const double route_seconds = route_timer.seconds();
+  metrics_.record_stage(Stage::kRouting, route_seconds);
+
+  const Clock::time_point done = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    route::OarmstResult& res = results[i];
+
+    if (cache_.capacity() > 0 && res.connected) {
+      // Store in canonical vertex space so symmetry variants hit too.
+      CachedRoute entry;
+      entry.cost = res.cost;
+      entry.connected = res.connected;
+      entry.edges.reserve(res.tree.edges().size());
+      const HananGrid& grid = *p.request.grid;
+      for (const route::GridEdge& e : res.tree.edges()) {
+        Vertex a = rl::transform_vertex(grid, e.a, p.canon.spec);
+        Vertex b = rl::transform_vertex(grid, e.b, p.canon.spec);
+        if (b < a) std::swap(a, b);
+        entry.edges.push_back(route::GridEdge{a, b});
+      }
+      entry.steiner.reserve(res.kept_steiner.size());
+      for (Vertex v : res.kept_steiner) {
+        entry.steiner.push_back(rl::transform_vertex(grid, v, p.canon.spec));
+      }
+      cache_.put(p.canon.key, std::move(entry));
+    }
+
+    RouteReply reply;
+    reply.grid = p.request.grid;
+    reply.result = std::move(res);
+    reply.result.tree.rebind_grid(reply.grid.get());
+    reply.cache_hit = false;
+    reply.queue_seconds = seconds_between(p.enqueued, popped);
+    reply.inference_seconds = infer_seconds;
+    reply.routing_seconds = route_seconds;
+    reply.total_seconds = seconds_between(p.enqueued, done);
+    if (p.request.deadline && done > *p.request.deadline) {
+      reply.deadline_met = false;
+      metrics_.add_deadline_miss();
+    }
+    metrics_.record_stage(Stage::kTotal, reply.total_seconds);
+    p.promise.set_value(std::move(reply));
+  }
+}
+
+RouteReply RouterService::replay_cached(const RouteRequest& request,
+                                        const CanonicalForm& canon,
+                                        const CachedRoute& cached) const {
+  const HananGrid& grid = *request.grid;
+  const std::vector<Vertex> inv = inverse_vertex_map(grid, canon.spec);
+
+  RouteReply reply;
+  reply.grid = request.grid;
+  reply.cache_hit = true;
+
+  route::RouteTree tree(request.grid.get());
+  for (const route::GridEdge& e : cached.edges) {
+    tree.add_edge(inv[std::size_t(e.a)], inv[std::size_t(e.b)]);
+  }
+  reply.result.tree = std::move(tree);
+  reply.result.cost = cached.cost;
+  reply.result.connected = cached.connected;
+  reply.result.rebuild_passes = 0;
+  reply.result.kept_steiner.reserve(cached.steiner.size());
+  for (Vertex v : cached.steiner) {
+    reply.result.kept_steiner.push_back(inv[std::size_t(v)]);
+  }
+  return reply;
+}
+
+}  // namespace oar::serve

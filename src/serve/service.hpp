@@ -1,0 +1,127 @@
+#pragma once
+
+// RouterService: the production-facing serving layer over the RL router.
+//
+// Clients submit routing requests (a Hanan-grid layout with pins, plus an
+// optional deadline) onto a thread-safe queue and receive a future.  A
+// dedicated batcher thread groups same-shape requests into micro-batches of
+// up to `max_batch`, waiting at most `batch_wait_ms` for stragglers, then:
+//
+//   1. encodes every layout and runs ONE batched U-Net pass
+//      (serve/batched_selector.hpp) for the whole micro-batch,
+//   2. fans the per-net top-k selection + OARMST construction out across a
+//      util::ThreadPool,
+//   3. fulfils each request's promise, recording per-stage latencies in
+//      ServiceMetrics.
+//
+// Results are memoized in an LRU cache keyed by the canonical layout hash
+// (serve/canonical.hpp), so a request equal to a previous one *up to the 16
+// augmentation symmetries* is answered synchronously from submit() without
+// touching the network.  Cached trees are stored in canonical vertex space
+// and mapped back through the request's symmetry on a hit.
+//
+// With max_batch == 1 the service degrades to the legacy single-sample
+// router path — that configuration is the baseline the serve bench compares
+// micro-batching against.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "route/oarmst.hpp"
+#include "serve/canonical.hpp"
+#include "serve/metrics.hpp"
+#include "serve/result_cache.hpp"
+#include "rl/selector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oar::serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct RouteRequest {
+  /// Layout + pins.  Shared ownership: the reply's tree stays bound to it.
+  std::shared_ptr<const HananGrid> grid;
+  /// Optional completion deadline; a reply finishing later is flagged.
+  std::optional<Clock::time_point> deadline;
+};
+
+struct RouteReply {
+  /// The grid the result's tree is bound to (same object as the request's).
+  std::shared_ptr<const HananGrid> grid;
+  route::OarmstResult result;
+  bool cache_hit = false;
+  /// False when the reply finished after the request's deadline.
+  bool deadline_met = true;
+  double queue_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double routing_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct RouterServiceConfig {
+  /// Maximum micro-batch size; 1 disables batching (legacy path).
+  std::size_t max_batch = 8;
+  /// How long the batcher waits for same-shape stragglers.
+  double batch_wait_ms = 2.0;
+  /// LRU entries; 0 disables the cache.
+  std::size_t cache_capacity = 256;
+  /// Worker threads for encode/routing fan-out; 0 = hardware concurrency.
+  std::size_t worker_threads = 0;
+};
+
+class RouterService {
+ public:
+  explicit RouterService(std::shared_ptr<rl::SteinerSelector> selector,
+                         RouterServiceConfig config = {});
+  /// Drains the queue (every submitted future still completes), then stops.
+  ~RouterService();
+
+  RouterService(const RouterService&) = delete;
+  RouterService& operator=(const RouterService&) = delete;
+
+  /// Enqueue a request.  Cache hits resolve before submit() returns.
+  std::future<RouteReply> submit(RouteRequest request);
+
+  /// Synchronous convenience wrapper.
+  RouteReply route(std::shared_ptr<const HananGrid> grid);
+
+  const RouterServiceConfig& config() const { return config_; }
+  ServiceMetrics& metrics() { return metrics_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct Pending {
+    RouteRequest request;
+    std::promise<RouteReply> promise;
+    CanonicalForm canon;
+    Clock::time_point enqueued;
+  };
+
+  void batcher_loop();
+  /// Blocks for work; empty result means "stopping and drained".
+  std::vector<Pending> take_batch();
+  void process_batch(std::vector<Pending> batch);
+  /// Builds a reply from a cache entry (maps canonical -> request space).
+  RouteReply replay_cached(const RouteRequest& request, const CanonicalForm& canon,
+                           const CachedRoute& cached) const;
+
+  RouterServiceConfig config_;
+  std::shared_ptr<rl::SteinerSelector> selector_;
+  ResultCache cache_;
+  ServiceMetrics metrics_;
+  util::ThreadPool pool_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::thread batcher_;
+};
+
+}  // namespace oar::serve

@@ -38,12 +38,37 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  // One contiguous index range per worker rather than one task per index:
+  // a task has queue/future overhead that swamps small bodies, and the
+  // ranges keep neighbouring indices on the same worker.
+  const std::size_t chunks = std::min(count, size());
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;  // first `extra` chunks get +1
+
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
   }
-  for (auto& f : futures) f.get();
+
+  // Wait for every chunk even if one throws, so `fn` stays alive for the
+  // still-running workers; then surface the first exception.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace oar::util

@@ -40,6 +40,10 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, count) across the pool and wait for completion.
+  /// The index space is split into min(count, size()) contiguous chunks, one
+  /// task per chunk.  If calls throw, every chunk still runs to its own
+  /// first failure before the first exception (in chunk order) is rethrown;
+  /// later indices of a throwing chunk are skipped.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

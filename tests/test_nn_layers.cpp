@@ -35,6 +35,35 @@ void expect_gradcheck_ok(M& module, const Tensor& input, std::uint64_t seed) {
                     << " max_abs_error=" << r.max_abs_error;
 }
 
+/// forward_batch must agree with per-sample forward.  The batched conv
+/// kernels contract FMAs in a different order than the naive loop, so the
+/// comparison is tolerance-based, not bitwise.
+void expect_batch_matches_single(Module& module,
+                                 std::vector<std::int32_t> sample_shape,
+                                 std::int32_t n, std::uint64_t seed,
+                                 double tol = 1e-4) {
+  std::vector<std::int32_t> batch_shape{n};
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(), sample_shape.end());
+  const Tensor batch = random_input(std::move(batch_shape), seed);
+
+  const Tensor batched = module.forward_batch(batch);
+  ASSERT_EQ(batched.shape(0), n);
+  const std::int64_t out_stride = batched.numel() / n;
+
+  Tensor sample(std::move(sample_shape));
+  const std::int64_t in_stride = sample.numel();
+  for (std::int32_t i = 0; i < n; ++i) {
+    std::copy(batch.data() + i * in_stride, batch.data() + (i + 1) * in_stride,
+              sample.data());
+    const Tensor single = module.forward(sample);
+    ASSERT_EQ(single.numel(), out_stride);
+    for (std::int64_t j = 0; j < out_stride; ++j) {
+      ASSERT_NEAR(batched[i * out_stride + j], single[j], tol)
+          << "sample " << i << " element " << j;
+    }
+  }
+}
+
 TEST(ReLULayer, ForwardClampsNegatives) {
   ReLU relu;
   const Tensor out = relu.forward(Tensor::from({-1, 0, 2}));
@@ -241,6 +270,51 @@ TEST(ResidualBlockLayer, PickGroups) {
   EXPECT_EQ(ResidualBlock3d::pick_groups(6), 3);
   EXPECT_EQ(ResidualBlock3d::pick_groups(8), 4);
   EXPECT_EQ(ResidualBlock3d::pick_groups(7), 1);
+}
+
+TEST(Conv3dLayer, BatchMatchesSingleTemplatedPath) {
+  // OC=8, last dim in {1,2,4,8}: the register-tiled full-line kernel.
+  util::Rng rng(61);
+  Conv3d conv(7, 8, 3, rng);
+  expect_batch_matches_single(conv, {7, 6, 5, 4}, 5, 62);
+}
+
+TEST(Conv3dLayer, BatchMatchesSingleGeneralTilePath) {
+  // Last dim 3 forces the general tiling inside the templated kernel.
+  util::Rng rng(63);
+  Conv3d conv(4, 16, 3, rng);
+  expect_batch_matches_single(conv, {4, 4, 5, 3}, 3, 64);
+}
+
+TEST(Conv3dLayer, BatchMatchesSingleIm2colFallback) {
+  // OC=5 has no template instantiation: exercises the im2col + GEMM path.
+  util::Rng rng(65);
+  Conv3d conv(3, 5, 3, rng);
+  expect_batch_matches_single(conv, {3, 4, 4, 4}, 4, 66);
+}
+
+TEST(Conv3dLayer, BatchMatchesSinglePointwise) {
+  util::Rng rng(67);
+  Conv3d conv(6, 8, 1, rng);
+  expect_batch_matches_single(conv, {6, 4, 3, 2}, 4, 68);
+}
+
+TEST(GroupNormLayer, BatchMatchesSingle) {
+  GroupNorm norm(8, 4);
+  expect_batch_matches_single(norm, {8, 3, 4, 2}, 3, 70);
+}
+
+TEST(PoolLayers, BatchMatchesSingle) {
+  MaxPool3d pool;
+  expect_batch_matches_single(pool, {4, 6, 4, 2}, 3, 71);
+  UpsampleNearest3d up;
+  expect_batch_matches_single(up, {4, 3, 2, 1}, 3, 72);
+}
+
+TEST(ResidualBlockLayer, BatchMatchesSingle) {
+  util::Rng rng(73);
+  ResidualBlock3d block(7, 8, rng);
+  expect_batch_matches_single(block, {7, 4, 4, 4}, 3, 74);
 }
 
 TEST(ValueNetModel, ScalarOutputAnySize) {

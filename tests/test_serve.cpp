@@ -1,0 +1,241 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "gen/random_layout.hpp"
+#include "serve/batched_selector.hpp"
+#include "serve/canonical.hpp"
+#include "serve/metrics.hpp"
+#include "serve/result_cache.hpp"
+
+namespace oar::serve {
+namespace {
+
+rl::SelectorConfig tiny_config() {
+  rl::SelectorConfig cfg;
+  cfg.unet.in_channels = 7;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 11;
+  return cfg;
+}
+
+HananGrid small_grid(std::uint64_t seed = 4) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = 6;
+  spec.v = 6;
+  spec.m = 2;
+  spec.min_pins = 4;
+  spec.max_pins = 4;
+  spec.min_obstacles = 3;
+  spec.max_obstacles = 3;
+  return gen::random_grid(spec, rng);
+}
+
+std::set<std::pair<Vertex, Vertex>> edge_set(const route::RouteTree& tree) {
+  std::set<std::pair<Vertex, Vertex>> out;
+  for (const route::GridEdge& e : tree.edges()) out.insert({e.a, e.b});
+  return out;
+}
+
+TEST(Canonical, AllSixteenSymmetriesShareOneKey) {
+  const HananGrid grid = small_grid();
+  const CanonicalForm base = canonicalize(grid);
+  EXPECT_TRUE(base.symmetric);
+  for (const rl::AugmentSpec& spec : rl::all_augmentations()) {
+    const HananGrid variant = rl::transform_grid(grid, spec);
+    const CanonicalForm form = canonicalize(variant);
+    EXPECT_EQ(form.key, base.key);
+  }
+}
+
+TEST(Canonical, FastOrbitSerializationMatchesReference) {
+  const HananGrid grid = small_grid();
+  // Reference: serialize the fully constructed transformed grids.
+  std::string expect;
+  for (const rl::AugmentSpec& spec : rl::all_augmentations()) {
+    std::string key = serialize_grid(rl::transform_grid(grid, spec));
+    if (expect.empty() || key < expect) expect = std::move(key);
+  }
+  EXPECT_EQ(canonicalize(grid).key, expect);
+}
+
+TEST(Canonical, DistinctLayoutsGetDistinctKeys) {
+  EXPECT_NE(canonicalize(small_grid(4)).key, canonicalize(small_grid(5)).key);
+}
+
+TEST(Canonical, InverseVertexMapRoundTrips) {
+  const HananGrid grid = small_grid();
+  for (const rl::AugmentSpec& spec : rl::all_augmentations()) {
+    const std::vector<Vertex> inv = inverse_vertex_map(grid, spec);
+    for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+      EXPECT_EQ(inv[std::size_t(rl::transform_vertex(grid, v, spec))], v);
+    }
+  }
+}
+
+TEST(ResultCache, LruEvictsOldestAndGetRefreshes) {
+  ResultCache cache(2);
+  CachedRoute value;
+  value.cost = 1.0;
+  cache.put("a", value);
+  cache.put("b", value);
+  ASSERT_TRUE(cache.get("a").has_value());  // refreshes "a"
+  cache.put("c", value);                    // evicts "b"
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, ZeroCapacityStoresNothing) {
+  ResultCache cache(0);
+  cache.put("a", CachedRoute{});
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BatchedSelector, MatchesSingleSampleInference) {
+  rl::SteinerSelector selector(tiny_config());
+  std::vector<HananGrid> grids = {small_grid(1), small_grid(2), small_grid(3)};
+  std::vector<const HananGrid*> ptrs;
+  for (const HananGrid& g : grids) ptrs.push_back(&g);
+
+  const auto batched = batched_fsp(selector, ptrs);
+  ASSERT_EQ(batched.size(), grids.size());
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    const auto single = selector.infer_fsp(grids[i]);
+    ASSERT_EQ(batched[i].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      // The batched kernels may contract FMAs in a different order.
+      EXPECT_NEAR(batched[i][j], single[j], 1e-4);
+    }
+  }
+}
+
+TEST(RouterService, CacheHitReturnsIdenticalTree) {
+  auto selector = std::make_shared<rl::SteinerSelector>(tiny_config());
+  RouterServiceConfig cfg;
+  cfg.max_batch = 4;
+  RouterService service(selector, cfg);
+
+  const auto grid = std::make_shared<const HananGrid>(small_grid());
+  const RouteReply cold = service.route(grid);
+  ASSERT_TRUE(cold.result.connected);
+  EXPECT_FALSE(cold.cache_hit);
+
+  const RouteReply warm = service.route(grid);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_TRUE(warm.result.connected);
+  EXPECT_DOUBLE_EQ(warm.result.cost, cold.result.cost);
+  EXPECT_EQ(edge_set(warm.result.tree), edge_set(cold.result.tree));
+  EXPECT_EQ(warm.result.kept_steiner.size(), cold.result.kept_steiner.size());
+  EXPECT_EQ(service.metrics().snapshot().cache_hits, 1u);
+}
+
+TEST(RouterService, RotatedLayoutHitsSameCacheEntry) {
+  auto selector = std::make_shared<rl::SteinerSelector>(tiny_config());
+  RouterService service(selector, {});
+
+  const auto grid = std::make_shared<const HananGrid>(small_grid());
+  const RouteReply cold = service.route(grid);
+  ASSERT_TRUE(cold.result.connected);
+
+  for (const rl::AugmentSpec& spec : rl::all_augmentations()) {
+    const auto variant =
+        std::make_shared<const HananGrid>(rl::transform_grid(*grid, spec));
+    const RouteReply reply = service.route(variant);
+    EXPECT_TRUE(reply.cache_hit);
+    // Symmetries preserve step costs, so the replayed tree costs the same
+    // and must be a valid tree over the variant's own pins.
+    EXPECT_DOUBLE_EQ(reply.result.cost, cold.result.cost);
+    EXPECT_EQ(reply.result.tree.validate(variant->pins()), "");
+  }
+  EXPECT_EQ(service.cache_size(), 1u);
+}
+
+TEST(RouterService, ExpiredDeadlineIsFlagged) {
+  auto selector = std::make_shared<rl::SteinerSelector>(tiny_config());
+  RouterService service(selector, {});
+
+  RouteRequest request;
+  request.grid = std::make_shared<const HananGrid>(small_grid());
+  request.deadline = Clock::now() - std::chrono::seconds(1);
+  const RouteReply reply = service.submit(std::move(request)).get();
+  EXPECT_TRUE(reply.result.connected);  // still routed, just late
+  EXPECT_FALSE(reply.deadline_met);
+  EXPECT_EQ(service.metrics().snapshot().deadline_misses, 1u);
+}
+
+TEST(RouterService, ConcurrentClientsAllComplete) {
+  auto selector = std::make_shared<rl::SteinerSelector>(tiny_config());
+  RouterServiceConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_wait_ms = 1.0;
+  RouterService service(selector, cfg);
+
+  std::vector<std::shared_ptr<const HananGrid>> layouts;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    layouts.push_back(std::make_shared<const HananGrid>(small_grid(s)));
+  }
+
+  constexpr int kClients = 4, kPerClient = 6;
+  std::atomic<int> connected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        const auto& grid = layouts[std::size_t(c + r) % layouts.size()];
+        const RouteReply reply =
+            service.submit(RouteRequest{grid, std::nullopt}).get();
+        if (reply.result.connected) connected++;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(connected.load(), kClients * kPerClient);
+  const MetricsSnapshot snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.requests, std::uint64_t(kClients * kPerClient));
+  // Only 3 distinct layouts exist; concurrent first touches may each miss,
+  // but the steady state must be hits and at most 3 entries.
+  EXPECT_GE(snap.cache_hits, 1u);
+  EXPECT_LE(service.cache_size(), 3u);
+}
+
+TEST(ServiceMetrics, SnapshotAndCsvDump) {
+  ServiceMetrics metrics;
+  for (int i = 1; i <= 10; ++i) {
+    metrics.record_stage(Stage::kInference, 0.001 * i);
+  }
+  metrics.add_request();
+  metrics.add_request();
+  metrics.add_cache_hit();
+  metrics.add_batch(4);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  const StageSummary& inf = snap.stages[std::size_t(Stage::kInference)];
+  EXPECT_EQ(inf.count, 10u);
+  EXPECT_NEAR(inf.mean_ms, 5.5, 1e-9);
+  EXPECT_NEAR(inf.max_ms, 10.0, 1e-9);
+  EXPECT_GT(inf.p90_ms, inf.p50_ms);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size, 4.0);
+
+  const std::string path = testing::TempDir() + "serve_metrics_test.csv";
+  EXPECT_TRUE(metrics.dump_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oar::serve

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <set>
+#include <thread>
 
 namespace oar::util {
 namespace {
@@ -39,6 +41,49 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, SizeMatchesRequest) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForChunksAcrossWorkers) {
+  // Chunked dispatch: each index records which thread ran it; with contiguous
+  // ranges there can be at most min(count, size()) distinct runner threads,
+  // and indices inside one chunk share a thread.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;
+  std::vector<std::thread::id> runner(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { runner[i] = std::this_thread::get_id(); });
+
+  std::set<std::thread::id> distinct(runner.begin(), runner.end());
+  EXPECT_LE(distinct.size(), pool.size());
+  // Contiguity: the sequence of runner ids changes at most chunks-1 times.
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < kCount; ++i) {
+    if (runner[i] != runner[i - 1]) ++switches;
+  }
+  EXPECT_LT(switches, pool.size());
+}
+
+TEST(ThreadPool, ParallelForFewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  try {
+    pool.parallel_for(16, [&](std::size_t i) {
+      calls++;
+      if (i % 5 == 0) throw std::runtime_error("fail " + std::to_string(i));
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    // First exception in chunk order: index 0 throws in the first chunk.
+    EXPECT_STREQ(e.what(), "fail 0");
+  }
+  // Every chunk ran up to its own first failure; nothing deadlocked.
+  EXPECT_GE(calls.load(), 4);
 }
 
 TEST(ThreadPool, ManySmallTasks) {

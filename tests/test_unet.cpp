@@ -138,6 +138,28 @@ TEST(UNet, CopyParametersMakesNetsIdentical) {
   for (std::int64_t i = 0; i < oa.numel(); ++i) EXPECT_FLOAT_EQ(oa[i], ob[i]);
 }
 
+TEST(UNet, ForwardBatchMatchesPerSampleForward) {
+  UNet3d net(tiny_config());
+  util::Rng rng(12);
+  const std::int32_t n = 4;
+  const Tensor batch = Tensor::randn({n, 3, 8, 8, 2}, rng);
+  const Tensor batched = net.forward_batch(batch);
+
+  const std::int64_t in_stride = batch.numel() / n;
+  const std::int64_t out_stride = batched.numel() / n;
+  Tensor sample({3, 8, 8, 2});
+  for (std::int32_t i = 0; i < n; ++i) {
+    std::copy(batch.data() + i * in_stride, batch.data() + (i + 1) * in_stride,
+              sample.data());
+    const Tensor single = net.forward(sample);
+    ASSERT_EQ(single.numel(), out_stride);
+    for (std::int64_t j = 0; j < out_stride; ++j) {
+      // Batched conv kernels reorder FMA contractions; tolerance, not bits.
+      ASSERT_NEAR(batched[i * out_stride + j], single[j], 1e-4) << i << "," << j;
+    }
+  }
+}
+
 TEST(UNet, ZeroGradClearsGradients) {
   UNet3d net(tiny_config());
   util::Rng rng(10);
