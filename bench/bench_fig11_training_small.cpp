@@ -8,6 +8,9 @@
 // Extra ablation rows (DESIGN.md Sec. 6): the terminal pruning rules of the
 // combinatorial MCTS toggled off, to show their effect on sample time.
 
+#include <cmath>
+#include <thread>
+
 #include "bench_training_curves.hpp"
 
 int main() {
@@ -45,6 +48,59 @@ int main() {
     const auto report = trainer.run_stage();
     std::printf("  pruning %-3s : %.3f s/sample\n", prune ? "on" : "off",
                 report.seconds_per_sample);
+  }
+
+  // --- fit-phase scaling: data-parallel fit_dataset ---
+  // One stage-sized dataset, fitted from the same initial weights with 1,
+  // 2, and 4 worker replicas.  The final-epoch loss must agree across
+  // worker counts (the gradient reduction tree is keyed by batch position,
+  // so updates are bitwise worker-count independent); the speedup column
+  // needs >= 4 hardware cores to show the parallel win.
+  std::printf("\nfit-phase scaling: serial vs data-parallel fit_dataset"
+              " (%u hardware threads)\n", std::thread::hardware_concurrency());
+  rl::Dataset fit_dataset_samples;
+  {
+    util::Rng gen_rng(0xf17);
+    const gen::RandomGridSpec spec =
+        rl::training_spec({cfg.h, cfg.v, cfg.m}, 0.10, 4, 6);
+    for (int i = 0; i < 96; ++i) {
+      rl::TrainingSample sample;
+      sample.grid = gen::random_grid(spec, gen_rng);
+      const auto n = std::size_t(sample.grid.num_vertices());
+      sample.label.assign(n, 0.0f);
+      sample.mask.assign(n, 1.0f);
+      for (int k = 0; k < 4; ++k) {
+        sample.label[std::size_t(gen_rng.uniform_int(0, std::int64_t(n) - 1))] = 1.0f;
+      }
+      fit_dataset_samples.add(std::move(sample));
+    }
+  }
+  double serial_seconds = 0.0;
+  double serial_loss = 0.0;
+  for (const std::int32_t workers : {1, 2, 4}) {
+    rl::SelectorConfig sel_cfg = core::pretrained_selector_config();
+    sel_cfg.unet.seed = 0xf1;
+    rl::SteinerSelector selector(sel_cfg);
+    nn::Adam optimizer(selector.net().parameters(), 1e-3);
+    util::Rng fit_rng(0xbeef);
+    rl::FitOptions options;
+    options.epochs = 2;
+    options.batch_size = 16;
+    options.grad_clip = 5.0;
+    options.workers = workers;
+    util::Timer timer;
+    const double loss = rl::fit_dataset(selector, optimizer, fit_dataset_samples,
+                                        options, fit_rng);
+    const double seconds = timer.seconds();
+    const double eval = rl::dataset_loss(selector, fit_dataset_samples, 16);
+    if (workers == 1) {
+      serial_seconds = seconds;
+      serial_loss = loss;
+    }
+    std::printf("  workers %d : %6.2f s  speedup %.2fx  last-epoch loss %.6f"
+                "  (|delta| vs serial %.2e)  eval loss %.6f\n",
+                workers, seconds, serial_seconds / seconds, loss,
+                std::abs(loss - serial_loss), eval);
   }
   return 0;
 }

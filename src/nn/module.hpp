@@ -39,6 +39,19 @@ struct Parameter {
       : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
 };
 
+/// dst.grad += src.grad, element-wise over two parameter lists of the same
+/// architecture.  One reduction step of the data-parallel trainer: each
+/// worker replica accumulates gradients locally, then replicas are merged
+/// pairwise (tree reduction) into the master parameter list.
+inline void accumulate_gradients(const std::vector<Parameter*>& dst,
+                                 const std::vector<Parameter*>& src) {
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    assert(dst[i]->grad.shape() == src[i]->grad.shape());
+    dst[i]->grad += src[i]->grad;
+  }
+}
+
 class Module {
  public:
   virtual ~Module() = default;

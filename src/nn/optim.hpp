@@ -24,6 +24,8 @@ class Optimizer {
   /// Returns the pre-clip norm.
   double clip_grad_norm(double max_norm);
 
+  const std::vector<Parameter*>& params() const { return params_; }
+
  protected:
   std::vector<Parameter*> params_;
 };
@@ -50,6 +52,14 @@ class Adam : public Optimizer {
 
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
+
+  // Full optimizer state, exposed for checkpoint/resume (nn/serialize):
+  // the step counter drives bias correction, m_/v_ are the per-parameter
+  // first/second moment estimates (same order and shapes as params()).
+  std::int64_t step_count() const { return t_; }
+  void set_step_count(std::int64_t t) { t_ = t; }
+  std::vector<Tensor>& moments1() { return m_; }
+  std::vector<Tensor>& moments2() { return v_; }
 
  private:
   double lr_, beta1_, beta2_, eps_, weight_decay_;

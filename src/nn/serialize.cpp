@@ -2,35 +2,127 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "util/logging.hpp"
 
 namespace oar::nn {
 
 namespace {
+
 constexpr char kMagic[] = "OARNN1\n";
+constexpr char kCheckpointMagic[] = "OARCK1\n";
+constexpr std::int32_t kCheckpointVersion = 1;
+// Reject absurd payload sizes before allocating (corrupt length field).
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 33;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
+
+template <typename T>
+bool read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return bool(in);
+}
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One parameter as staged on load: nothing is committed to the module
+/// until every record of the file has validated.
+struct ParamRecord {
+  std::string name;
+  std::vector<std::int32_t> shape;
+  std::vector<float> data;
+};
+
+void write_param_block(std::ostream& out, const std::vector<Parameter*>& params) {
+  const auto count = std::int32_t(params.size());
+  write_pod(out, count);
+  for (const Parameter* p : params) {
+    const auto name_len = std::int32_t(p->name.size());
+    write_pod(out, name_len);
+    out.write(p->name.data(), name_len);
+    const auto rank = std::int32_t(p->value.dim());
+    write_pod(out, rank);
+    for (std::int32_t d = 0; d < rank; ++d) write_pod(out, p->value.shape(d));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              std::streamsize(p->value.numel() * std::int64_t(sizeof(float))));
+  }
+}
+
+bool read_param_block(std::istream& in, std::vector<ParamRecord>& records) {
+  std::int32_t count = 0;
+  if (!read_pod(in, count) || count < 0) return false;
+  records.resize(std::size_t(count));
+  for (ParamRecord& rec : records) {
+    std::int32_t name_len = 0;
+    if (!read_pod(in, name_len) || name_len < 0 || name_len > 4096) return false;
+    rec.name.assign(std::size_t(name_len), '\0');
+    in.read(rec.name.data(), name_len);
+    std::int32_t rank = 0;
+    if (!read_pod(in, rank) || rank < 0 || rank > 8) return false;
+    rec.shape.resize(std::size_t(rank));
+    std::int64_t numel = 1;
+    for (std::int32_t& dim : rec.shape) {
+      if (!read_pod(in, dim) || dim <= 0 || dim > (1 << 24)) return false;
+      numel *= dim;
+      if (numel > (std::int64_t(1) << 31)) return false;
+    }
+    rec.data.resize(std::size_t(numel));
+    in.read(reinterpret_cast<char*>(rec.data.data()),
+            std::streamsize(numel * std::int64_t(sizeof(float))));
+    if (!in) return false;
+  }
+  return true;
+}
+
+/// Validates staged records against the module's parameter list.
+bool records_match_module(const std::vector<ParamRecord>& records,
+                          const std::vector<Parameter*>& params,
+                          const std::string& path) {
+  if (records.size() != params.size()) {
+    util::log_error("checkpoint parameter count mismatch in ", path);
+    return false;
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].name != params[i]->name) {
+      util::log_error("checkpoint name mismatch: expected ", params[i]->name,
+                      " got ", records[i].name);
+      return false;
+    }
+    if (records[i].shape != params[i]->value.shape()) {
+      util::log_error("checkpoint shape mismatch for ", params[i]->name);
+      return false;
+    }
+  }
+  return true;
+}
+
+void commit_records(const std::vector<ParamRecord>& records,
+                    const std::vector<Parameter*>& params) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::copy(records[i].data.begin(), records[i].data.end(),
+              params[i]->value.data());
+  }
+}
+
+}  // namespace
 
 bool save_parameters(Module& module, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   out.write(kMagic, sizeof(kMagic) - 1);
-  const auto params = module.parameters();
-  const auto count = std::int32_t(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Parameter* p : params) {
-    const auto name_len = std::int32_t(p->name.size());
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(p->name.data(), name_len);
-    const auto rank = std::int32_t(p->value.dim());
-    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-    for (std::int32_t d = 0; d < rank; ++d) {
-      const std::int32_t dim = p->value.shape(d);
-      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-    }
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              std::streamsize(p->value.numel() * std::int64_t(sizeof(float))));
-  }
+  write_param_block(out, module.parameters());
   return bool(out);
 }
 
@@ -43,38 +135,11 @@ bool load_parameters(Module& module, const std::string& path) {
     util::log_error("checkpoint magic mismatch in ", path);
     return false;
   }
-  std::int32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::vector<ParamRecord> records;
+  if (!read_param_block(in, records)) return false;
   const auto params = module.parameters();
-  if (!in || count != std::int32_t(params.size())) {
-    util::log_error("checkpoint parameter count mismatch in ", path);
-    return false;
-  }
-  for (Parameter* p : params) {
-    std::int32_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len < 0 || name_len > 4096) return false;
-    std::string name(std::size_t(name_len), '\0');
-    in.read(name.data(), name_len);
-    if (name != p->name) {
-      util::log_error("checkpoint name mismatch: expected ", p->name, " got ", name);
-      return false;
-    }
-    std::int32_t rank = 0;
-    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    if (!in || rank != p->value.dim()) return false;
-    for (std::int32_t d = 0; d < rank; ++d) {
-      std::int32_t dim = 0;
-      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-      if (!in || dim != p->value.shape(d)) {
-        util::log_error("checkpoint shape mismatch for ", p->name);
-        return false;
-      }
-    }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            std::streamsize(p->value.numel() * std::int64_t(sizeof(float))));
-    if (!in) return false;
-  }
+  if (!records_match_module(records, params, path)) return false;
+  commit_records(records, params);
   return true;
 }
 
@@ -86,6 +151,130 @@ void copy_parameters(Module& dst, Module& src) {
     assert(dparams[i]->value.shape() == sparams[i]->value.shape());
     dparams[i]->value = sparams[i]->value;
   }
+}
+
+bool save_training_checkpoint(const std::string& path, Module& module,
+                              Adam& optimizer, const util::RngState& rng,
+                              std::int32_t stage_index) {
+  std::ostringstream payload(std::ios::binary);
+  write_pod(payload, stage_index);
+  for (int i = 0; i < 4; ++i) write_pod(payload, rng.s[i]);
+  write_pod(payload, std::uint8_t(rng.have_spare_normal ? 1 : 0));
+  write_pod(payload, rng.spare_normal);
+  write_param_block(payload, module.parameters());
+  write_pod(payload, optimizer.step_count());
+  for (const Tensor& m : optimizer.moments1()) {
+    payload.write(reinterpret_cast<const char*>(m.data()),
+                  std::streamsize(m.numel() * std::int64_t(sizeof(float))));
+  }
+  for (const Tensor& v : optimizer.moments2()) {
+    payload.write(reinterpret_cast<const char*>(v.data()),
+                  std::streamsize(v.numel() * std::int64_t(sizeof(float))));
+  }
+  const std::string bytes = payload.str();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kCheckpointMagic, sizeof(kCheckpointMagic) - 1);
+    write_pod(out, kCheckpointVersion);
+    write_pod(out, std::uint64_t(bytes.size()));
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    write_pod(out, fnv1a64(bytes.data(), bytes.size()));
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    util::log_error("checkpoint rename failed: ", tmp, " -> ", path);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_training_checkpoint(const std::string& path, Module& module,
+                              Adam& optimizer, util::RngState* rng,
+                              std::int32_t* stage_index) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kCheckpointMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, sizeof(magic)) !=
+                 std::string(kCheckpointMagic, sizeof(magic))) {
+    util::log_error("training checkpoint magic mismatch in ", path);
+    return false;
+  }
+  std::int32_t version = 0;
+  if (!read_pod(in, version) || version != kCheckpointVersion) {
+    util::log_error("unsupported training checkpoint version in ", path);
+    return false;
+  }
+  std::uint64_t payload_size = 0;
+  if (!read_pod(in, payload_size) || payload_size > kMaxPayloadBytes) {
+    util::log_error("bad training checkpoint payload size in ", path);
+    return false;
+  }
+  std::string bytes(std::size_t(payload_size), '\0');
+  in.read(bytes.data(), std::streamsize(payload_size));
+  std::uint64_t stored_sum = 0;
+  if (!in || !read_pod(in, stored_sum) ||
+      stored_sum != fnv1a64(bytes.data(), bytes.size())) {
+    util::log_error("training checkpoint truncated or corrupt: ", path);
+    return false;
+  }
+
+  std::istringstream payload(bytes, std::ios::binary);
+  std::int32_t stage = 0;
+  util::RngState rng_state;
+  if (!read_pod(payload, stage)) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (!read_pod(payload, rng_state.s[i])) return false;
+  }
+  std::uint8_t have_spare = 0;
+  if (!read_pod(payload, have_spare) || have_spare > 1) return false;
+  rng_state.have_spare_normal = have_spare != 0;
+  if (!read_pod(payload, rng_state.spare_normal)) return false;
+
+  std::vector<ParamRecord> records;
+  if (!read_param_block(payload, records)) return false;
+  const auto params = module.parameters();
+  if (!records_match_module(records, params, path)) return false;
+
+  std::int64_t step_count = 0;
+  if (!read_pod(payload, step_count) || step_count < 0) return false;
+  if (optimizer.params().size() != params.size() ||
+      optimizer.moments1().size() != params.size()) {
+    util::log_error("checkpoint optimizer arity mismatch in ", path);
+    return false;
+  }
+  std::vector<std::vector<float>> moments1(params.size()), moments2(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    moments1[i].resize(records[i].data.size());
+    payload.read(reinterpret_cast<char*>(moments1[i].data()),
+                 std::streamsize(moments1[i].size() * sizeof(float)));
+    if (!payload) return false;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    moments2[i].resize(records[i].data.size());
+    payload.read(reinterpret_cast<char*>(moments2[i].data()),
+                 std::streamsize(moments2[i].size() * sizeof(float)));
+    if (!payload) return false;
+  }
+  // The payload must contain exactly what we consumed — trailing garbage
+  // means the length field lies about the content.
+  if (std::uint64_t(payload.tellg()) != payload_size) return false;
+
+  commit_records(records, params);
+  optimizer.set_step_count(step_count);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::copy(moments1[i].begin(), moments1[i].end(),
+              optimizer.moments1()[i].data());
+    std::copy(moments2[i].begin(), moments2[i].end(),
+              optimizer.moments2()[i].data());
+  }
+  if (rng) *rng = rng_state;
+  if (stage_index) *stage_index = stage;
+  return true;
 }
 
 }  // namespace oar::nn

@@ -1,14 +1,33 @@
 #pragma once
 
-// Binary checkpointing of module parameters.
+// Binary checkpointing of module parameters and full training state.
 //
-// Format: magic "OARNN1\n", int32 parameter count, then per parameter:
-// int32 name length + bytes, int32 rank, int32 dims..., float32 data.
-// Loading verifies that names and shapes match the module being restored.
+// Weights-only format (OARNN1): magic "OARNN1\n", int32 parameter count,
+// then per parameter: int32 name length + bytes, int32 rank, int32 dims...,
+// float32 data.  Loading verifies that names and shapes match the module
+// being restored and leaves the module untouched on any mismatch.
+//
+// Training checkpoint format (OARCK1, versioned + checksummed):
+//   magic "OARCK1\n"
+//   int32  version (currently 1)
+//   uint64 payload size in bytes
+//   payload:
+//     int32    stage index
+//     RNG      4x uint64 xoshiro words, uint8 spare flag, double spare
+//     params   same block as OARNN1 body (count + name/shape/data records)
+//     Adam     int64 step count, then per parameter: float32 m data,
+//              float32 v data (shapes implied by the parameter block)
+//   uint64 FNV-1a64 checksum of the payload
+// The file is written to "<path>.tmp" and renamed into place, so a crash
+// mid-write never clobbers the previous checkpoint; loading rejects
+// truncated or corrupted files via the size and checksum fields before any
+// state is modified.
 
 #include <string>
 
 #include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "util/rng.hpp"
 
 namespace oar::nn {
 
@@ -16,14 +35,28 @@ namespace oar::nn {
 bool save_parameters(Module& module, const std::string& path);
 
 /// Restores parameters saved by save_parameters.  Returns false on I/O
-/// error or any name/shape mismatch (module left unchanged on mismatch of
-/// the header; partially written on later mismatch — callers treat false as
-/// fatal).
+/// error or any name/shape mismatch; the module is left unchanged unless
+/// the whole file validates.
 bool load_parameters(Module& module, const std::string& path);
 
 /// Copies parameter values from `src` into `dst` (identical architectures
 /// required; asserts on shape mismatch).  Used to clone a selector per
-/// worker thread for parallel sample generation.
+/// worker thread for parallel sample generation and parallel fitting.
 void copy_parameters(Module& dst, Module& src);
+
+/// Atomically writes a full training checkpoint (module weights, Adam
+/// moments + step count, RNG stream, stage index) to `path` via a temp
+/// file + rename.  Returns false on I/O error.
+bool save_training_checkpoint(const std::string& path, Module& module,
+                              Adam& optimizer, const util::RngState& rng,
+                              std::int32_t stage_index);
+
+/// Restores a checkpoint written by save_training_checkpoint.  All state is
+/// validated (magic, version, payload size, checksum, parameter names and
+/// shapes, optimizer arity) before anything is modified: on failure the
+/// module, optimizer, and outputs are left exactly as they were.
+bool load_training_checkpoint(const std::string& path, Module& module,
+                              Adam& optimizer, util::RngState* rng,
+                              std::int32_t* stage_index);
 
 }  // namespace oar::nn

@@ -31,4 +31,17 @@ std::vector<std::vector<std::size_t>> Dataset::epoch_batches(std::size_t batch_s
   return batches;
 }
 
+std::vector<std::vector<std::size_t>> Dataset::ordered_batches(
+    std::size_t batch_size) const {
+  std::vector<std::vector<std::size_t>> batches;
+  for (const auto& [key, indices] : by_size_) {
+    for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+      const std::size_t end = std::min(start + batch_size, indices.size());
+      batches.emplace_back(indices.begin() + std::ptrdiff_t(start),
+                           indices.begin() + std::ptrdiff_t(end));
+    }
+  }
+  return batches;
+}
+
 }  // namespace oar::rl

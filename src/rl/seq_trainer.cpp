@@ -42,8 +42,6 @@ StageReport SeqTrainer::run_stage() {
     hanan::HananGrid grid;
     mcts::SeqMctsResult mcts;
   };
-  std::vector<RawSample> raw;
-  std::mutex raw_mutex;
 
   std::vector<std::pair<gen::RandomGridSpec, std::uint64_t>> jobs;
   for (const LayoutSizeSpec& size : config_.sizes) {
@@ -54,10 +52,14 @@ StageReport SeqTrainer::run_stage() {
     }
   }
 
-  const std::size_t worker_count =
-      config_.threads > 0 ? std::size_t(config_.threads)
-                          : std::max(1u, std::thread::hardware_concurrency());
-  util::ThreadPool pool(std::min(worker_count, jobs.size() == 0 ? 1 : jobs.size()));
+  // One pool serves both phases: sample generation fans out over layouts,
+  // the fit phase over per-worker replicas.
+  const std::size_t gen_workers = std::min(
+      util::ThreadPool::resolve_thread_count(config_.threads),
+      jobs.empty() ? std::size_t(1) : jobs.size());
+  const std::size_t fit_workers = util::ThreadPool::resolve_thread_count(
+      config_.fit_workers > 0 ? config_.fit_workers : config_.threads);
+  util::ThreadPool pool(std::max(gen_workers, fit_workers));
 
   std::vector<std::unique_ptr<SteinerSelector>> clone_pool;
   std::mutex clone_mutex;
@@ -75,6 +77,9 @@ StageReport SeqTrainer::run_stage() {
     return clone;
   };
 
+  // Results are written by job index, never appended: append order would
+  // depend on thread completion and make fixed-seed runs diverge.
+  std::vector<RawSample> raw(jobs.size());
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     auto clone = checkout_clone();
     util::Rng job_rng(jobs[i].second);
@@ -84,10 +89,7 @@ StageReport SeqTrainer::run_stage() {
         mcts::scaled_iterations(mcts_config.iterations_per_move, grid);
     mcts::SeqMcts search(*clone, cfg);
     mcts::SeqMctsResult result = search.run(grid);
-    {
-      std::lock_guard<std::mutex> lock(raw_mutex);
-      raw.push_back(RawSample{std::move(grid), std::move(result)});
-    }
+    raw[i] = RawSample{std::move(grid), std::move(result)};
     std::lock_guard<std::mutex> lock(clone_mutex);
     clone_pool.push_back(std::move(clone));
   });
@@ -131,10 +133,13 @@ StageReport SeqTrainer::run_stage() {
   report.train_samples = std::int32_t(dataset.size());
 
   util::Timer fit_timer;
-  report.mean_loss = fit_dataset(selector_, optimizer_, dataset,
-                                 config_.epochs_per_stage,
-                                 std::size_t(config_.batch_size),
-                                 config_.grad_clip, rng_);
+  FitOptions fit;
+  fit.epochs = config_.epochs_per_stage;
+  fit.batch_size = std::size_t(config_.batch_size);
+  fit.grad_clip = config_.grad_clip;
+  fit.workers = std::int32_t(fit_workers);
+  fit.pool = &pool;
+  report.mean_loss = fit_dataset(selector_, optimizer_, dataset, fit, rng_);
   report.train_seconds = fit_timer.seconds();
 
   util::log_info("seq stage ", stage_index_, ": ", report.raw_samples,

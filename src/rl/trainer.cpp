@@ -6,10 +6,10 @@
 #include <mutex>
 
 #include "nn/loss.hpp"
+#include "nn/serialize.hpp"
 #include "rl/augment.hpp"
 #include "steiner/router_base.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace oar::rl {
@@ -32,43 +32,194 @@ gen::RandomGridSpec training_spec(const LayoutSizeSpec& size, double obstacle_de
   return spec;
 }
 
+ParallelFitter::ParallelFitter(SteinerSelector& master, std::int32_t workers,
+                               util::ThreadPool* pool)
+    : master_(master), pool_(pool), workers_(std::max<std::int32_t>(1, workers)) {
+  assert(workers_ == 1 || pool_ != nullptr);
+  master_params_ = master_.net().parameters();
+  // All compute runs on replicas (the master only receives the reduced
+  // gradient), so the master's own gradient accumulators survive the
+  // per-sample zero_grad the snapshot path needs.
+  for (std::int32_t w = 0; w < workers_; ++w) {
+    auto replica = std::make_unique<SteinerSelector>(master_.config());
+    replica->net().set_training(true);
+    replica_params_.push_back(replica->net().parameters());
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+void ParallelFitter::sync_replicas() {
+  if (!weights_dirty_) return;
+  for (auto& replica : replicas_) replica->copy_weights_from(master_);
+  weights_dirty_ = false;
+}
+
+void ParallelFitter::run_indexed(std::size_t count,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (pool_ != nullptr && count > 1) {
+    pool_->parallel_for(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+double ParallelFitter::backprop_sample(SteinerSelector& selector,
+                                       const TrainingSample& sample,
+                                       float inv_batch) {
+  const nn::Tensor input = SteinerSelector::encode(sample.grid, sample.extra_pins);
+  const nn::Tensor logits = selector.net().forward(input);
+
+  nn::Tensor label({1, sample.grid.h_dim(), sample.grid.v_dim(),
+                    sample.grid.m_dim()});
+  nn::Tensor mask(label.shape());
+  std::copy(sample.label.begin(), sample.label.end(), label.data());
+  std::copy(sample.mask.begin(), sample.mask.end(), mask.data());
+
+  nn::Tensor grad_logits;
+  const double loss = nn::bce_with_logits(logits, label, grad_logits, &mask);
+  grad_logits *= inv_batch;
+  selector.net().backward(grad_logits);
+  return loss;
+}
+
+double ParallelFitter::accumulate_batch(const Dataset& dataset,
+                                        const std::vector<std::size_t>& batch) {
+  if (batch.empty()) return 0.0;
+  const std::size_t n = batch.size();
+  const float inv_batch = 1.0f / float(n);
+  sync_replicas();
+  if (sample_grads_.size() < n) sample_grads_.resize(n);
+  if (sample_loss_.size() < n) sample_loss_.resize(n);
+
+  // Contiguous shards, first `extra` one sample larger.
+  const std::size_t shards = std::min<std::size_t>(std::size_t(workers_), n);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::vector<std::size_t> bounds(shards + 1, 0);
+  for (std::size_t w = 0; w < shards; ++w) {
+    bounds[w + 1] = bounds[w] + base + (w < extra ? 1 : 0);
+  }
+
+  run_indexed(shards, [&](std::size_t w) {
+    SteinerSelector& selector = *replicas_[w];
+    const std::vector<nn::Parameter*>& params = replica_params_[w];
+    for (std::size_t k = bounds[w]; k < bounds[w + 1]; ++k) {
+      selector.net().zero_grad();
+      sample_loss_[k] = backprop_sample(selector, dataset.sample(batch[k]),
+                                        inv_batch);
+      sample_grads_[k].resize(params.size());
+      for (std::size_t j = 0; j < params.size(); ++j) {
+        sample_grads_[k][j] = params[j]->grad;
+      }
+    }
+  });
+
+  // Binary-tree reduction over batch positions: at stride s, position i
+  // absorbs position i+s for i = 0, 2s, 4s, ...  The addition order
+  // depends only on n — never on the shard layout — so the accumulated
+  // gradient is bitwise identical for every worker count.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    std::vector<std::size_t> dsts;
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride) dsts.push_back(i);
+    run_indexed(dsts.size(), [&](std::size_t d) {
+      std::vector<nn::Tensor>& dst = sample_grads_[dsts[d]];
+      const std::vector<nn::Tensor>& src = sample_grads_[dsts[d] + stride];
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    });
+  }
+  for (std::size_t j = 0; j < master_params_.size(); ++j) {
+    master_params_[j]->grad += sample_grads_[0][j];
+  }
+
+  double loss = 0.0;
+  for (std::size_t k = 0; k < n; ++k) loss += sample_loss_[k];
+  return loss;
+}
+
 double fit_dataset(SteinerSelector& selector, nn::Adam& optimizer,
-                   const Dataset& dataset, std::int32_t epochs,
-                   std::size_t batch_size, double grad_clip, util::Rng& rng) {
+                   const Dataset& dataset, const FitOptions& options,
+                   util::Rng& rng) {
   if (dataset.empty()) return 0.0;
+  const std::int32_t workers = std::max<std::int32_t>(1, options.workers);
+  std::unique_ptr<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = options.pool;
+  if (workers > 1 && pool == nullptr) {
+    local_pool = std::make_unique<util::ThreadPool>(std::size_t(workers));
+    pool = local_pool.get();
+  }
   selector.net().set_training(true);
+  ParallelFitter fitter(selector, workers, workers > 1 ? pool : nullptr);
   double last_epoch_loss = 0.0;
-  for (std::int32_t epoch = 0; epoch < epochs; ++epoch) {
+  for (std::int32_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     std::size_t batches = 0;
-    for (const auto& batch : dataset.epoch_batches(batch_size, rng)) {
+    for (const auto& batch : dataset.epoch_batches(options.batch_size, rng)) {
       optimizer.zero_grad();
-      double batch_loss = 0.0;
-      const float inv_batch = 1.0f / float(batch.size());
-      for (const std::size_t idx : batch) {
-        const TrainingSample& sample = dataset.sample(idx);
-        const nn::Tensor input = SteinerSelector::encode(sample.grid, sample.extra_pins);
-        const nn::Tensor logits = selector.net().forward(input);
-
-        nn::Tensor label({1, sample.grid.h_dim(), sample.grid.v_dim(),
-                          sample.grid.m_dim()});
-        nn::Tensor mask(label.shape());
-        std::copy(sample.label.begin(), sample.label.end(), label.data());
-        std::copy(sample.mask.begin(), sample.mask.end(), mask.data());
-
-        nn::Tensor grad_logits;
-        batch_loss += nn::bce_with_logits(logits, label, grad_logits, &mask);
-        grad_logits *= inv_batch;
-        selector.net().backward(grad_logits);
-      }
-      optimizer.clip_grad_norm(grad_clip);
+      const double batch_loss = fitter.accumulate_batch(dataset, batch);
+      optimizer.clip_grad_norm(options.grad_clip);
       optimizer.step();
+      fitter.notify_weights_changed();
       epoch_loss += batch_loss / double(batch.size());
       ++batches;
     }
     last_epoch_loss = batches == 0 ? 0.0 : epoch_loss / double(batches);
   }
   return last_epoch_loss;
+}
+
+double fit_dataset(SteinerSelector& selector, nn::Adam& optimizer,
+                   const Dataset& dataset, std::int32_t epochs,
+                   std::size_t batch_size, double grad_clip, util::Rng& rng) {
+  FitOptions options;
+  options.epochs = epochs;
+  options.batch_size = batch_size;
+  options.grad_clip = grad_clip;
+  options.workers = 1;
+  return fit_dataset(selector, optimizer, dataset, options, rng);
+}
+
+double dataset_loss(SteinerSelector& selector, const Dataset& dataset,
+                    std::size_t batch_size) {
+  if (dataset.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t batches = 0;
+  for (const auto& batch : dataset.ordered_batches(batch_size)) {
+    const TrainingSample& first = dataset.sample(batch[0]);
+    const nn::Tensor input0 = SteinerSelector::encode(first.grid, first.extra_pins);
+    std::vector<std::int32_t> stacked_shape{std::int32_t(batch.size())};
+    stacked_shape.insert(stacked_shape.end(), input0.shape().begin(),
+                         input0.shape().end());
+    nn::Tensor stacked(std::move(stacked_shape));
+    const std::int64_t in_stride = input0.numel();
+    std::copy(input0.data(), input0.data() + in_stride, stacked.data());
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      const TrainingSample& sample = dataset.sample(batch[i]);
+      const nn::Tensor input = SteinerSelector::encode(sample.grid, sample.extra_pins);
+      std::copy(input.data(), input.data() + in_stride,
+                stacked.data() + std::int64_t(i) * in_stride);
+    }
+
+    const nn::Tensor logits = selector.net().forward_batch(stacked);
+    const std::int64_t out_stride = logits.numel() / std::int64_t(batch.size());
+    nn::Tensor sample_logits({1, first.grid.h_dim(), first.grid.v_dim(),
+                              first.grid.m_dim()});
+    nn::Tensor label(sample_logits.shape());
+    nn::Tensor mask(sample_logits.shape());
+    double batch_loss = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const TrainingSample& sample = dataset.sample(batch[i]);
+      std::copy(logits.data() + std::int64_t(i) * out_stride,
+                logits.data() + std::int64_t(i + 1) * out_stride,
+                sample_logits.data());
+      std::copy(sample.label.begin(), sample.label.end(), label.data());
+      std::copy(sample.mask.begin(), sample.mask.end(), mask.data());
+      nn::Tensor grad_unused;
+      batch_loss += nn::bce_with_logits(sample_logits, label, grad_unused, &mask);
+    }
+    total += batch_loss / double(batch.size());
+    ++batches;
+  }
+  return total / double(batches);
 }
 
 CombTrainer::CombTrainer(SteinerSelector& selector, TrainConfig config)
@@ -104,8 +255,6 @@ StageReport CombTrainer::run_stage() {
     hanan::HananGrid grid;
     mcts::CombMctsResult mcts;
   };
-  std::vector<RawSample> raw;
-  std::mutex raw_mutex;
 
   std::vector<std::pair<gen::RandomGridSpec, std::uint64_t>> jobs;
   for (const LayoutSizeSpec& size : config_.sizes) {
@@ -116,10 +265,14 @@ StageReport CombTrainer::run_stage() {
     }
   }
 
-  const std::size_t worker_count =
-      config_.threads > 0 ? std::size_t(config_.threads)
-                          : std::max(1u, std::thread::hardware_concurrency());
-  util::ThreadPool pool(std::min(worker_count, jobs.size() == 0 ? 1 : jobs.size()));
+  // One pool serves both phases: sample generation fans out over layouts,
+  // the fit phase over per-worker replicas.
+  const std::size_t gen_workers = std::min(
+      util::ThreadPool::resolve_thread_count(config_.threads),
+      jobs.empty() ? std::size_t(1) : jobs.size());
+  const std::size_t fit_workers = util::ThreadPool::resolve_thread_count(
+      config_.fit_workers > 0 ? config_.fit_workers : config_.threads);
+  util::ThreadPool pool(std::max(gen_workers, fit_workers));
 
   // Each job checks out a private selector clone (module forward caches
   // are not thread safe); clones are pooled and reused across jobs.
@@ -143,6 +296,9 @@ StageReport CombTrainer::run_stage() {
     clone_pool.push_back(std::move(clone));
   };
 
+  // Results are written by job index, never appended: append order would
+  // depend on thread completion and make fixed-seed runs diverge.
+  std::vector<RawSample> raw(jobs.size());
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     auto clone = checkout_clone();
     util::Rng job_rng(jobs[i].second);
@@ -152,10 +308,7 @@ StageReport CombTrainer::run_stage() {
         mcts::scaled_iterations(mcts_config.iterations_per_move, grid);
     mcts::CombMcts search(*clone, cfg);
     mcts::CombMctsResult result = search.run(grid);
-    {
-      std::lock_guard<std::mutex> lock(raw_mutex);
-      raw.push_back(RawSample{std::move(grid), std::move(result)});
-    }
+    raw[i] = RawSample{std::move(grid), std::move(result)};
     checkin_clone(std::move(clone));
   });
   report.sample_gen_seconds = gen_timer.seconds();
@@ -190,12 +343,15 @@ StageReport CombTrainer::run_stage() {
   }
   report.train_samples = std::int32_t(dataset.size());
 
-  // ---- fit ----
+  // ---- fit (data parallel across replicas) ----
   util::Timer fit_timer;
-  report.mean_loss = fit_dataset(selector_, optimizer_, dataset,
-                                 config_.epochs_per_stage,
-                                 std::size_t(config_.batch_size),
-                                 config_.grad_clip, rng_);
+  FitOptions fit;
+  fit.epochs = config_.epochs_per_stage;
+  fit.batch_size = std::size_t(config_.batch_size);
+  fit.grad_clip = config_.grad_clip;
+  fit.workers = std::int32_t(fit_workers);
+  fit.pool = &pool;
+  report.mean_loss = fit_dataset(selector_, optimizer_, dataset, fit, rng_);
   report.train_seconds = fit_timer.seconds();
 
   util::log_info("stage ", stage_index_, ": ", report.raw_samples, " layouts -> ",
@@ -207,8 +363,36 @@ StageReport CombTrainer::run_stage() {
 
 std::vector<StageReport> CombTrainer::train() {
   std::vector<StageReport> reports;
-  for (std::int32_t s = 0; s < config_.stages; ++s) reports.push_back(run_stage());
+  while (stage_index_ < config_.stages) {
+    reports.push_back(run_stage());
+    if (!config_.checkpoint_path.empty() &&
+        !save_checkpoint(config_.checkpoint_path)) {
+      util::log_error("failed to write checkpoint ", config_.checkpoint_path);
+    }
+  }
   return reports;
+}
+
+bool CombTrainer::save_checkpoint(const std::string& path) {
+  return nn::save_training_checkpoint(path, selector_.net(), optimizer_,
+                                      rng_.state(), stage_index_);
+}
+
+bool CombTrainer::load_checkpoint(const std::string& path) {
+  util::RngState rng_state;
+  std::int32_t stage = 0;
+  if (!nn::load_training_checkpoint(path, selector_.net(), optimizer_,
+                                    &rng_state, &stage)) {
+    return false;
+  }
+  rng_.set_state(rng_state);
+  stage_index_ = stage;
+  return true;
+}
+
+bool CombTrainer::try_resume() {
+  return !config_.checkpoint_path.empty() &&
+         load_checkpoint(config_.checkpoint_path);
 }
 
 }  // namespace oar::rl

@@ -89,4 +89,18 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_spare_normal = have_spare_normal_;
+  st.spare_normal = spare_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_spare_normal_ = state.have_spare_normal;
+  spare_normal_ = state.spare_normal;
+}
+
 }  // namespace oar::util

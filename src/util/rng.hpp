@@ -15,6 +15,17 @@ namespace oar::util {
 /// splitmix64 step; used for seeding and for cheap stateless hashing.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Complete serializable generator state (xoshiro words plus the Box-Muller
+/// spare), so a checkpointed training run resumes with the exact stream it
+/// would have produced uninterrupted.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool have_spare_normal = false;
+  double spare_normal = 0.0;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// xoshiro256** pseudo-random generator with helpers for the distributions
 /// the library needs.  Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -64,6 +75,10 @@ class Rng {
 
   /// Derive an independent child generator (for parallel workers).
   Rng split();
+
+  /// Snapshot / restore the full generator state (checkpoint/resume).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

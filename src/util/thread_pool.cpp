@@ -4,6 +4,11 @@
 
 namespace oar::util {
 
+std::size_t ThreadPool::resolve_thread_count(std::int64_t requested) {
+  if (requested > 0) return std::size_t(requested);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());

@@ -20,6 +20,10 @@ class ThreadPool {
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
 
+  /// Shared worker-count policy for config knobs: `requested > 0` is taken
+  /// verbatim, `requested <= 0` means hardware_concurrency (at least 1).
+  static std::size_t resolve_thread_count(std::int64_t requested);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -1,0 +1,230 @@
+// Checkpoint/resume battery: exact round-trip of weights + Adam moments +
+// RNG stream, kill/resume equivalence of CombTrainer, and clean rejection
+// of truncated or corrupted checkpoint files.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "nn/serialize.hpp"
+#include "nn/unet3d.hpp"
+#include "rl/trainer.hpp"
+
+namespace oar::rl {
+namespace {
+
+SelectorConfig tiny_selector() {
+  SelectorConfig cfg;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 101;
+  return cfg;
+}
+
+TrainConfig tiny_train() {
+  TrainConfig cfg;
+  cfg.sizes = {{6, 6, 2}};
+  cfg.layouts_per_size = 2;
+  cfg.stages = 3;
+  cfg.epochs_per_stage = 1;
+  cfg.batch_size = 8;
+  cfg.augment_count = 4;
+  cfg.mcts.iterations_per_move = 12;
+  cfg.curriculum_stages = 1;
+  cfg.min_pins = 3;
+  cfg.max_pins = 4;
+  cfg.threads = 2;
+  cfg.fit_workers = 2;
+  return cfg;
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<float> flatten_weights(SteinerSelector& selector) {
+  std::vector<float> out;
+  for (auto* p : selector.net().parameters()) {
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) out.push_back(p->value[i]);
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+TEST(CheckpointTest, SerializeRoundTripIsExact) {
+  nn::UNet3dConfig net_cfg;
+  net_cfg.base_channels = 4;
+  net_cfg.depth = 1;
+  net_cfg.seed = 77;
+  nn::UNet3d net(net_cfg);
+  nn::Adam opt(net.parameters(), 1e-3);
+
+  // Give every piece of state a non-default value: a few noisy optimizer
+  // steps plus a partially consumed RNG stream (odd normal() count leaves
+  // the Box-Muller spare loaded).
+  util::Rng rng(5);
+  for (int step = 0; step < 3; ++step) {
+    for (auto* p : net.parameters()) {
+      for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+        p->grad[i] = float(rng.normal());
+      }
+    }
+    opt.step();
+  }
+  (void)rng.normal();
+
+  const std::string path = tmp_path("ckpt_exact.bin");
+  ASSERT_TRUE(nn::save_training_checkpoint(path, net, opt, rng.state(), 7));
+
+  nn::UNet3d net2(net_cfg);
+  nn::Adam opt2(net2.parameters(), 1e-3);
+  util::RngState restored_rng;
+  std::int32_t stage = 0;
+  ASSERT_TRUE(nn::load_training_checkpoint(path, net2, opt2, &restored_rng, &stage));
+
+  EXPECT_EQ(stage, 7);
+  EXPECT_EQ(restored_rng, rng.state());
+  EXPECT_EQ(opt2.step_count(), opt.step_count());
+
+  const auto params = net.parameters();
+  const auto params2 = net2.parameters();
+  ASSERT_EQ(params.size(), params2.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::int64_t j = 0; j < params[i]->value.numel(); ++j) {
+      ASSERT_EQ(params[i]->value[j], params2[i]->value[j]);
+    }
+    for (std::int64_t j = 0; j < opt.moments1()[i].numel(); ++j) {
+      ASSERT_EQ(opt.moments1()[i][j], opt2.moments1()[i][j]);
+      ASSERT_EQ(opt.moments2()[i][j], opt2.moments2()[i][j]);
+    }
+  }
+}
+
+TEST(CheckpointTest, InterruptedRunResumesToSameFinalWeights) {
+  const TrainConfig cfg = tiny_train();
+
+  // Uninterrupted reference run: all three stages in one trainer.
+  SteinerSelector uninterrupted(tiny_selector());
+  CombTrainer reference(uninterrupted, cfg);
+  reference.train();
+  ASSERT_EQ(reference.stage_index(), cfg.stages);
+
+  // Killed run: one stage, checkpoint, then the trainer goes away.
+  const std::string path = tmp_path("ckpt_resume.bin");
+  TrainConfig cfg_ck = cfg;
+  cfg_ck.checkpoint_path = path;
+  {
+    SteinerSelector victim(tiny_selector());
+    CombTrainer killed(victim, cfg_ck);
+    killed.run_stage();
+    ASSERT_TRUE(killed.save_checkpoint(path));
+  }
+
+  // Fresh process stand-in: new selector + trainer resume from disk.
+  SteinerSelector resumed_selector(tiny_selector());
+  CombTrainer resumed(resumed_selector, cfg_ck);
+  ASSERT_TRUE(resumed.try_resume());
+  EXPECT_EQ(resumed.stage_index(), 1);
+  resumed.train();
+  EXPECT_EQ(resumed.stage_index(), cfg.stages);
+
+  const auto want = flatten_weights(uninterrupted);
+  const auto got = flatten_weights(resumed_selector);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_FLOAT_EQ(want[i], got[i]) << "weight " << i;
+  }
+}
+
+TEST(CheckpointTest, TrainWritesCheckpointAfterEveryStage) {
+  const std::string path = tmp_path("ckpt_auto.bin");
+  std::remove(path.c_str());
+  TrainConfig cfg = tiny_train();
+  cfg.stages = 1;
+  cfg.checkpoint_path = path;
+  SteinerSelector selector(tiny_selector());
+  CombTrainer trainer(selector, cfg);
+  trainer.train();
+
+  SteinerSelector loaded_selector(tiny_selector());
+  CombTrainer loaded(loaded_selector, cfg);
+  ASSERT_TRUE(loaded.load_checkpoint(path));
+  EXPECT_EQ(loaded.stage_index(), 1);
+}
+
+TEST(CheckpointTest, TruncatedAndCorruptFilesAreRejectedCleanly) {
+  const std::string path = tmp_path("ckpt_good.bin");
+  SteinerSelector selector(tiny_selector());
+  CombTrainer trainer(selector, tiny_train());
+  trainer.run_stage();
+  ASSERT_TRUE(trainer.save_checkpoint(path));
+  const std::string good = read_file(path);
+  ASSERT_GT(good.size(), 64u);
+
+  SteinerSelector victim_selector(tiny_selector());
+  CombTrainer victim(victim_selector, tiny_train());
+  victim.run_stage();
+  const auto before = flatten_weights(victim_selector);
+  const auto check_untouched = [&]() {
+    const auto after = flatten_weights(victim_selector);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) ASSERT_EQ(before[i], after[i]);
+    ASSERT_EQ(victim.stage_index(), 1);
+  };
+
+  const std::string bad = tmp_path("ckpt_bad.bin");
+  // Truncations: inside the header, mid-payload, and inside the checksum.
+  for (const std::size_t keep :
+       {std::size_t(3), good.size() / 2, good.size() - 1, good.size() - 9}) {
+    write_file(bad, good.substr(0, keep));
+    EXPECT_FALSE(victim.load_checkpoint(bad)) << "kept " << keep << " bytes";
+    check_untouched();
+  }
+
+  // Bit flips: in the magic, in the payload, and in the checksum itself.
+  for (const std::size_t pos : {std::size_t(0), good.size() / 2, good.size() - 2}) {
+    std::string corrupt = good;
+    corrupt[pos] = char(corrupt[pos] ^ 0x40);
+    write_file(bad, corrupt);
+    EXPECT_FALSE(victim.load_checkpoint(bad)) << "flipped byte " << pos;
+    check_untouched();
+  }
+
+  // Garbage and missing files.
+  write_file(bad, "not a checkpoint at all");
+  EXPECT_FALSE(victim.load_checkpoint(bad));
+  check_untouched();
+  EXPECT_FALSE(victim.load_checkpoint(tmp_path("ckpt_never_written.bin")));
+  check_untouched();
+
+  // The unmodified file still loads after all the failed attempts.
+  EXPECT_TRUE(victim.load_checkpoint(path));
+}
+
+TEST(CheckpointTest, ArchitectureMismatchIsRejected) {
+  const std::string path = tmp_path("ckpt_arch.bin");
+  SteinerSelector selector(tiny_selector());
+  CombTrainer trainer(selector, tiny_train());
+  ASSERT_TRUE(trainer.save_checkpoint(path));
+
+  SelectorConfig wide = tiny_selector();
+  wide.unet.base_channels = 8;
+  SteinerSelector other(wide);
+  CombTrainer other_trainer(other, tiny_train());
+  EXPECT_FALSE(other_trainer.load_checkpoint(path));
+}
+
+}  // namespace
+}  // namespace oar::rl

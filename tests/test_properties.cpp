@@ -118,6 +118,60 @@ TEST(MstProperty, MstUpperBoundsEveryRouter) {
   }
 }
 
+class CombMctsLabelProperty : public ::testing::Test {
+ protected:
+  // One search per seed, shared by the three label invariants below.
+  static mcts::CombMctsResult run_search(std::uint64_t seed) {
+    rl::SelectorConfig cfg;
+    cfg.unet.base_channels = 4;
+    cfg.unet.depth = 1;
+    cfg.unet.seed = 9;
+    rl::SteinerSelector selector(cfg);
+    mcts::CombMctsConfig mcts_cfg;
+    mcts_cfg.iterations_per_move = 16;
+    mcts::CombMcts search(selector, mcts_cfg);
+    return search.run(property_grid(seed));
+  }
+};
+
+TEST_F(CombMctsLabelProperty, LabelsAlwaysInUnitInterval) {
+  // eq. (3): L_fsp(v) = n_sel(v) / n_opp(v) is a frequency and must stay
+  // in [0, 1] for every vertex of every randomized layout.
+  for (std::uint64_t seed = 70; seed < 76; ++seed) {
+    const auto result = run_search(seed);
+    const auto grid = property_grid(seed);
+    ASSERT_EQ(result.label.size(), std::size_t(grid.num_vertices()));
+    for (const float l : result.label) {
+      EXPECT_GE(l, 0.0f);
+      EXPECT_LE(l, 1.0f);
+    }
+  }
+}
+
+TEST_F(CombMctsLabelProperty, MaskNeverSetOnPinsOrBlockedVertices) {
+  for (std::uint64_t seed = 70; seed < 76; ++seed) {
+    const auto result = run_search(seed);
+    const auto grid = property_grid(seed);
+    ASSERT_EQ(result.label_mask.size(), std::size_t(grid.num_vertices()));
+    for (hanan::Vertex v = 0; v < grid.num_vertices(); ++v) {
+      if (grid.is_pin(v) || grid.is_blocked(v)) {
+        EXPECT_EQ(result.label_mask[std::size_t(grid.priority_of(v))], 0.0f)
+            << "vertex " << v << " of seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_F(CombMctsLabelProperty, BestCostNeverExceedsInitialCost) {
+  // The executed path starts at the no-Steiner-point state, so the best
+  // exact cost along it can never exceed the initial construction.
+  for (std::uint64_t seed = 70; seed < 76; ++seed) {
+    const auto result = run_search(seed);
+    EXPECT_GT(result.initial_cost, 0.0);
+    EXPECT_LE(result.best_cost, result.initial_cost + 1e-9);
+  }
+}
+
 TEST(GridIoProperty, RoutingCostSurvivesSerialization) {
   for (std::uint64_t seed = 60; seed < 64; ++seed) {
     const auto grid = property_grid(seed);

@@ -101,6 +101,33 @@ TEST(CombTrainerTest, LossDecreasesWhenRefittingSameData) {
   EXPECT_LT(last, first);
 }
 
+TEST(CombTrainerTest, FixedSeedRunsAreBitwiseReproducible) {
+  // Samples are stored by job index, not thread-completion order, so two
+  // runs with the same seed and worker count must produce identical
+  // weights even with parallel generation (threads=2) and a parallel fit.
+  const auto run_once = []() {
+    SteinerSelector selector(tiny_selector());
+    TrainConfig cfg = tiny_train();
+    cfg.sizes = {{6, 6, 2}, {5, 7, 1}};  // multiple jobs to race
+    cfg.layouts_per_size = 3;
+    CombTrainer trainer(selector, cfg);
+    trainer.run_stage();
+    std::vector<float> weights;
+    for (auto* p : selector.net().parameters()) {
+      for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+        weights.push_back(p->value[i]);
+      }
+    }
+    return weights;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i], second[i]) << "weight " << i;
+  }
+}
+
 TEST(SeqTrainerTest, StageProducesPerMoveSamples) {
   SteinerSelector selector(tiny_selector());
   TrainConfig cfg = tiny_train();
