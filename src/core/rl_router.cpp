@@ -22,7 +22,8 @@ route::OarmstResult RlRouter::route(const HananGrid& grid) {
   timing_.select_seconds = select.seconds();
 
   route::OarmstRouter router(grid);  // redundant-point removal on
-  route::OarmstResult result = router.build(grid.pins(), steiner);
+  route::RouterScratch& scratch = route::local_router_scratch();
+  route::OarmstResult result = router.build(grid.pins(), steiner, &scratch);
 
   if (config_.prefix_sweep) {
     // Probability-ordered prefixes: k = 0 is the plain construction, so the
@@ -30,7 +31,7 @@ route::OarmstResult RlRouter::route(const HananGrid& grid) {
     for (std::size_t k = 0; k < steiner.size(); ++k) {
       const std::vector<Vertex> prefix(steiner.begin(),
                                        steiner.begin() + std::ptrdiff_t(k));
-      route::OarmstResult trial = router.build(grid.pins(), prefix);
+      route::OarmstResult trial = router.build(grid.pins(), prefix, &scratch);
       if (trial.connected && trial.cost < result.cost) result = std::move(trial);
     }
   }

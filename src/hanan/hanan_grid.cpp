@@ -1,10 +1,16 @@
 #include "hanan/hanan_grid.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <sstream>
 
 namespace oar::hanan {
+
+std::uint64_t HananGrid::next_revision() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 HananGrid::HananGrid(std::int32_t H, std::int32_t V, std::int32_t M,
                      std::vector<double> x_step, std::vector<double> y_step,
@@ -37,17 +43,20 @@ void HananGrid::add_pin(Vertex idx) {
   if (pin_mask_[std::size_t(idx)]) return;
   pin_mask_[std::size_t(idx)] = 1;
   pins_.push_back(idx);
+  revision_ = next_revision();
 }
 
 void HananGrid::block_vertex(Vertex idx) {
   assert(idx >= 0 && idx < num_vertices());
   assert(!is_pin(idx));
   blocked_[std::size_t(idx)] = 1;
+  revision_ = next_revision();
 }
 
 void HananGrid::block_edge(Vertex idx, Dir dir) {
   assert(idx >= 0 && idx < num_vertices());
   edge_block_[std::size_t(idx)] |= std::uint8_t(1u << std::uint8_t(dir));
+  revision_ = next_revision();
 }
 
 bool HananGrid::edge_usable(Vertex idx, Dir dir) const {

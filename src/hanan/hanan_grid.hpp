@@ -135,7 +135,15 @@ class HananGrid {
   /// Empty string when internally consistent, else a problem report.
   std::string validate() const;
 
+  /// Globally unique stamp, refreshed by every topology mutation (pins,
+  /// blocked vertices/edges).  Lets consumers cache derived structures
+  /// (e.g. MazeRouter's adjacency arrays) keyed on (address, revision):
+  /// two grids only ever share both when their topology is identical.
+  std::uint64_t revision() const { return revision_; }
+
  private:
+  static std::uint64_t next_revision();
+
   std::int32_t h_ = 0, v_ = 0, m_ = 0;
   std::vector<double> x_step_;   // size h_-1
   std::vector<double> y_step_;   // size v_-1
@@ -145,6 +153,7 @@ class HananGrid {
   std::vector<std::uint8_t> pin_mask_;    // per vertex
   std::vector<Vertex> pins_;
   std::vector<double> x_cuts_, y_cuts_;
+  std::uint64_t revision_ = next_revision();
 };
 
 }  // namespace oar::hanan

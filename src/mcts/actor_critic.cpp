@@ -60,11 +60,11 @@ double ActorCritic::critic_cost(const std::vector<Vertex>& selected,
         rl::SteinerSelector::top_k_valid(grid_, fsp_map, remaining, selected);
     completed.insert(completed.end(), extra.begin(), extra.end());
   }
-  return final_router_.cost(grid_.pins(), completed);
+  return final_router_.cost(grid_.pins(), completed, &scratch_);
 }
 
 double ActorCritic::exact_cost(const std::vector<Vertex>& selected) const {
-  return raw_router_.cost(grid_.pins(), selected);
+  return raw_router_.cost(grid_.pins(), selected, &scratch_);
 }
 
 }  // namespace oar::mcts

@@ -52,6 +52,10 @@ class ActorCritic {
   /// pins + selected, *without* redundant-point removal so that a useless
   /// point shows up as a cost increase (used for terminal criteria and the
   /// curriculum's exact value function).
+  ///
+  /// Both cost functions return +infinity when the terminal set cannot be
+  /// fully connected (e.g. a selected point walled off by obstacles), so a
+  /// disconnected state can never be ranked above a connected one.
   double exact_cost(const std::vector<Vertex>& selected) const;
 
   const HananGrid& grid() const { return grid_; }
@@ -61,6 +65,11 @@ class ActorCritic {
   const HananGrid& grid_;
   route::OarmstRouter final_router_;  // removal on (critic / final flow)
   route::OarmstRouter raw_router_;    // removal off (state costs)
+  // One ActorCritic serves one search thread (the selector's forward cache
+  // is not thread safe either), so it owns its routing scratch instead of
+  // allocating O(V) maze arrays per critic call.  mutable: scratch reuse
+  // does not change observable state of the const cost functions.
+  mutable route::RouterScratch scratch_;
 };
 
 }  // namespace oar::mcts

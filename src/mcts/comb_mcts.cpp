@@ -68,6 +68,20 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
   result.best_cost = nodes[0].cost;
 
   const double rc0 = std::max(nodes[0].cost, 1e-12);
+  if (!std::isfinite(nodes[0].cost)) {
+    // Pins themselves are unroutable: no Steiner selection can help, and
+    // every value below would be NaN.  Report the degenerate episode.
+    nodes[0].terminal = true;
+  }
+
+  // Normalized state value.  Disconnected states (cost == +inf, see
+  // OarmstResult::cost) map to a finite penalty well below any reachable
+  // connected value — the cost-increase terminal rule ends episodes long
+  // before cost reaches 3*rc0 — so UCT's running means stay finite instead
+  // of absorbing -inf into whole subtrees.
+  auto value_of = [&](double cost) {
+    return std::isfinite(cost) ? (rc0 - cost) / rc0 : -2.0;
+  };
 
   // State of a node: Steiner points along the path from the root.
   auto state_of = [&](std::int32_t node) {
@@ -166,7 +180,7 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
 
       double value;
       if (leaf.terminal) {
-        value = (rc0 - leaf.cost) / rc0;
+        value = value_of(leaf.cost);
       } else if (!leaf.expanded) {
         // Expansion: children from the actor policy.
         const std::vector<double> fsp = ac.fsp(selected);
@@ -186,7 +200,7 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
         }
         if (policy.empty()) {
           leaf.terminal = true;
-          value = (rc0 - leaf.cost) / rc0;
+          value = value_of(leaf.cost);
         } else {
           const double mix = config_.prior_uniform_mix;
           const double uniform = 1.0 / double(policy.size());
@@ -206,10 +220,10 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
           const double predicted = config_.use_critic
                                        ? ac.critic_cost(selected, budget, fsp)
                                        : leaf.cost;
-          value = (rc0 - predicted) / rc0;
+          value = value_of(predicted);
         }
       } else {
-        value = (rc0 - leaf.cost) / rc0;  // terminal reached via descent
+        value = value_of(leaf.cost);  // terminal reached via descent
       }
 
       // Backpropagation.

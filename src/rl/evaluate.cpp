@@ -1,6 +1,7 @@
 #include "rl/evaluate.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "mcts/seq_mcts.hpp"
 #include "route/oarmst.hpp"
@@ -13,6 +14,9 @@ EvalStats evaluate_st_to_mst(SteinerSelector& selector,
                              const std::vector<hanan::HananGrid>& grids,
                              EvalOptions options) {
   EvalStats stats;
+  // Pooled routing scratch for the whole evaluation sweep (one OARMST +
+  // one MST build per grid; no per-grid O(V) maze allocations).
+  route::RouterScratch& scratch = route::local_router_scratch();
   for (const hanan::HananGrid& grid : grids) {
     const std::int32_t budget =
         std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
@@ -32,9 +36,9 @@ EvalStats evaluate_st_to_mst(SteinerSelector& selector,
     stats.select_seconds += timer.seconds();
 
     route::OarmstRouter router(grid);
-    const route::OarmstResult st = router.build(grid.pins(), selected);
-    const double mst = steiner::mst_cost(grid);
-    if (!st.connected || mst <= 0.0) continue;
+    const route::OarmstResult st = router.build(grid.pins(), selected, &scratch);
+    const double mst = steiner::mst_cost(grid, &scratch);
+    if (!st.connected || mst <= 0.0 || !std::isfinite(mst)) continue;
 
     stats.mean_st_mst_ratio += st.cost / mst;
     stats.mean_st_cost += st.cost;

@@ -74,6 +74,8 @@ PpoIterationReport PpoTrainer::run_iteration() {
   report.iteration = iteration_++;
 
   // ---- rollout ----
+  // Pooled routing scratch shared by every per-step critic cost below.
+  route::RouterScratch& scratch = route::local_router_scratch();
   std::vector<Episode> episodes;
   for (std::int32_t ep = 0; ep < config_.episodes_per_iteration; ++ep) {
     const LayoutSizeSpec& size =
@@ -88,7 +90,8 @@ PpoIterationReport PpoTrainer::run_iteration() {
     raw_cfg.remove_redundant_steiner = false;
     route::OarmstRouter raw_router(grid, raw_cfg);
 
-    const double rc0 = std::max(raw_router.cost(grid.pins()), 1e-12);
+    const double rc0 = std::max(raw_router.cost(grid.pins(), {}, &scratch), 1e-12);
+    if (!std::isfinite(rc0)) continue;  // unroutable layout: no learning signal
     const std::int32_t budget =
         std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
 
@@ -112,8 +115,10 @@ PpoIterationReport PpoTrainer::run_iteration() {
       step.value = double(value_net_.forward(input)[0]);
 
       selected.push_back(step.action);
-      const double new_cost = raw_router.cost(grid.pins(), selected);
-      step.reward = (prev_cost - new_cost) / rc0;
+      const double new_cost = raw_router.cost(grid.pins(), selected, &scratch);
+      // A walled-off selection reports cost +inf (disconnected); feed the
+      // policy a bounded penalty instead of -inf so GAE stays finite.
+      step.reward = std::isfinite(new_cost) ? (prev_cost - new_cost) / rc0 : -1.0;
       episode.steps.push_back(std::move(step));
       episode.episodic_return += episode.steps.back().reward;
 

@@ -2,92 +2,259 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <stdexcept>
 
 namespace oar::route {
 
-MazeRouter::MazeRouter(const HananGrid& grid) : grid_(grid) {
+MazeRouter::MazeRouter(const HananGrid& grid) { bind(grid); }
+
+void MazeRouter::bind(const HananGrid& grid) {
+  const bool adjacency_current =
+      grid_ == &grid && bound_revision_ == grid.revision();
+  grid_ = &grid;
   const auto n = std::size_t(grid.num_vertices());
-  dist_.assign(n, kInf);
-  parent_.assign(n, hanan::kInvalidVertex);
-  epoch_.assign(n, 0);
-  settled_.assign(n, 0);
+  if (state_.size() < n) {
+    // Grow-only: a pooled router bound to a smaller grid keeps its arrays.
+    // Stale contents are harmless — stamps from other epochs never match.
+    state_.resize(n, State{kInf, hanan::kInvalidVertex, 0, 0, 0});
+  }
+  if (adjacency_current) return;
+
+  // Flatten the usable edges into CSR arrays once per (grid, revision); the
+  // relaxation loop is then a contiguous scan with no per-edge coordinate
+  // math or blocked checks.
+  bound_revision_ = grid.revision();
+  adj_offset_.assign(n + 1, 0);
+  adj_vertex_.clear();
+  adj_cost_.clear();
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    grid.for_each_neighbor(v, [&](Vertex nb, double w) {
+      adj_vertex_.push_back(nb);
+      adj_cost_.push_back(w);
+    });
+    adj_offset_[std::size_t(v) + 1] = std::int32_t(adj_vertex_.size());
+  }
 }
 
-Vertex MazeRouter::run(const std::vector<Vertex>& sources,
-                       const std::vector<Vertex>& targets) {
+// The heap is the hottest part of the router (the relaxation loop performs
+// tens of thousands of pushes/pops per OARMST build), so it is a hand-rolled
+// 4-ary min-heap: half the levels of a binary heap, hole-based sifts instead
+// of swap chains.  Pop order stays fully deterministic — the comparator is a
+// total lexicographic order on (distance, vertex), so any correct min-heap
+// pops the same sequence; bitwise equivalence between the incremental and
+// from-scratch modes does not depend on heap shape.
+void MazeRouter::push_entry(double d, Vertex v) {
+  const Entry e{d, v};
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (!(e < heap_[p])) break;
+    heap_[i] = heap_[p];
+    i = p;
+  }
+  heap_[i] = e;
+}
+
+MazeRouter::Entry MazeRouter::pop_entry() {
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      if (!(heap_[best] < last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void MazeRouter::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c] < heap_[best]) best = c;
+    }
+    if (!(heap_[best] < e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+// Across the continuations of one epoch the heap accumulates stale entries:
+// every relaxation that improves an already-queued vertex leaves the old
+// (larger-distance) entry behind, and settled vertices' duplicates linger
+// too.  Left alone, each of those costs a full O(log n) pop just to be
+// skipped.  This drops them in one linear pass and re-heapifies.  Only the
+// multiset of *live* entries — which fully determines the pop sequence —
+// survives, so compaction cannot perturb the search result.
+void MazeRouter::compact_heap() {
+  std::size_t w = 0;
+  for (const Entry& e : heap_) {
+    const State& s = state_[std::size_t(e.second)];
+    if (s.epoch == current_epoch_ && e.first == s.dist &&
+        s.settled != current_epoch_) {
+      heap_[w++] = e;
+    }
+  }
+  heap_.resize(w);
+  if (w > 1) {
+    for (std::size_t i = (w - 2) >> 2;; --i) {
+      sift_down(i);
+      if (i == 0) break;
+    }
+  }
+}
+
+void MazeRouter::begin(const std::vector<Vertex>& sources) {
+  assert(grid_ != nullptr);
+  // The grid may have been mutated in place (block_vertex etc.) since the
+  // last bind; a new search must see the current topology.
+  if (bound_revision_ != grid_->revision()) bind(*grid_);
+  heap_.clear();
   ++current_epoch_;
   if (current_epoch_ == 0) {  // stamp wrap-around: hard reset
-    std::fill(epoch_.begin(), epoch_.end(), 0u);
-    std::fill(settled_.begin(), settled_.end(), 0u);
+    for (State& s : state_) {
+      s.epoch = 0;
+      s.settled = 0;
+    }
     current_epoch_ = 1;
   }
+  add_sources(sources);
+}
 
-  using Entry = std::pair<double, Vertex>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+void MazeRouter::add_sources(const std::vector<Vertex>& sources) {
+  for (Vertex s : sources) add_source(s);
+}
 
-  for (Vertex s : sources) {
-    assert(s >= 0 && s < grid_.num_vertices());
-    if (grid_.is_blocked(s)) continue;
-    if (stamped(s) && dist_[std::size_t(s)] <= 0.0) continue;
-    dist_[std::size_t(s)] = 0.0;
-    parent_[std::size_t(s)] = s;  // parent(source) == itself terminates path walks
-    epoch_[std::size_t(s)] = current_epoch_;
-    heap.emplace(0.0, s);
+void MazeRouter::add_source(Vertex s) {
+  assert(grid_ != nullptr && current_epoch_ != 0);
+  assert(s >= 0 && s < grid_->num_vertices());
+  if (grid_->is_blocked(s)) return;
+  State& st = state_[std::size_t(s)];
+  if (stamped(s) && st.dist <= 0.0) return;
+  st.dist = 0.0;
+  st.parent = s;  // parent(source) == itself terminates path walks
+  st.epoch = current_epoch_;
+  // A settled vertex that becomes a source re-opens for relaxation.
+  if (st.settled == current_epoch_) st.settled = 0;
+  push_entry(0.0, s);
+}
+
+Vertex MazeRouter::continue_run(const std::vector<Vertex>& targets) {
+  assert(grid_ != nullptr && current_epoch_ != 0);
+
+  // Shed the stale entries accumulated by earlier continuations before
+  // paying pop cost on them (threshold skips the pass for small frontiers,
+  // where the linear scan would cost more than the pops it saves).
+  if (heap_.size() >= 512) compact_heap();
+
+  ++target_stamp_;
+  if (target_stamp_ == 0) {  // mark-stamp wrap-around: hard reset
+    for (State& s : state_) s.target = 0;
+    target_stamp_ = 1;
   }
+  for (Vertex t : targets) {
+    assert(t >= 0 && t < grid_->num_vertices());
+    state_[std::size_t(t)].target = target_stamp_;
+    // A target settled by an earlier continuation consumed its heap entry;
+    // push it back at its stamped distance so it can be re-discovered.
+    if (stamped(t)) push_entry(state_[std::size_t(t)].dist, t);
+  }
+  const bool have_targets = !targets.empty();
 
-  // Mark targets for O(1) membership checks using the settled_ array of a
-  // dedicated sentinel is not possible; use a small local bitmapless scheme:
-  // targets lists are short (one nearest-terminal query), linear scan is fine
-  // only for tiny lists, so build a sorted copy for binary search.
-  std::vector<Vertex> sorted_targets(targets);
-  std::sort(sorted_targets.begin(), sorted_targets.end());
-  auto is_target = [&](Vertex v) {
-    return std::binary_search(sorted_targets.begin(), sorted_targets.end(), v);
-  };
+  while (!heap_.empty()) {
+    const auto [d, u] = pop_entry();
+    State& su = state_[std::size_t(u)];
+    if (su.epoch != current_epoch_ || d > su.dist) continue;  // stale entry
+    const bool is_target = have_targets && su.target == target_stamp_;
+    if (!is_target && su.settled == current_epoch_) continue;
+    su.settled = current_epoch_;
 
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (!stamped(u) || d > dist_[std::size_t(u)]) continue;  // stale entry
-    if (settled_[std::size_t(u)] == current_epoch_) continue;
-    settled_[std::size_t(u)] = current_epoch_;
-    if (!sorted_targets.empty() && is_target(u)) return u;
-
-    grid_.for_each_neighbor(u, [&](Vertex nb, double w) {
-      const double nd = d + w;
-      if (!stamped(nb) || nd < dist_[std::size_t(nb)]) {
-        dist_[std::size_t(nb)] = nd;
-        parent_[std::size_t(nb)] = u;
-        epoch_[std::size_t(nb)] = current_epoch_;
-        heap.emplace(nd, nb);
+    const std::int32_t adj_end = adj_offset_[std::size_t(u) + 1];
+    for (std::int32_t e = adj_offset_[std::size_t(u)]; e < adj_end; ++e) {
+      const Vertex nb = adj_vertex_[std::size_t(e)];
+      const double nd = d + adj_cost_[std::size_t(e)];
+      State& sn = state_[std::size_t(nb)];
+      if (sn.epoch != current_epoch_ || nd < sn.dist) {
+        sn.dist = nd;
+        sn.parent = u;
+        sn.epoch = current_epoch_;
+        // Improving a settled vertex re-opens it (only possible after
+        // add_sources introduced a closer seed).
+        if (sn.settled == current_epoch_) sn.settled = 0;
+        push_entry(nd, nb);
+      } else if (nd == sn.dist && u < sn.parent) {
+        // Canonical tie-break: the parent is the smallest-id neighbor on a
+        // shortest path, independent of relaxation order.  This is what
+        // makes incremental and from-scratch searches path-identical.
+        sn.parent = u;
       }
-    });
+    }
+    if (is_target) return u;
   }
   return hanan::kInvalidVertex;
 }
 
+Vertex MazeRouter::run(const std::vector<Vertex>& sources,
+                       const std::vector<Vertex>& targets) {
+  begin(sources);
+  return continue_run(targets);
+}
+
 double MazeRouter::dist(Vertex v) const {
-  return stamped(v) ? dist_[std::size_t(v)] : kInf;
+  return stamped(v) ? state_[std::size_t(v)].dist : kInf;
 }
 
 bool MazeRouter::reached(Vertex v) const {
-  return stamped(v) && settled_[std::size_t(v)] == current_epoch_;
+  return stamped(v) && state_[std::size_t(v)].settled == current_epoch_;
 }
 
 std::vector<Vertex> MazeRouter::path_to(Vertex v) const {
-  assert(stamped(v));
   std::vector<Vertex> path;
+  path_to(v, path);
+  return path;
+}
+
+void MazeRouter::path_to(Vertex v, std::vector<Vertex>& out) const {
+  out.clear();
+  if (grid_ == nullptr || v < 0 || v >= grid_->num_vertices() || !stamped(v)) {
+    throw std::logic_error("MazeRouter::path_to: vertex was not reached in the current search");
+  }
   Vertex cur = v;
-  while (true) {
-    path.push_back(cur);
-    const Vertex p = parent_[std::size_t(cur)];
-    assert(p != hanan::kInvalidVertex);
-    if (p == cur) break;  // reached a source
+  // The parent chain of a stamped vertex strictly decreases in distance, so
+  // it terminates at a source within num_vertices steps; the bound guards
+  // against stale-state corruption ever looping in release builds.
+  for (std::int64_t steps = 0; steps <= grid_->num_vertices(); ++steps) {
+    out.push_back(cur);
+    const Vertex p = state_[std::size_t(cur)].parent;
+    if (p == hanan::kInvalidVertex || !stamped(p)) {
+      throw std::logic_error("MazeRouter::path_to: broken parent chain");
+    }
+    if (p == cur) {  // reached a source
+      std::reverse(out.begin(), out.end());
+      return;
+    }
     cur = p;
   }
-  std::reverse(path.begin(), path.end());
-  return path;
+  throw std::logic_error("MazeRouter::path_to: parent chain exceeds grid size");
 }
 
 }  // namespace oar::route

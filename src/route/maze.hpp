@@ -5,7 +5,24 @@
 // The router keeps per-vertex scratch arrays alive between calls and uses
 // epoch stamping so that repeated searches (Prim's loop runs one per
 // terminal) cost O(visited) instead of O(grid) to reset.
+//
+// Two usage styles:
+//   * one-shot: run(sources, targets) — a fresh search per call, as before.
+//   * incremental: begin(sources) once, then alternate continue_run(targets)
+//     and add_sources(...).  The Dijkstra frontier (heap + stamped distance
+//     map) survives across continuations, so Prim's tree growth re-relaxes
+//     only the region improved by the newly attached vertices instead of
+//     re-flooding the whole grid every iteration.  See DESIGN.md §10 for
+//     the invariant that makes this sound: sources are only ever *added*
+//     within an epoch, so stamped distances only decrease and every settled
+//     distance stays exact for the current source set.
+//
+// Parent ties are broken canonically (smallest predecessor vertex id among
+// all neighbors achieving the final distance), which makes the extracted
+// paths independent of relaxation order — incremental and from-scratch
+// searches return bitwise-identical paths, not merely equal-cost ones.
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -18,37 +35,106 @@ using hanan::Vertex;
 
 class MazeRouter {
  public:
+  /// An unbound router; bind() (or RouterScratch) must attach a grid before
+  /// any search.  Allows pooled reuse across grids of different sizes.
+  MazeRouter() = default;
+
   explicit MazeRouter(const HananGrid& grid);
+
+  /// (Re)binds the router to `grid`, growing the scratch arrays if needed.
+  /// Stamps from searches on a previously bound grid are invalidated by the
+  /// next begin()/run(); dist()/path_to() results are only meaningful after
+  /// a search on the *current* binding.
+  ///
+  /// Binding also caches the grid's adjacency as flat CSR arrays (the hot
+  /// relaxation loop then scans contiguous memory instead of re-deriving
+  /// cell coordinates and edge-usability per neighbor).  The cache is keyed
+  /// on (grid address, HananGrid::revision()): re-binding the same unchanged
+  /// grid — the steady state of the MCTS critic loop — is O(1), while any
+  /// topology mutation or a different grid rebuilds it.
+  void bind(const HananGrid& grid);
+
+  const HananGrid* grid() const { return grid_; }
 
   /// Run Dijkstra from `sources` (all at distance 0).  If `targets` is
   /// non-empty the search stops as soon as the cheapest target is settled
   /// and returns it; otherwise the search exhausts the reachable region and
   /// returns kInvalidVertex.  Sources on blocked vertices are ignored.
+  /// Equivalent to begin(sources) followed by continue_run(targets).
   Vertex run(const std::vector<Vertex>& sources,
              const std::vector<Vertex>& targets = {});
 
-  /// Distance of `v` from the nearest source in the last run; +inf when
-  /// unreached.
+  /// Starts a new search epoch: clears the frontier and seeds `sources` at
+  /// distance 0.  Invalidates all stamps of the previous epoch in O(1).
+  void begin(const std::vector<Vertex>& sources);
+
+  /// Adds `sources` as zero-distance seeds to the *current* epoch's
+  /// frontier.  Already-seeded and blocked vertices are skipped; settled
+  /// vertices whose distance improves are re-opened for relaxation.
+  void add_sources(const std::vector<Vertex>& sources);
+  void add_source(Vertex v);
+
+  /// Continues the current epoch's search until the cheapest vertex of
+  /// `targets` is settled and returns it (kInvalidVertex when no target is
+  /// reachable; exhausts the frontier when `targets` is empty).  Targets
+  /// already settled by an earlier continuation are re-discovered at their
+  /// stamped distance.  Target membership is tracked with an epoch-stamped
+  /// mark array — no per-call sort or allocation.
+  Vertex continue_run(const std::vector<Vertex>& targets);
+
+  /// Distance of `v` from the nearest source in the current epoch; +inf
+  /// when unreached.
   double dist(Vertex v) const;
 
-  /// True when `v` was settled (finalized) in the last run.
+  /// True when `v` was settled (finalized) in the current epoch.
   bool reached(Vertex v) const;
 
-  /// Path from a source to `v` (inclusive), following parents of the last
-  /// run.  `v` must have been reached.
+  /// Path from a source to `v` (inclusive), following parents of the
+  /// current epoch.  Throws std::logic_error when `v` was never reached —
+  /// stale parents from an earlier epoch could otherwise cycle forever in
+  /// release builds where asserts are compiled out.
   std::vector<Vertex> path_to(Vertex v) const;
+  void path_to(Vertex v, std::vector<Vertex>& out) const;
+
+  /// Test hook: forces the epoch counter so the wrap-around reset branch in
+  /// begin() can be exercised without 2^32 searches.
+  void debug_set_epoch(std::uint32_t epoch) { current_epoch_ = epoch; }
 
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
  private:
-  const HananGrid& grid_;
-  std::vector<double> dist_;
-  std::vector<Vertex> parent_;
-  std::vector<std::uint32_t> epoch_;    // dist/parent validity stamp
-  std::vector<std::uint32_t> settled_;  // settled stamp
-  std::uint32_t current_epoch_ = 0;
+  /// Per-vertex search state, packed so one relaxation touches one cache
+  /// line instead of four parallel arrays (the Dijkstra loop is memory-
+  /// latency-bound; this layout is worth ~25% on full floods).
+  struct State {
+    double dist;
+    Vertex parent;
+    std::uint32_t epoch;    // dist/parent validity stamp
+    std::uint32_t settled;  // settled stamp
+    std::uint32_t target;   // target-mark stamp (per continue_run)
+  };
 
-  bool stamped(Vertex v) const { return epoch_[std::size_t(v)] == current_epoch_; }
+  const HananGrid* grid_ = nullptr;
+  std::vector<State> state_;
+  std::uint32_t current_epoch_ = 0;     // 0 = no search yet
+  std::uint32_t target_stamp_ = 0;
+
+  // CSR adjacency cache of the bound grid (see bind()).
+  std::vector<std::int32_t> adj_offset_;  // size n+1
+  std::vector<Vertex> adj_vertex_;
+  std::vector<double> adj_cost_;
+  std::uint64_t bound_revision_ = 0;      // 0 = no adjacency cached
+
+  using Entry = std::pair<double, Vertex>;  // (distance, vertex) min-heap
+  std::vector<Entry> heap_;
+
+  bool stamped(Vertex v) const {
+    return current_epoch_ != 0 && state_[std::size_t(v)].epoch == current_epoch_;
+  }
+  void push_entry(double d, Vertex v);
+  Entry pop_entry();
+  void sift_down(std::size_t i);
+  void compact_heap();
 };
 
 }  // namespace oar::route

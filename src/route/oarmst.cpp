@@ -2,104 +2,184 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 namespace oar::route {
 
 OarmstRouter::OarmstRouter(const HananGrid& grid, OarmstConfig config)
     : grid_(grid), config_(config) {}
 
-OarmstResult OarmstRouter::build_once(const std::vector<Vertex>& terminals) const {
+OarmstResult OarmstRouter::build_once(const std::vector<Vertex>& terminals,
+                                      RouterScratch& scratch) const {
   OarmstResult result;
   result.tree = RouteTree(&grid_);
   result.connected = true;
   if (terminals.empty()) return result;
 
-  MazeRouter maze(grid_);
+  MazeRouter& maze = scratch.maze(grid_);
+  const bool tree_attach = config_.attach == AttachMode::kTreeVertices;
+  const bool incremental = config_.incremental;
 
-  std::vector<Vertex> tree_vertices;      // maze sources in kTreeVertices mode
-  std::vector<Vertex> connected_terms;    // maze sources in kTerminalsOnly mode
-  std::unordered_set<Vertex> in_tree;
+  auto& tree_vertices = scratch.tree_vertices_;    // maze sources, kTreeVertices
+  auto& connected_terms = scratch.connected_terms_;  // maze sources, kTerminalsOnly
+  auto& remaining = scratch.remaining_;
+  auto& path = scratch.path_;
+  auto& new_sources = scratch.new_sources_;
+  tree_vertices.clear();
+  connected_terms.clear();
+
+  const std::uint32_t in_tree = scratch.next_mark(std::size_t(grid_.num_vertices()));
+  auto& mark = scratch.mark_;
 
   connected_terms.push_back(terminals.front());
   tree_vertices.push_back(terminals.front());
-  in_tree.insert(terminals.front());
+  mark[std::size_t(terminals.front())] = in_tree;
 
-  std::vector<Vertex> remaining(terminals.begin() + 1, terminals.end());
+  remaining.assign(terminals.begin() + 1, terminals.end());
   // Deduplicate targets that equal the start terminal.
   remaining.erase(std::remove(remaining.begin(), remaining.end(), terminals.front()),
                   remaining.end());
 
+  if (incremental) maze.begin(tree_vertices);  // seed = {first terminal}
+
   double sum_of_paths = 0.0;
   while (!remaining.empty()) {
-    const auto& sources = config_.attach == AttachMode::kTreeVertices
-                              ? tree_vertices
-                              : connected_terms;
-    const Vertex reached = maze.run(sources, remaining);
+    if (!incremental) {
+      maze.begin(tree_attach ? tree_vertices : connected_terms);
+    }
+    const Vertex reached = maze.continue_run(remaining);
     if (reached == hanan::kInvalidVertex) {
       result.connected = false;  // some terminal is walled off
       break;
     }
-    const std::vector<Vertex> path = maze.path_to(reached);
+    // Read the path and distance before new sources mutate the frontier.
+    maze.path_to(reached, path);
     sum_of_paths += maze.dist(reached);
     result.tree.add_path(path);
+    new_sources.clear();
     for (Vertex v : path) {
-      if (in_tree.insert(v).second) tree_vertices.push_back(v);
+      if (mark[std::size_t(v)] != in_tree) {
+        mark[std::size_t(v)] = in_tree;
+        tree_vertices.push_back(v);
+        new_sources.push_back(v);
+      }
     }
     connected_terms.push_back(reached);
     remaining.erase(std::remove(remaining.begin(), remaining.end(), reached),
                     remaining.end());
+    if (incremental) {
+      // Continue the live frontier: only the newly attached vertices enter
+      // as zero-distance sources; everything already relaxed stays valid.
+      if (tree_attach) {
+        maze.add_sources(new_sources);
+      } else {
+        maze.add_source(reached);
+      }
+    }
   }
 
-  result.cost = config_.cost_model == CostModel::kUnionLength
-                    ? result.tree.cost()
-                    : sum_of_paths;
+  if (!result.connected) {
+    result.cost = MazeRouter::kInf;  // see OarmstResult::cost contract
+  } else {
+    result.cost = config_.cost_model == CostModel::kUnionLength
+                      ? result.tree.cost()
+                      : sum_of_paths;
+  }
   return result;
 }
 
 OarmstResult OarmstRouter::build(const std::vector<Vertex>& pins,
-                                 const std::vector<Vertex>& steiner_points) const {
+                                 const std::vector<Vertex>& steiner_points,
+                                 RouterScratch* scratch_in) const {
+  RouterScratch& scratch = scratch_in != nullptr ? *scratch_in : local_router_scratch();
+
   // Filter Steiner points: drop blocked vertices and duplicates of pins.
-  std::unordered_set<Vertex> pin_set(pins.begin(), pins.end());
-  std::vector<Vertex> steiner;
-  std::unordered_set<Vertex> seen;
+  const auto n = std::size_t(grid_.num_vertices());
+  auto& mark = scratch.mark_;
+  const std::uint32_t is_pin = scratch.next_mark(n);
+  for (Vertex p : pins) mark[std::size_t(p)] = is_pin;
+  const std::uint32_t seen = scratch.next_mark(n);
+
+  auto& steiner = scratch.steiner_;
+  steiner.clear();
   for (Vertex s : steiner_points) {
     if (s < 0 || s >= grid_.num_vertices()) continue;
-    if (grid_.is_blocked(s) || pin_set.count(s)) continue;
-    if (seen.insert(s).second) steiner.push_back(s);
+    if (grid_.is_blocked(s) || mark[std::size_t(s)] == is_pin) continue;
+    if (mark[std::size_t(s)] == seen) continue;
+    mark[std::size_t(s)] = seen;
+    steiner.push_back(s);
   }
 
-  std::vector<Vertex> terminals(pins.begin(), pins.end());
+  if (steiner.empty()) return bare_result(pins, scratch);
+
+  auto& terminals = scratch.terminals_;
+  terminals.assign(pins.begin(), pins.end());
   terminals.insert(terminals.end(), steiner.begin(), steiner.end());
 
-  OarmstResult result = build_once(terminals);
+  OarmstResult result = build_once(terminals, scratch);
   result.kept_steiner = steiner;
 
-  if (!config_.remove_redundant_steiner || steiner.empty()) return result;
+  if (!config_.remove_redundant_steiner) return result;
 
   // Iteratively drop redundant Steiner terminals (degree < 3) and rebuild.
   for (int pass = 0; pass < config_.max_rebuild_passes; ++pass) {
-    std::vector<Vertex> kept;
-    kept.reserve(result.kept_steiner.size());
+    auto& kept = scratch.kept_;
+    kept.clear();
     for (Vertex s : result.kept_steiner) {
       if (result.tree.degree(s) >= 3) kept.push_back(s);
     }
     if (kept.size() == result.kept_steiner.size()) break;  // all irredundant
 
-    std::vector<Vertex> new_terminals(pins.begin(), pins.end());
+    if (kept.empty()) {
+      // Every candidate dropped: the fixed point is the bare pins-only
+      // tree, which is identical for every selection on this grid — serve
+      // it from the scratch's cache instead of rebuilding it per call.
+      OarmstResult bare = bare_result(pins, scratch);
+      bare.rebuild_passes = result.rebuild_passes + 1;
+      return bare;
+    }
+
+    auto& new_terminals = scratch.rebuild_terminals_;
+    new_terminals.assign(pins.begin(), pins.end());
     new_terminals.insert(new_terminals.end(), kept.begin(), kept.end());
-    OarmstResult rebuilt = build_once(new_terminals);
-    rebuilt.kept_steiner = std::move(kept);
+    OarmstResult rebuilt = build_once(new_terminals, scratch);
+    rebuilt.kept_steiner.assign(kept.begin(), kept.end());
     rebuilt.rebuild_passes = result.rebuild_passes + 1;
     result = std::move(rebuilt);
-    if (result.kept_steiner.empty()) break;
   }
   return result;
 }
 
+OarmstResult OarmstRouter::bare_result(const std::vector<Vertex>& pins,
+                                       RouterScratch& scratch) const {
+  const auto attach = std::uint8_t(config_.attach);
+  const auto model = std::uint8_t(config_.cost_model);
+  if (scratch.bare_valid_ && scratch.bare_grid_ == &grid_ &&
+      scratch.bare_revision_ == grid_.revision() &&
+      scratch.bare_attach_ == attach && scratch.bare_cost_model_ == model &&
+      scratch.bare_pins_ == pins) {
+    OarmstResult result;
+    result.tree = scratch.bare_tree_;
+    result.cost = scratch.bare_cost_;
+    result.connected = scratch.bare_connected_;
+    return result;
+  }
+  OarmstResult result = build_once(pins, scratch);
+  scratch.bare_valid_ = true;
+  scratch.bare_grid_ = &grid_;
+  scratch.bare_revision_ = grid_.revision();
+  scratch.bare_attach_ = attach;
+  scratch.bare_cost_model_ = model;
+  scratch.bare_pins_ = pins;
+  scratch.bare_tree_ = result.tree;
+  scratch.bare_cost_ = result.cost;
+  scratch.bare_connected_ = result.connected;
+  return result;
+}
+
 double OarmstRouter::cost(const std::vector<Vertex>& pins,
-                          const std::vector<Vertex>& steiner_points) const {
-  return build(pins, steiner_points).cost;
+                          const std::vector<Vertex>& steiner_points,
+                          RouterScratch* scratch) const {
+  return build(pins, steiner_points, scratch).cost;
 }
 
 }  // namespace oar::route

@@ -19,12 +19,20 @@
 //     CostModel::kSumOfPaths this yields the plain "minimum spanning tree
 //     without using any Steiner point" that the paper's ST-to-MST ratio
 //     (Figs. 11-12) divides by.
+//
+// The Prim loop is incremental by default: after attaching a path, the
+// newly added tree vertices are inserted as zero-distance sources into the
+// *live* Dijkstra frontier and the search continues, instead of re-flooding
+// the grid from scratch each iteration (DESIGN.md §10).  Set
+// OarmstConfig::incremental = false to force the from-scratch reference
+// construction; both produce bitwise-identical trees and costs.
 
 #include <string>
 #include <vector>
 
 #include "route/maze.hpp"
 #include "route/route_tree.hpp"
+#include "route/scratch.hpp"
 
 namespace oar::route {
 
@@ -38,11 +46,20 @@ struct OarmstConfig {
   bool remove_redundant_steiner = true;
   /// Safety bound on removal/rebuild rounds.
   int max_rebuild_passes = 8;
+  /// Reuse the Dijkstra frontier across Prim iterations (fast path).  The
+  /// from-scratch mode exists as an equivalence baseline for tests and
+  /// benchmarks; results are identical either way.
+  bool incremental = true;
 };
 
 struct OarmstResult {
   RouteTree tree;
-  double cost = 0.0;                  // per the configured CostModel
+  /// Routing cost per the configured CostModel.  +infinity when
+  /// `connected` is false: a partial tree must never be able to outrank a
+  /// complete one in any cost comparison (the MCTS critic minimizes this
+  /// value directly).  The partial tree itself is still returned for
+  /// diagnostics.
+  double cost = 0.0;
   std::vector<Vertex> kept_steiner;   // irredundant Steiner points
   int rebuild_passes = 0;
   bool connected = false;             // false if some terminal is unreachable
@@ -54,19 +71,34 @@ class OarmstRouter {
 
   /// Builds the spanning tree over `pins` plus `steiner_points`.  Steiner
   /// points that coincide with pins or blocked vertices are ignored.
+  /// `scratch` supplies the pooled maze router and work buffers; pass
+  /// nullptr to use this thread's local_router_scratch().  The router
+  /// itself is stateless, so concurrent builds are safe as long as each
+  /// uses a distinct scratch.
   OarmstResult build(const std::vector<Vertex>& pins,
-                     const std::vector<Vertex>& steiner_points = {}) const;
+                     const std::vector<Vertex>& steiner_points = {},
+                     RouterScratch* scratch = nullptr) const;
 
-  /// Routing cost only (convenience for the MCTS critic and benchmarks).
+  /// Routing cost only (convenience for the MCTS critic and benchmarks);
+  /// +infinity when the terminal set cannot be fully connected.
   double cost(const std::vector<Vertex>& pins,
-              const std::vector<Vertex>& steiner_points = {}) const;
+              const std::vector<Vertex>& steiner_points = {},
+              RouterScratch* scratch = nullptr) const;
 
   const HananGrid& grid() const { return grid_; }
   const OarmstConfig& config() const { return config_; }
 
  private:
   /// One spanning-tree construction over the given terminal set.
-  OarmstResult build_once(const std::vector<Vertex>& terminals) const;
+  OarmstResult build_once(const std::vector<Vertex>& terminals,
+                          RouterScratch& scratch) const;
+
+  /// Build over exactly `pins` (no Steiner terminals), served from the
+  /// scratch's single-entry bare cache when the grid topology, config and
+  /// pin vector match.  `kept_steiner`/`rebuild_passes` of the returned
+  /// result are left at their defaults; callers set them.
+  OarmstResult bare_result(const std::vector<Vertex>& pins,
+                           RouterScratch& scratch) const;
 
   const HananGrid& grid_;
   OarmstConfig config_;

@@ -1,0 +1,10 @@
+#include "route/scratch.hpp"
+
+namespace oar::route {
+
+RouterScratch& local_router_scratch() {
+  thread_local RouterScratch scratch;
+  return scratch;
+}
+
+}  // namespace oar::route

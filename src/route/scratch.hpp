@@ -1,0 +1,99 @@
+#pragma once
+
+// Reusable per-thread scratch state for the OARMST routing core.
+//
+// Every OarmstRouter::build used to construct a fresh MazeRouter — four
+// O(V) arrays — per call, and the MCTS critic calls build once per tree
+// node, so the allocator dominated the critic loop.  A RouterScratch owns
+// one MazeRouter plus the small work vectors of the Prim construction and
+// is reused across builds; the epoch stamping inside MazeRouter makes the
+// reuse safe across *different grids* too (stale stamps never match a new
+// epoch, and the arrays only ever grow).
+//
+// Threading contract: a RouterScratch is NOT thread safe and must not be
+// shared between concurrently running builds.  Either hold one per worker
+// (ActorCritic does) or use local_router_scratch(), which hands out one
+// scratch per thread.  OarmstRouter itself stays const/stateless, so one
+// router instance may be shared across threads as long as each call uses
+// its own scratch.
+
+#include <cstdint>
+#include <vector>
+
+#include "route/maze.hpp"
+#include "route/route_tree.hpp"
+
+namespace oar::route {
+
+class RouterScratch {
+ public:
+  RouterScratch() = default;
+  RouterScratch(const RouterScratch&) = delete;
+  RouterScratch& operator=(const RouterScratch&) = delete;
+
+  /// The pooled maze router, (re)bound to `grid`.  Callers must start a
+  /// new search (begin/run) before reading distances.
+  MazeRouter& maze(const HananGrid& grid) {
+    maze_.bind(grid);
+    return maze_;
+  }
+
+ private:
+  friend class OarmstRouter;
+
+  /// Epoch-stamped membership marks over grid vertices (replaces the
+  /// per-build unordered_sets).  next_mark() returns a fresh stamp value;
+  /// a vertex is a member iff mark_[v] == stamp.
+  std::uint32_t next_mark(std::size_t num_vertices) {
+    if (mark_.size() < num_vertices) mark_.resize(num_vertices, 0u);
+    ++mark_stamp_;
+    if (mark_stamp_ == 0) {  // stamp wrap-around: hard reset
+      std::fill(mark_.begin(), mark_.end(), 0u);
+      mark_stamp_ = 1;
+    }
+    return mark_stamp_;
+  }
+
+  MazeRouter maze_;
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t mark_stamp_ = 0;
+
+  // Single-entry cache of the *bare* build — the tree over exactly the
+  // given terminal vector with no surviving Steiner candidates.  The
+  // redundant-steiner removal loop of the critic converges here for almost
+  // every exploratory selection (a random candidate is rarely a degree-3
+  // Steiner point), so without the cache every critic call rebuilds the
+  // identical pins-only tree as its final pass.  Keyed on grid identity
+  // (address + revision — two live grids only share both when their
+  // topology is identical), the result-shaping config knobs, and the exact
+  // pin vector (terminal order determines Prim's root and therefore the
+  // canonical tree).  `incremental` is deliberately absent from the key:
+  // both modes produce bitwise-identical results (DESIGN.md §10).
+  bool bare_valid_ = false;
+  const HananGrid* bare_grid_ = nullptr;
+  std::uint64_t bare_revision_ = 0;
+  std::uint8_t bare_attach_ = 0;
+  std::uint8_t bare_cost_model_ = 0;
+  std::vector<Vertex> bare_pins_;
+  RouteTree bare_tree_;
+  double bare_cost_ = 0.0;
+  bool bare_connected_ = false;
+
+  // Work vectors of OarmstRouter::build/build_once, kept hot between calls.
+  std::vector<Vertex> tree_vertices_;
+  std::vector<Vertex> connected_terms_;
+  std::vector<Vertex> remaining_;
+  std::vector<Vertex> path_;
+  std::vector<Vertex> new_sources_;
+  std::vector<Vertex> terminals_;
+  std::vector<Vertex> steiner_;
+  std::vector<Vertex> kept_;
+  std::vector<Vertex> rebuild_terminals_;
+};
+
+/// Per-thread scratch pool: returns this thread's RouterScratch, creating
+/// it on first use.  The default scratch for every OarmstRouter call that
+/// does not pass one explicitly.
+RouterScratch& local_router_scratch();
+
+}  // namespace oar::route

@@ -149,8 +149,10 @@ void RouterService::process_batch(std::vector<Pending> batch) {
         std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
     const std::vector<Vertex> steiner =
         rl::SteinerSelector::top_k_valid(grid, fsp[i], budget, {});
+    // Per-pool-thread scratch: the maze arrays persist across batches, so
+    // steady-state serving does no O(V) routing allocations.
     route::OarmstRouter router(grid);
-    results[i] = router.build(grid.pins(), steiner);
+    results[i] = router.build(grid.pins(), steiner, &route::local_router_scratch());
   });
   const double route_seconds = route_timer.seconds();
   metrics_.record_stage(Stage::kRouting, route_seconds);

@@ -8,12 +8,12 @@
 
 namespace oar::steiner {
 
-double mst_cost(const HananGrid& grid) {
+double mst_cost(const HananGrid& grid, route::RouterScratch* scratch) {
   route::OarmstConfig cfg;
   cfg.attach = route::AttachMode::kTerminalsOnly;
   cfg.cost_model = route::CostModel::kSumOfPaths;
   cfg.remove_redundant_steiner = false;
-  return route::OarmstRouter(grid, cfg).build(grid.pins()).cost;
+  return route::OarmstRouter(grid, cfg).build(grid.pins(), {}, scratch).cost;
 }
 
 route::OarmstResult Lin08Router::route(const HananGrid& grid) {
@@ -23,7 +23,8 @@ route::OarmstResult Lin08Router::route(const HananGrid& grid) {
 
 route::OarmstResult Liu14Router::route(const HananGrid& grid) {
   route::OarmstRouter router(grid);
-  route::OarmstResult best = router.build(grid.pins());
+  route::RouterScratch& scratch = route::local_router_scratch();
+  route::OarmstResult best = router.build(grid.pins(), {}, &scratch);
 
   const std::vector<Vertex> candidates = corner_candidates(
       grid, grid.pins(), config_.neighbors_per_terminal, config_.max_evaluations);
@@ -36,7 +37,7 @@ route::OarmstResult Liu14Router::route(const HananGrid& grid) {
     if (kept.size() >= budget) break;
     std::vector<Vertex> trial = kept;
     trial.push_back(c);
-    route::OarmstResult result = router.build(grid.pins(), trial);
+    route::OarmstResult result = router.build(grid.pins(), trial, &scratch);
     if (result.connected && result.cost < best.cost) {
       best = std::move(result);
       kept.push_back(c);
@@ -47,7 +48,8 @@ route::OarmstResult Liu14Router::route(const HananGrid& grid) {
 
 route::OarmstResult Lin18Router::route(const HananGrid& grid) {
   route::OarmstRouter router(grid);
-  route::OarmstResult best = router.build(grid.pins());
+  route::RouterScratch& scratch = route::local_router_scratch();
+  route::OarmstResult best = router.build(grid.pins(), {}, &scratch);
 
   const std::size_t budget = grid.pins().size() >= 2 ? grid.pins().size() - 2 : 0;
   std::vector<Vertex> kept;
@@ -67,7 +69,7 @@ route::OarmstResult Lin18Router::route(const HananGrid& grid) {
     for (Vertex c : candidates) {
       std::vector<Vertex> trial = kept;
       trial.push_back(c);
-      route::OarmstResult result = router.build(grid.pins(), trial);
+      route::OarmstResult result = router.build(grid.pins(), trial, &scratch);
       if (!result.connected) continue;
       const double reference =
           best_candidate == hanan::kInvalidVertex ? best.cost : best_trial.cost;
@@ -83,7 +85,7 @@ route::OarmstResult Lin18Router::route(const HananGrid& grid) {
 
   // Retracing pass: rebuild from the final irredundant Steiner set (the
   // redundancy filter inside build() may have dropped earlier picks).
-  route::OarmstResult retraced = router.build(grid.pins(), best.kept_steiner);
+  route::OarmstResult retraced = router.build(grid.pins(), best.kept_steiner, &scratch);
   if (retraced.connected && retraced.cost < best.cost) best = std::move(retraced);
   return best;
 }

@@ -6,7 +6,10 @@ namespace oar::steiner {
 
 route::OarmstResult OracleRouter::route(const HananGrid& grid) {
   route::OarmstRouter router(grid);
-  route::OarmstResult best = router.build(grid.pins());
+  // One scratch for the whole exhaustive enumeration: the oracle issues up
+  // to max_evaluations builds, so per-build maze allocation would dominate.
+  route::RouterScratch& scratch = route::local_router_scratch();
+  route::OarmstResult best = router.build(grid.pins(), {}, &scratch);
   last_evaluations_ = 1;
   last_exhaustive_ = true;
 
@@ -30,7 +33,7 @@ route::OarmstResult OracleRouter::route(const HananGrid& grid) {
         return false;
       }
       chosen.push_back(candidates[i]);
-      route::OarmstResult result = router.build(grid.pins(), chosen);
+      route::OarmstResult result = router.build(grid.pins(), chosen, &scratch);
       ++last_evaluations_;
       if (result.connected && result.cost < best.cost - 1e-12) {
         best = std::move(result);

@@ -30,6 +30,8 @@ class Router {
 /// Plain spanning tree with no Steiner points: Prim over the maze-distance
 /// metric closure, attaching at terminals only, cost = sum of path costs.
 /// This is the denominator of the paper's ST-to-MST ratio (Figs. 11-12).
-double mst_cost(const HananGrid& grid);
+/// +infinity when the pins cannot be fully connected.  `scratch` selects
+/// the routing scratch pool (nullptr = this thread's).
+double mst_cost(const HananGrid& grid, route::RouterScratch* scratch = nullptr);
 
 }  // namespace oar::steiner

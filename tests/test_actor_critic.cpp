@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gen/random_layout.hpp"
 
 namespace oar::mcts {
@@ -143,6 +145,30 @@ TEST(ActorCritic, ExactCostMonotoneInObviousCase) {
   }
   ASSERT_NE(far, hanan::kInvalidVertex);
   EXPECT_GE(ac.exact_cost({far}), base - 1e-9);
+}
+
+TEST(ActorCritic, WalledOffSteinerSelectionCostsInfinity) {
+  // Regression: selecting an unblocked vertex that obstacles fully enclose
+  // used to return the *partial* tree's cost, which is below the connected
+  // base cost — so the search could actively prefer walling itself off.
+  // With OarmstResult::cost = +inf on disconnect, such a selection can
+  // never outrank any connected state.
+  rl::SteinerSelector selector(tiny_config());
+  HananGrid grid(5, 5, 1, std::vector<double>(4, 1.0), std::vector<double>(4, 1.0),
+                 1.0);
+  const Vertex enclosed = grid.index(2, 2, 0);
+  for (const auto& [dh, dv] : {std::pair{-1, 0}, {1, 0}, {0, -1}, {0, 1}}) {
+    grid.block_vertex(grid.index(2 + dh, 2 + dv, 0));
+  }
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 4, 0));
+  ActorCritic ac(selector, grid);
+
+  const double base = ac.exact_cost({});
+  ASSERT_TRUE(std::isfinite(base));
+  const double walled = ac.exact_cost({enclosed});
+  EXPECT_TRUE(std::isinf(walled));
+  EXPECT_GT(walled, base);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "gen/random_layout.hpp"
 #include "util/rng.hpp"
 
@@ -123,6 +126,124 @@ TEST(Maze, BlockedSourceIsIgnored) {
   MazeRouter maze(grid);
   const Vertex reached = maze.run({grid.index(0, 0, 0)}, {grid.index(2, 0, 0)});
   EXPECT_EQ(reached, hanan::kInvalidVertex);
+}
+
+TEST(Maze, PathToReachedVertexSucceedsAndUnreachedThrows) {
+  HananGrid grid = unit_grid(5, 1, 1);
+  grid.block_vertex(grid.index(2, 0, 0));  // wall between h<2 and h>2
+  MazeRouter maze(grid);
+  maze.run({grid.index(0, 0, 0)});
+  // Reached side: a proper path is returned.
+  const auto path = maze.path_to(grid.index(1, 0, 0));
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path.front(), grid.index(0, 0, 0));
+  EXPECT_EQ(path.back(), grid.index(1, 0, 0));
+  // Walled-off side: must throw instead of walking stale parents forever
+  // (asserts are compiled out in release builds).
+  EXPECT_THROW(maze.path_to(grid.index(3, 0, 0)), std::logic_error);
+  EXPECT_THROW(maze.path_to(grid.index(4, 0, 0)), std::logic_error);
+}
+
+TEST(Maze, PathToBeforeAnyRunThrows) {
+  const HananGrid grid = unit_grid(3, 1, 1);
+  MazeRouter maze(grid);
+  EXPECT_THROW(maze.path_to(grid.index(1, 0, 0)), std::logic_error);
+}
+
+TEST(Maze, EpochWrapAroundResetsStampsCorrectly) {
+  HananGrid grid = unit_grid(6, 1, 1);
+  grid.block_vertex(grid.index(4, 0, 0));
+  MazeRouter maze(grid);
+
+  // Populate stamps at an ordinary epoch first so the wrap has stale state
+  // to invalidate.
+  maze.run({grid.index(0, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(3, 0, 0)), 3.0);
+  EXPECT_EQ(maze.dist(grid.index(5, 0, 0)), MazeRouter::kInf);
+
+  // Force the counter to its maximum: the next begin() wraps to 0 and must
+  // take the hard-reset branch.
+  maze.debug_set_epoch(std::numeric_limits<std::uint32_t>::max());
+  maze.run({grid.index(3, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(0, 0, 0)), 3.0);
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(3, 0, 0)), 0.0);
+  // Stale pre-wrap stamps must not leak through as reached.
+  EXPECT_EQ(maze.dist(grid.index(5, 0, 0)), MazeRouter::kInf);
+  EXPECT_FALSE(maze.reached(grid.index(5, 0, 0)));
+  EXPECT_THROW(maze.path_to(grid.index(5, 0, 0)), std::logic_error);
+
+  // And the epoch machinery keeps working after the wrap.
+  maze.run({grid.index(1, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(3, 0, 0)), 2.0);
+}
+
+TEST(Maze, IncrementalContinuationMatchesFreshRuns) {
+  const HananGrid grid = unit_grid(9, 1, 1);
+  MazeRouter maze(grid);
+  maze.begin({grid.index(0, 0, 0)});
+  // First continuation: nearest of two targets.
+  const Vertex t1 = grid.index(5, 0, 0), t2 = grid.index(8, 0, 0);
+  EXPECT_EQ(maze.continue_run({t1, t2}), t1);
+  EXPECT_DOUBLE_EQ(maze.dist(t1), 5.0);
+  // Attach t1 as a zero-distance source and continue to t2: the frontier
+  // is reused, and the distance reflects the enlarged source set.
+  maze.add_source(t1);
+  EXPECT_EQ(maze.continue_run({t2}), t2);
+  EXPECT_DOUBLE_EQ(maze.dist(t2), 3.0);
+
+  MazeRouter fresh(grid);
+  fresh.run({grid.index(0, 0, 0), t1}, {t2});
+  EXPECT_DOUBLE_EQ(fresh.dist(t2), maze.dist(t2));
+}
+
+TEST(Maze, ContinuationRediscoversAlreadySettledTarget) {
+  // A vertex settled as a by-product of an earlier continuation must still
+  // be returnable as the target of a later one (its heap entry was
+  // consumed; the target-marking pass re-seeds it).
+  const HananGrid grid = unit_grid(9, 1, 1);
+  MazeRouter maze(grid);
+  maze.begin({grid.index(0, 0, 0)});
+  EXPECT_EQ(maze.continue_run({grid.index(4, 0, 0)}), grid.index(4, 0, 0));
+  // Vertices 1..3 were settled on the way.  Ask for one of them now.
+  EXPECT_EQ(maze.continue_run({grid.index(2, 0, 0)}), grid.index(2, 0, 0));
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(2, 0, 0)), 2.0);
+}
+
+TEST(Maze, AddedSourceLowersSettledDistances)
+{
+  // After the frontier exhausted the line, a new source must re-open
+  // settled vertices and lower their distances on continuation.
+  const HananGrid grid = unit_grid(9, 1, 1);
+  MazeRouter maze(grid);
+  maze.begin({grid.index(0, 0, 0)});
+  maze.continue_run({});  // exhaust: dist(v) == v
+  EXPECT_DOUBLE_EQ(maze.dist(grid.index(8, 0, 0)), 8.0);
+  maze.add_source(grid.index(8, 0, 0));
+  maze.continue_run({});
+  for (std::int32_t h = 0; h < 9; ++h) {
+    EXPECT_DOUBLE_EQ(maze.dist(grid.index(h, 0, 0)), std::min(h, 8 - h)) << h;
+  }
+  // Paths follow the updated parents to the nearer source.
+  const auto path = maze.path_to(grid.index(7, 0, 0));
+  EXPECT_EQ(path.front(), grid.index(8, 0, 0));
+}
+
+TEST(Maze, RebindAcrossGridsKeepsResultsIndependent) {
+  // Pooled reuse: one router serving grids of different sizes must not leak
+  // stamped state between them.
+  HananGrid big = unit_grid(7, 7, 2);
+  HananGrid small = unit_grid(3, 3, 1);
+  MazeRouter maze(big);
+  maze.run({big.index(0, 0, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(big.index(6, 6, 1)), 13.0);
+
+  maze.bind(small);
+  maze.run({small.index(2, 2, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(small.index(0, 0, 0)), 4.0);
+
+  maze.bind(big);
+  maze.run({big.index(6, 6, 0)});
+  EXPECT_DOUBLE_EQ(maze.dist(big.index(0, 0, 0)), 12.0);
 }
 
 class MazeRandomTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gen/random_layout.hpp"
 #include "steiner/router_base.hpp"
 
@@ -78,6 +80,94 @@ TEST(Oarmst, AvoidsObstacles) {
   grid.add_pin(grid.index(4, 1, 0));
   const auto result = OarmstRouter(grid).build(grid.pins());
   EXPECT_FALSE(result.connected);  // wall spans the full height on one layer
+  EXPECT_TRUE(std::isinf(result.cost));
+}
+
+TEST(Oarmst, FullyEnclosedPinCostsInfinity) {
+  // Regression: a walled-off terminal used to report the *partial* tree's
+  // cost — cheaper than the connected tree — so cost comparisons (the MCTS
+  // critic minimizes OarmstResult::cost directly) could prefer the
+  // disconnected state.  A disconnected build must cost +inf.
+  HananGrid grid = unit_grid(5, 5, 1);
+  const Vertex enclosed = grid.index(2, 2, 0);
+  for (const auto& [dh, dv] : {std::pair{-1, 0}, {1, 0}, {0, -1}, {0, 1}}) {
+    grid.block_vertex(grid.index(2 + dh, 2 + dv, 0));
+  }
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(4, 0, 0));
+  grid.add_pin(enclosed);
+
+  for (const AttachMode attach : {AttachMode::kTreeVertices, AttachMode::kTerminalsOnly}) {
+    for (const CostModel model : {CostModel::kUnionLength, CostModel::kSumOfPaths}) {
+      OarmstConfig cfg;
+      cfg.attach = attach;
+      cfg.cost_model = model;
+      const auto result = OarmstRouter(grid, cfg).build(grid.pins());
+      EXPECT_FALSE(result.connected);
+      EXPECT_TRUE(std::isinf(result.cost)) << "attach=" << int(attach)
+                                           << " model=" << int(model);
+      // The partial tree is still returned for diagnostics.
+      EXPECT_FALSE(result.tree.empty());
+    }
+  }
+
+  // Any connected two-pin layout now strictly beats the disconnected one.
+  HananGrid open_grid = unit_grid(5, 5, 1);
+  open_grid.add_pin(open_grid.index(0, 0, 0));
+  open_grid.add_pin(open_grid.index(4, 0, 0));
+  EXPECT_LT(OarmstRouter(open_grid).cost(open_grid.pins()),
+            OarmstRouter(grid).cost(grid.pins()));
+}
+
+TEST(Oarmst, BarePinsCacheStaysCorrectAcrossMutationsAndConfigs) {
+  // The scratch caches the bare pins-only build (the fixed point of the
+  // redundant-steiner removal loop).  Served results must be identical to
+  // a cold build, and the cache must miss on any grid mutation (revision
+  // bump) or config change sharing the same scratch.
+  HananGrid grid = unit_grid(7, 7, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(6, 0, 0));
+  grid.add_pin(grid.index(3, 6, 0));
+
+  OarmstRouter router(grid);
+  RouterScratch scratch;
+
+  // Two different all-redundant selections: the second call's final pass is
+  // served from the cache primed by the first.
+  const auto r1 = router.build(grid.pins(), {grid.index(0, 6, 0)}, &scratch);
+  const auto r2 = router.build(grid.pins(), {grid.index(6, 6, 0)}, &scratch);
+  RouterScratch cold;
+  const auto ref = router.build(grid.pins(), {grid.index(6, 6, 0)}, &cold);
+  EXPECT_TRUE(r2.kept_steiner.empty());
+  EXPECT_EQ(r2.rebuild_passes, ref.rebuild_passes);
+  EXPECT_DOUBLE_EQ(r2.cost, ref.cost);
+  EXPECT_EQ(r2.tree.edges(), ref.tree.edges());
+  EXPECT_DOUBLE_EQ(r1.cost, r2.cost);  // both collapse to the bare tree
+
+  // A different config through the same scratch must not see the entry.
+  OarmstConfig terminals_cfg;
+  terminals_cfg.attach = AttachMode::kTerminalsOnly;
+  terminals_cfg.cost_model = CostModel::kSumOfPaths;
+  OarmstRouter terminals_router(grid, terminals_cfg);
+  RouterScratch cold2;
+  EXPECT_DOUBLE_EQ(terminals_router.cost(grid.pins(), {}, &scratch),
+                   terminals_router.cost(grid.pins(), {}, &cold2));
+
+  // Blocking a vertex of the cached tree bumps the grid revision; the next
+  // build through the same scratch must re-route around it.
+  Vertex on_tree = hanan::kInvalidVertex;
+  for (Vertex v : r2.tree.vertices()) {
+    if (!grid.is_pin(v)) { on_tree = v; break; }
+  }
+  ASSERT_NE(on_tree, hanan::kInvalidVertex);
+  grid.block_vertex(on_tree);
+  const auto rerouted = router.build(grid.pins(), {}, &scratch);
+  RouterScratch cold3;
+  const auto rerouted_ref = router.build(grid.pins(), {}, &cold3);
+  EXPECT_DOUBLE_EQ(rerouted.cost, rerouted_ref.cost);
+  EXPECT_EQ(rerouted.tree.edges(), rerouted_ref.tree.edges());
+  EXPECT_NE(rerouted.tree.edges(), r2.tree.edges());  // old tree is invalid
+  EXPECT_FALSE(rerouted.tree.contains_vertex(on_tree));
 }
 
 TEST(Oarmst, EscapesThroughSecondLayer) {
@@ -120,6 +210,74 @@ TEST(Oarmst, TreeAttachmentBeatsTerminalOnlyMst) {
   EXPECT_LE(st, mst);
   EXPECT_DOUBLE_EQ(st, 8.0);   // trunk + stub via T-junction
   EXPECT_DOUBLE_EQ(mst, 10.0); // two pairwise paths
+}
+
+TEST(Oarmst, TreeAttachmentCostModelsCoincide) {
+  // Under kTreeVertices attachment every attached path starts at a
+  // zero-distance tree vertex and its interior vertices are not yet in the
+  // tree, so each attachment adds exactly dist(reached) of new wire:
+  // kSumOfPaths and kUnionLength are the same number.
+  util::Rng rng(7);
+  gen::RandomGridSpec spec;
+  spec.h = 9;
+  spec.v = 9;
+  spec.m = 2;
+  spec.min_pins = 4;
+  spec.max_pins = 7;
+  spec.min_obstacles = 6;
+  spec.max_obstacles = 14;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 30;
+  for (int trial = 0; trial < 16; ++trial) {
+    const HananGrid grid = gen::random_grid(spec, rng);
+    OarmstConfig union_cfg;
+    union_cfg.cost_model = CostModel::kUnionLength;
+    OarmstConfig sum_cfg;
+    sum_cfg.cost_model = CostModel::kSumOfPaths;
+    const auto a = OarmstRouter(grid, union_cfg).build(grid.pins());
+    const auto b = OarmstRouter(grid, sum_cfg).build(grid.pins());
+    ASSERT_EQ(a.connected, b.connected);
+    if (!a.connected) continue;
+    EXPECT_DOUBLE_EQ(a.cost, b.cost) << "trial=" << trial;
+  }
+}
+
+TEST(Oarmst, TerminalsOnlyCostModelOrdering) {
+  // With kTerminalsOnly attachment, paths can retrace wire that is already
+  // in the tree, so the union of edges is no longer the sum of path costs:
+  //   union length <= sum of paths,
+  // and kSumOfPaths reproduces steiner::mst_cost exactly (it is the metric
+  // closure MST the paper's ST-to-MST ratio divides by).
+  util::Rng rng(11);
+  gen::RandomGridSpec spec;
+  spec.h = 9;
+  spec.v = 9;
+  spec.m = 2;
+  spec.min_pins = 4;
+  spec.max_pins = 7;
+  spec.min_obstacles = 6;
+  spec.max_obstacles = 14;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 30;
+  for (int trial = 0; trial < 16; ++trial) {
+    const HananGrid grid = gen::random_grid(spec, rng);
+    OarmstConfig term_union;
+    term_union.attach = AttachMode::kTerminalsOnly;
+    term_union.cost_model = CostModel::kUnionLength;
+    OarmstConfig term_sum;
+    term_sum.attach = AttachMode::kTerminalsOnly;
+    term_sum.cost_model = CostModel::kSumOfPaths;
+    const auto u = OarmstRouter(grid, term_union).build(grid.pins());
+    const auto s = OarmstRouter(grid, term_sum).build(grid.pins());
+    ASSERT_EQ(u.connected, s.connected);
+    if (!u.connected) continue;
+    EXPECT_LE(u.cost, s.cost + 1e-9) << "trial=" << trial;
+    EXPECT_DOUBLE_EQ(s.cost, steiner::mst_cost(grid)) << "trial=" << trial;
+
+    // Tree attachment can only improve on terminal-only attachment.
+    const double tree_cost = OarmstRouter(grid).cost(grid.pins());
+    EXPECT_LE(tree_cost, u.cost + 1e-9) << "trial=" << trial;
+  }
 }
 
 TEST(Oarmst, SinglePinZeroCost) {

@@ -1,0 +1,139 @@
+// Property test for the incremental maze-Prim core (DESIGN.md §10): the
+// frontier-continuing construction must be *bitwise* equivalent to the
+// from-scratch reference — same cost, same connectivity, same edge set, same
+// kept Steiner points — on randomized obstacle layouts, in every attach
+// mode and cost model, with and without Steiner points.  This is the
+// invariant that lets the fast path replace the reference everywhere.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/random_layout.hpp"
+#include "route/oarmst.hpp"
+
+namespace oar::route {
+namespace {
+
+gen::RandomGridSpec property_spec(bool ensure_routable) {
+  gen::RandomGridSpec spec;
+  spec.h = 10;
+  spec.v = 10;
+  spec.m = 2;
+  spec.min_pins = 3;
+  spec.max_pins = 7;
+  spec.min_obstacles = 8;
+  spec.max_obstacles = 20;
+  spec.min_edge_cost = 1;
+  spec.max_edge_cost = 50;
+  // Disconnected layouts must agree too (cost +inf, same partial tree).
+  spec.ensure_routable = ensure_routable;
+  return spec;
+}
+
+std::vector<Vertex> some_steiner_candidates(const HananGrid& grid, util::Rng& rng) {
+  std::vector<Vertex> out;
+  for (int i = 0; i < 3; ++i) {
+    out.push_back(Vertex(rng.uniform_int(0, grid.num_vertices() - 1)));
+  }
+  return out;
+}
+
+void expect_identical(const OarmstResult& inc, const OarmstResult& ref,
+                      const std::string& context) {
+  EXPECT_EQ(inc.connected, ref.connected) << context;
+  if (std::isfinite(ref.cost) || std::isfinite(inc.cost)) {
+    EXPECT_DOUBLE_EQ(inc.cost, ref.cost) << context;
+  } else {
+    EXPECT_TRUE(std::isinf(inc.cost) && std::isinf(ref.cost)) << context;
+  }
+  EXPECT_EQ(inc.kept_steiner, ref.kept_steiner) << context;
+  EXPECT_EQ(inc.rebuild_passes, ref.rebuild_passes) << context;
+  // Bitwise tree equality: same edges in the same construction order.
+  ASSERT_EQ(inc.tree.num_edges(), ref.tree.num_edges()) << context;
+  const auto& ie = inc.tree.edges();
+  const auto& re = ref.tree.edges();
+  for (std::size_t i = 0; i < ie.size(); ++i) {
+    EXPECT_TRUE(ie[i] == re[i]) << context << " edge " << i << ": ("
+                                << ie[i].a << "," << ie[i].b << ") vs ("
+                                << re[i].a << "," << re[i].b << ")";
+  }
+}
+
+class OarmstIncrementalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OarmstIncrementalProperty, MatchesFromScratchBitwise) {
+  util::Rng rng(GetParam());
+  // Mix in occasional unroutable layouts: equivalence must hold for the
+  // disconnected/+inf case as well.
+  const bool ensure_routable = (GetParam() % 5) != 0;
+  const HananGrid grid = gen::random_grid(property_spec(ensure_routable), rng);
+  const std::vector<Vertex> steiner = some_steiner_candidates(grid, rng);
+
+  // The incremental build shares this thread's pooled scratch with every
+  // other build in the process; the reference uses a private scratch so the
+  // comparison also exercises cross-build pool reuse.
+  RouterScratch reference_scratch;
+
+  for (const AttachMode attach : {AttachMode::kTreeVertices, AttachMode::kTerminalsOnly}) {
+    for (const CostModel model : {CostModel::kUnionLength, CostModel::kSumOfPaths}) {
+      for (const bool remove_redundant : {true, false}) {
+        for (const bool with_steiner : {false, true}) {
+          OarmstConfig inc_cfg;
+          inc_cfg.attach = attach;
+          inc_cfg.cost_model = model;
+          inc_cfg.remove_redundant_steiner = remove_redundant;
+          inc_cfg.incremental = true;
+          OarmstConfig ref_cfg = inc_cfg;
+          ref_cfg.incremental = false;
+
+          const std::vector<Vertex>& sp =
+              with_steiner ? steiner : std::vector<Vertex>{};
+          const auto inc = OarmstRouter(grid, inc_cfg).build(grid.pins(), sp);
+          const auto ref =
+              OarmstRouter(grid, ref_cfg).build(grid.pins(), sp, &reference_scratch);
+
+          const std::string context =
+              "seed=" + std::to_string(GetParam()) +
+              " attach=" + std::to_string(int(attach)) +
+              " model=" + std::to_string(int(model)) +
+              " remove=" + std::to_string(remove_redundant) +
+              " steiner=" + std::to_string(with_steiner);
+          expect_identical(inc, ref, context);
+        }
+      }
+    }
+  }
+}
+
+// >= 100 randomized layouts, as required by the acceptance criteria.
+INSTANTIATE_TEST_SUITE_P(Layouts, OarmstIncrementalProperty,
+                         ::testing::Range(std::uint64_t(1), std::uint64_t(105)));
+
+TEST(OarmstIncremental, PooledScratchSurvivesInterleavedGrids) {
+  // Alternate builds between two different-size grids through one scratch:
+  // the grow-only arrays and epoch stamps must never leak state across
+  // rebinds.  Each build is checked against a fresh-scratch reference.
+  util::Rng rng(424242);
+  const HananGrid small = gen::random_grid(property_spec(true), rng);
+  gen::RandomGridSpec big_spec = property_spec(true);
+  big_spec.h = 14;
+  big_spec.v = 14;
+  big_spec.m = 3;
+  const HananGrid big = gen::random_grid(big_spec, rng);
+
+  RouterScratch shared;
+  for (int round = 0; round < 8; ++round) {
+    const HananGrid& grid = (round % 2 == 0) ? small : big;
+    OarmstConfig ref_cfg;
+    ref_cfg.incremental = false;
+    RouterScratch fresh;
+    const auto inc = OarmstRouter(grid).build(grid.pins(), {}, &shared);
+    const auto ref = OarmstRouter(grid, ref_cfg).build(grid.pins(), {}, &fresh);
+    expect_identical(inc, ref, "round=" + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace oar::route
