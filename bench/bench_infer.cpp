@@ -1,0 +1,236 @@
+// Single-sample inference throughput benchmark (DESIGN.md §11).  Replays
+// the MCTS hot loop — one fsp query per tree expansion, same grid, varying
+// Steiner selections — and compares:
+//
+//   reference: the selector in training mode (the seed's scalar forward
+//              with full per-state feature re-encode and cache retention),
+//   engine:    the selector in inference mode (tiled kernels, arena
+//              temporaries, incremental FeatureCache patching).
+//
+// Every state's fsp is cross-checked between the two modes to a 1e-4
+// relative tolerance; a mismatch is a hard failure.  A second section runs
+// whole CombMcts episodes in both modes to show the end-to-end win.
+// Results go to stdout and BENCH_infer.json.  `--smoke` shrinks the work
+// for CI; like bench_route there is deliberately no timing assertion.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/random_layout.hpp"
+#include "mcts/comb_mcts.hpp"
+#include "rl/selector.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace oar;
+using hanan::HananGrid;
+using hanan::Vertex;
+
+HananGrid make_grid(std::int32_t dim, std::int32_t m, std::int32_t pins,
+                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = spec.v = dim;
+  spec.m = m;
+  spec.min_pins = spec.max_pins = pins;
+  spec.min_obstacles = spec.max_obstacles = std::max(1, dim * dim * m / 40);
+  return gen::random_grid(spec, rng);
+}
+
+/// MCTS-like states: 0..budget already-selected Steiner points per state.
+std::vector<std::vector<Vertex>> make_states(const HananGrid& grid, int count,
+                                             util::Rng& rng) {
+  const int budget = std::max(1, int(grid.pins().size()) - 2);
+  std::vector<std::vector<Vertex>> out;
+  out.reserve(std::size_t(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<Vertex> sel;
+    const int want = i % (budget + 1);
+    while (std::ssize(sel) < want) {
+      const auto v = Vertex(rng.uniform_int(0, grid.num_vertices() - 1));
+      if (!grid.is_blocked(v) && !grid.is_pin(v) &&
+          std::find(sel.begin(), sel.end(), v) == sel.end()) {
+        sel.push_back(v);
+      }
+    }
+    out.push_back(std::move(sel));
+  }
+  return out;
+}
+
+struct FspRun {
+  double seconds = 0.0;
+  std::vector<std::vector<double>> fsp;  // one per state (first rep)
+};
+
+FspRun run_fsp(rl::SteinerSelector& selector, const HananGrid& grid,
+               const std::vector<std::vector<Vertex>>& states, int reps) {
+  FspRun run;
+  run.fsp.resize(states.size());
+  std::vector<double> fsp;
+  util::Timer timer;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      selector.infer_fsp_into(grid, states[i], fsp);
+      if (rep == 0) run.fsp[i] = fsp;
+    }
+  }
+  run.seconds = timer.seconds();
+  return run;
+}
+
+struct SizeReport {
+  std::int32_t dim = 0, layers = 0;
+  double ref_ips = 0.0;     // reference inferences/sec
+  double engine_ips = 0.0;  // inference-engine inferences/sec
+  double speedup = 0.0;
+  double max_rel = 0.0;  // worst fsp disagreement
+};
+
+SizeReport bench_size(std::int32_t dim, std::int32_t layers, int state_count,
+                      int reps_engine, int reps_ref) {
+  SizeReport rep;
+  rep.dim = dim;
+  rep.layers = layers;
+
+  const HananGrid grid = make_grid(dim, layers, /*pins=*/6, /*seed=*/17);
+  util::Rng rng(41);
+  const auto states = make_states(grid, state_count, rng);
+  rl::SteinerSelector selector;  // default UNet: base 8, depth 2
+
+  // Warm both paths (first-touch allocations, feature-cache base build).
+  selector.net().set_training(true);
+  (void)run_fsp(selector, grid, {states.front()}, 1);
+  selector.net().set_training(false);
+  (void)run_fsp(selector, grid, {states.front()}, 1);
+
+  selector.net().set_training(true);
+  const FspRun ref = run_fsp(selector, grid, states, reps_ref);
+  selector.net().set_training(false);
+  const FspRun engine = run_fsp(selector, grid, states, reps_engine);
+
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (ref.fsp[i].size() != engine.fsp[i].size()) {
+      std::fprintf(stderr, "FATAL: fsp size mismatch (state %zu)\n", i);
+      std::exit(1);
+    }
+    for (std::size_t j = 0; j < ref.fsp[i].size(); ++j) {
+      const double rel = std::abs(engine.fsp[i][j] - ref.fsp[i][j]) /
+                         std::max(1.0, std::abs(ref.fsp[i][j]));
+      rep.max_rel = std::max(rep.max_rel, rel);
+      if (rel > 1e-4) {
+        std::fprintf(stderr,
+                     "FATAL: fsp disagreement (state %zu vertex %zu: %g vs %g)\n",
+                     i, j, engine.fsp[i][j], ref.fsp[i][j]);
+        std::exit(1);
+      }
+    }
+  }
+
+  rep.ref_ips =
+      double(states.size()) * reps_ref / std::max(ref.seconds, 1e-12);
+  rep.engine_ips =
+      double(states.size()) * reps_engine / std::max(engine.seconds, 1e-12);
+  rep.speedup = rep.engine_ips / std::max(rep.ref_ips, 1e-12);
+  return rep;
+}
+
+struct MctsReport {
+  double ref_eps = 0.0;     // episodes/sec, training-mode selector
+  double engine_eps = 0.0;  // episodes/sec, inference-mode selector
+  double speedup = 0.0;
+};
+
+MctsReport bench_mcts(int episodes) {
+  MctsReport rep;
+  mcts::CombMctsConfig cfg;
+  cfg.iterations_per_move = 32;
+  cfg.max_children = 8;
+
+  // Two passes over the same layouts.  initial_cost comes from the exact
+  // router (selector-independent), so it must match across modes exactly.
+  std::vector<double> initial_costs;
+  for (const bool training : {true, false}) {
+    rl::SteinerSelector selector;
+    selector.net().set_training(training);
+    mcts::CombMcts search(selector, cfg);
+    util::Timer timer;
+    for (int e = 0; e < episodes; ++e) {
+      const HananGrid grid = make_grid(16, 4, 5, 0x100 + std::uint64_t(e));
+      const mcts::CombMctsResult result = search.run(grid);
+      if (training) {
+        initial_costs.push_back(result.initial_cost);
+      } else if (result.initial_cost != initial_costs[std::size_t(e)]) {
+        std::fprintf(stderr, "FATAL: episode %d initial cost drift\n", e);
+        std::exit(1);
+      }
+    }
+    const double eps = double(episodes) / std::max(timer.seconds(), 1e-12);
+    (training ? rep.ref_eps : rep.engine_eps) = eps;
+  }
+  rep.speedup = rep.engine_eps / std::max(rep.ref_eps, 1e-12);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("bench_infer: single-sample fsp inference, reference (training-"
+              "mode scalar path) vs inference engine%s\n",
+              smoke ? " (smoke)" : "");
+
+  // The reference path is much slower, so it gets fewer reps; throughput is
+  // normalized per inference either way.
+  const int states = smoke ? 6 : 16;
+  const int reps_engine = smoke ? 4 : 24;
+  const int reps_ref = smoke ? 1 : 3;
+
+  const SizeReport small = bench_size(16, 4, states, reps_engine, reps_ref);
+  std::printf("  16x16x4 : reference %8.1f inf/s | engine %9.1f inf/s | "
+              "%5.2fx | max rel %.2e\n",
+              small.ref_ips, small.engine_ips, small.speedup, small.max_rel);
+
+  const SizeReport large = bench_size(32, 8, states, reps_engine, reps_ref);
+  std::printf("  32x32x8 : reference %8.1f inf/s | engine %9.1f inf/s | "
+              "%5.2fx | max rel %.2e\n",
+              large.ref_ips, large.engine_ips, large.speedup, large.max_rel);
+
+  const MctsReport mcts_rep = bench_mcts(smoke ? 2 : 6);
+  std::printf("  CombMcts 16x16x4: reference %6.2f episodes/s | engine "
+              "%6.2f episodes/s | %5.2fx\n",
+              mcts_rep.ref_eps, mcts_rep.engine_eps, mcts_rep.speedup);
+
+  if (std::FILE* f = std::fopen("BENCH_infer.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"sizes\": [\n"
+        "    {\"h\": 16, \"v\": 16, \"m\": 4, \"reference_ips\": %.1f,\n"
+        "     \"engine_ips\": %.1f, \"speedup\": %.3f, \"max_rel\": %.3e},\n"
+        "    {\"h\": 32, \"v\": 32, \"m\": 8, \"reference_ips\": %.1f,\n"
+        "     \"engine_ips\": %.1f, \"speedup\": %.3f, \"max_rel\": %.3e}\n"
+        "  ],\n"
+        "  \"comb_mcts\": {\"h\": 16, \"v\": 16, \"m\": 4,\n"
+        "    \"reference_eps\": %.3f, \"engine_eps\": %.3f, \"speedup\": %.3f},\n"
+        "  \"smoke\": %s\n"
+        "}\n",
+        small.ref_ips, small.engine_ips, small.speedup, small.max_rel,
+        large.ref_ips, large.engine_ips, large.speedup, large.max_rel,
+        mcts_rep.ref_eps, mcts_rep.engine_eps, mcts_rep.speedup,
+        smoke ? "true" : "false");
+    std::fclose(f);
+    std::printf("  wrote BENCH_infer.json\n");
+  }
+  return 0;
+}

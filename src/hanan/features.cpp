@@ -5,6 +5,53 @@
 
 namespace oar::hanan {
 
+void encode_features_into(const HananGrid& grid,
+                          const std::vector<Vertex>& extra_pins, float* dst) {
+  const std::int32_t H = grid.h_dim(), V = grid.v_dim(), M = grid.m_dim();
+  const std::int64_t chan = std::int64_t(H) * V * M;
+  std::fill(dst, dst + kNumFeatureChannels * chan, 0.0f);
+  const auto at = [&](std::int32_t c, std::int32_t h, std::int32_t v,
+                      std::int32_t m) -> float& {
+    return dst[std::size_t(((std::int64_t(c) * H + h) * V + v) * M + m)];
+  };
+
+  // Normalizer: the maximum of all cost-related values in the layout.
+  double max_cost = grid.via_cost();
+  for (std::int32_t h = 0; h + 1 < H; ++h) max_cost = std::max(max_cost, grid.x_step(h));
+  for (std::int32_t v = 0; v + 1 < V; ++v) max_cost = std::max(max_cost, grid.y_step(v));
+  if (max_cost <= 0.0) max_cost = 1.0;
+  const float inv = float(1.0 / max_cost);
+
+  const float via_feature = float(grid.via_cost()) * inv;
+  for (std::int32_t m = 0; m < M; ++m) {
+    for (std::int32_t v = 0; v < V; ++v) {
+      for (std::int32_t h = 0; h < H; ++h) {
+        const Vertex idx = grid.index(h, v, m);
+        if (grid.is_pin(idx)) at(0, h, v, m) = 1.0f;
+        if (grid.is_blocked(idx)) at(1, h, v, m) = 1.0f;
+        if (h + 1 < H && grid.edge_usable(idx, Dir::kPosX)) {
+          at(2, h, v, m) = float(grid.x_step(h)) * inv;
+        }
+        if (h > 0 && grid.edge_usable(grid.index(h - 1, v, m), Dir::kPosX)) {
+          at(3, h, v, m) = float(grid.x_step(h - 1)) * inv;
+        }
+        if (v + 1 < V && grid.edge_usable(idx, Dir::kPosY)) {
+          at(4, h, v, m) = float(grid.y_step(v)) * inv;
+        }
+        if (v > 0 && grid.edge_usable(grid.index(h, v - 1, m), Dir::kPosY)) {
+          at(5, h, v, m) = float(grid.y_step(v - 1)) * inv;
+        }
+        at(6, h, v, m) = via_feature;
+      }
+    }
+  }
+  for (Vertex p : extra_pins) {
+    assert(p >= 0 && p < grid.num_vertices());
+    const Cell c = grid.cell(p);
+    at(0, c.h, c.v, c.m) = 1.0f;
+  }
+}
+
 FeatureVolume encode_features(const HananGrid& grid,
                               const std::vector<Vertex>& extra_pins) {
   FeatureVolume vol;
@@ -12,44 +59,31 @@ FeatureVolume encode_features(const HananGrid& grid,
   vol.h = grid.h_dim();
   vol.v = grid.v_dim();
   vol.m = grid.m_dim();
-  vol.data.assign(std::size_t(vol.c) * vol.h * vol.v * vol.m, 0.0f);
+  vol.data.resize(std::size_t(vol.c) * vol.h * vol.v * vol.m);
+  encode_features_into(grid, extra_pins, vol.data.data());
+  return vol;
+}
 
-  // Normalizer: the maximum of all cost-related values in the layout.
-  double max_cost = grid.via_cost();
-  for (std::int32_t h = 0; h + 1 < vol.h; ++h) max_cost = std::max(max_cost, grid.x_step(h));
-  for (std::int32_t v = 0; v + 1 < vol.v; ++v) max_cost = std::max(max_cost, grid.y_step(v));
-  if (max_cost <= 0.0) max_cost = 1.0;
-  const float inv = float(1.0 / max_cost);
-
-  const float via_feature = float(grid.via_cost()) * inv;
-  for (std::int32_t m = 0; m < vol.m; ++m) {
-    for (std::int32_t v = 0; v < vol.v; ++v) {
-      for (std::int32_t h = 0; h < vol.h; ++h) {
-        const Vertex idx = grid.index(h, v, m);
-        if (grid.is_pin(idx)) vol.at(0, h, v, m) = 1.0f;
-        if (grid.is_blocked(idx)) vol.at(1, h, v, m) = 1.0f;
-        if (h + 1 < vol.h && grid.edge_usable(idx, Dir::kPosX)) {
-          vol.at(2, h, v, m) = float(grid.x_step(h)) * inv;
-        }
-        if (h > 0 && grid.edge_usable(grid.index(h - 1, v, m), Dir::kPosX)) {
-          vol.at(3, h, v, m) = float(grid.x_step(h - 1)) * inv;
-        }
-        if (v + 1 < vol.v && grid.edge_usable(idx, Dir::kPosY)) {
-          vol.at(4, h, v, m) = float(grid.y_step(v)) * inv;
-        }
-        if (v > 0 && grid.edge_usable(grid.index(h, v - 1, m), Dir::kPosY)) {
-          vol.at(5, h, v, m) = float(grid.y_step(v - 1)) * inv;
-        }
-        vol.at(6, h, v, m) = via_feature;
-      }
-    }
+void FeatureCache::encode_into(const HananGrid& grid,
+                               const std::vector<Vertex>& extra_pins,
+                               float* dst) {
+  if (grid_ != &grid || revision_ != grid.revision()) {
+    base_.c = kNumFeatureChannels;
+    base_.h = grid.h_dim();
+    base_.v = grid.v_dim();
+    base_.m = grid.m_dim();
+    base_.data.resize(std::size_t(base_.c) * base_.h * base_.v * base_.m);
+    encode_features_into(grid, {}, base_.data.data());
+    grid_ = &grid;
+    revision_ = grid.revision();
+    ++rebuilds_;
   }
+  std::copy(base_.data.begin(), base_.data.end(), dst);
   for (Vertex p : extra_pins) {
     assert(p >= 0 && p < grid.num_vertices());
     const Cell c = grid.cell(p);
-    vol.at(0, c.h, c.v, c.m) = 1.0f;
+    dst[base_.offset(0, c.h, c.v, c.m)] = 1.0f;
   }
-  return vol;
 }
 
 }  // namespace oar::hanan

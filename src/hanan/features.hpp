@@ -46,4 +46,49 @@ struct FeatureVolume {
 FeatureVolume encode_features(const HananGrid& grid,
                               const std::vector<Vertex>& extra_pins = {});
 
+/// Encode directly into caller-provided storage of kNumFeatureChannels *
+/// H * V * M floats (zero-filled first).  Lets the selector and the
+/// serving layer write features straight into a network input tensor with
+/// no intermediate FeatureVolume copy.
+void encode_features_into(const HananGrid& grid,
+                          const std::vector<Vertex>& extra_pins, float* dst);
+
+/// Incremental feature encoding for the MCTS hot loop.
+///
+/// Within one episode every state shares the same grid and differs only in
+/// its selected Steiner points, which touch channel 0 (pins) alone — yet
+/// the selector used to re-run the full 7-channel encode_features per
+/// state.  FeatureCache keeps the base (no extra pins) volume for the last
+/// grid seen, keyed on (grid address, HananGrid::revision()): the revision
+/// stamp comes from a global counter bumped on construction and every
+/// topology mutation, so two different grids can never collide on the key
+/// even if one is destroyed and another reuses its address.  encode_into
+/// copies the cached base and patches the extra-pin voxels into the copy,
+/// which leaves the cache itself clean by construction (equivalent to
+/// patching and un-patching in place, without the hazard).
+class FeatureCache {
+ public:
+  FeatureCache() = default;
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+  FeatureCache(FeatureCache&&) = default;
+  FeatureCache& operator=(FeatureCache&&) = default;
+
+  /// Equivalent to encode_features_into(grid, extra_pins, dst), but only
+  /// the extra-pin deltas are recomputed while (address, revision) match
+  /// the cached base volume.
+  void encode_into(const HananGrid& grid, const std::vector<Vertex>& extra_pins,
+                   float* dst);
+
+  /// Full base re-encodes performed so far (diagnostic/test hook: one per
+  /// distinct (grid, revision) actually seen).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  const HananGrid* grid_ = nullptr;
+  std::uint64_t revision_ = 0;
+  FeatureVolume base_;
+  std::uint64_t rebuilds_ = 0;
+};
+
 }  // namespace oar::hanan

@@ -22,6 +22,11 @@ std::vector<double> ActorCritic::fsp(const std::vector<Vertex>& selected) {
   return selector_.infer_fsp(grid_, selected);
 }
 
+void ActorCritic::fsp_into(const std::vector<Vertex>& selected,
+                           std::vector<double>& out) {
+  selector_.infer_fsp_into(grid_, selected, out);
+}
+
 std::vector<std::pair<Vertex, double>> ActorCritic::policy(
     const std::vector<Vertex>& selected, std::int64_t last_priority,
     const std::vector<double>& fsp_map) const {

@@ -33,6 +33,15 @@ class ActorCritic {
   /// One selector inference for the state (selected points become pins).
   std::vector<double> fsp(const std::vector<Vertex>& selected);
 
+  /// Same, into a caller-owned buffer.  With the selector in its default
+  /// inference mode this is the fully allocation-free fast path: features
+  /// are patched from the selector's FeatureCache into its arena input,
+  /// the tiled single-sample engine runs, and the sigmoid readout lands in
+  /// `out` (DESIGN.md §11).  One ActorCritic per search thread keeps the
+  /// selector's arena and cache single-threaded, matching the scratch
+  /// ownership note below.
+  void fsp_into(const std::vector<Vertex>& selected, std::vector<double>& out);
+
   /// Action policy per eq. (1).  `last_priority` is the selection priority
   /// of the most recently placed Steiner point (-1 at the root).  Valid
   /// vertices: priority > last_priority, not a pin/obstacle/already

@@ -110,6 +110,10 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
 
   if (budget == 0) nodes[0].terminal = true;
 
+  // fsp buffer reused across every expansion: with the selector in
+  // inference mode the whole evaluate step is then allocation-free.
+  std::vector<double> fsp(std::size_t(n_vertices), 0.0);
+
   std::int32_t root = 0;
   while (!nodes[std::size_t(root)].terminal) {
     // --- alpha UCT iterations from the current root ---
@@ -183,7 +187,7 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
         value = value_of(leaf.cost);
       } else if (!leaf.expanded) {
         // Expansion: children from the actor policy.
-        const std::vector<double> fsp = ac.fsp(selected);
+        ac.fsp_into(selected, fsp);
         auto policy = ac.policy(selected, leaf.action_priority, fsp);
         if (config_.max_children > 0 &&
             std::ssize(policy) > config_.max_children) {

@@ -102,6 +102,10 @@ SeqMctsResult SeqMcts::run(const HananGrid& grid) {
 
   if (budget == 0) nodes[0].terminal = true;
 
+  // fsp buffer reused across every expansion (allocation-free with the
+  // selector in inference mode).
+  std::vector<double> fsp(n_vertices);
+
   std::int32_t root = 0;
   while (!nodes[std::size_t(root)].terminal) {
     for (std::int32_t iter = 0; iter < config_.iterations_per_move; ++iter) {
@@ -155,7 +159,7 @@ SeqMctsResult SeqMcts::run(const HananGrid& grid) {
       if (leaf.terminal) {
         value = (rc0 - leaf.cost) / rc0;
       } else if (!leaf.expanded) {
-        const std::vector<double> fsp = ac.fsp(selected);
+        ac.fsp_into(selected, fsp);
         auto policy = unordered_policy(grid, selected, fsp);
         if (config_.max_children > 0 && std::ssize(policy) > config_.max_children) {
           std::partial_sort(

@@ -13,6 +13,19 @@ float Sigmoid::apply(float x) {
   return z / (1.0f + z);
 }
 
+void sigmoid_into(const float* x, std::int64_t n, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    if (v >= 0.0f) {
+      const float z = std::exp(-v);
+      out[i] = double(1.0f / (1.0f + z));
+    } else {
+      const float z = std::exp(v);
+      out[i] = double(z / (1.0f + z));
+    }
+  }
+}
+
 Tensor Sigmoid::forward(const Tensor& input) {
   Tensor out = input;
   for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = apply(out[i]);

@@ -46,4 +46,10 @@ class Sigmoid : public Module {
   Tensor output_;
 };
 
+/// Bulk sigmoid readout over raw storage: out[i] = sigmoid(x[i]), bitwise
+/// identical to Sigmoid::apply per element.  One pass over the logits
+/// buffer replaces the per-element Tensor::operator[] loop the selector
+/// and the serving layer used to run.
+void sigmoid_into(const float* x, std::int64_t n, double* out);
+
 }  // namespace oar::nn

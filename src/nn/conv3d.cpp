@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/inference.hpp"
+
 namespace oar::nn {
 
 Conv3d::Conv3d(std::int32_t in_channels, std::int32_t out_channels,
@@ -27,13 +29,19 @@ void Conv3d::collect_parameters(std::vector<Parameter*>& out) {
 Tensor Conv3d::forward(const Tensor& input) {
   assert(input.dim() == 4);
   assert(input.shape(0) == in_channels_);
-  input_ = input;
 
   const std::int32_t D0 = input.shape(1), D1 = input.shape(2), D2 = input.shape(3);
   const std::int32_t O0 = D0 + 2 * padding_ - kernel_ + 1;
   const std::int32_t O1 = D1 + 2 * padding_ - kernel_ + 1;
   const std::int32_t O2 = D2 + 2 * padding_ - kernel_ + 1;
   assert(O0 > 0 && O1 > 0 && O2 > 0);
+
+  if (!training()) {
+    Tensor out({out_channels_, O0, O1, O2});
+    infer_into(input.data(), D0, D1, D2, out.data(), local_inference_scratch());
+    return out;
+  }
+  input_ = input;
 
   Tensor out({out_channels_, O0, O1, O2});
   const float* in = input.data();
@@ -87,6 +95,7 @@ Tensor Conv3d::forward(const Tensor& input) {
 }
 
 Tensor Conv3d::backward(const Tensor& grad_output) {
+  assert(training());  // inference-mode forward retains nothing
   assert(input_.defined());
   const std::int32_t D0 = input_.shape(1), D1 = input_.shape(2), D2 = input_.shape(3);
   const std::int32_t O0 = grad_output.shape(1), O1 = grad_output.shape(2),

@@ -8,6 +8,8 @@
 
 namespace oar::nn {
 
+class InferenceScratch;
+
 class Conv3d : public Module {
  public:
   /// He-initialized convolution.  `kernel` must be odd; padding defaults to
@@ -15,6 +17,9 @@ class Conv3d : public Module {
   Conv3d(std::int32_t in_channels, std::int32_t out_channels, std::int32_t kernel,
          util::Rng& rng, std::int32_t padding = -1);
 
+  /// Training mode: reference scalar kernel, retains the input for
+  /// backward.  Inference mode: routes through infer_into (tiled kernels,
+  /// no retention).
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   /// (N, IC, D0, D1, D2) -> (N, OC, O0, O1, O2).  Unlike the looped base
@@ -22,6 +27,15 @@ class Conv3d : public Module {
   /// batch — the kernel the serving layer's micro-batching amortizes.
   Tensor forward_batch(const Tensor& input) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+
+  /// Single-sample inference kernel: convolves the (in_channels, D0, D1,
+  /// D2) volume at `in` into the (out_channels, O0, O1, O2) buffer at
+  /// `out` using the register-tiled/im2col machinery of conv3d_batch.cpp
+  /// (which also defines this, so it compiles under that TU's wider
+  /// flags).  All temporaries come from `scratch`; nothing is retained, so
+  /// a warmed-up call performs zero heap allocations.
+  void infer_into(const float* in, std::int32_t D0, std::int32_t D1,
+                  std::int32_t D2, float* out, InferenceScratch& scratch) const;
 
   std::int32_t in_channels() const { return in_channels_; }
   std::int32_t out_channels() const { return out_channels_; }

@@ -4,6 +4,25 @@
 
 namespace oar::nn {
 
+namespace {
+/// Per-group mean / inverse sigma with the same double accumulation and
+/// float narrowing as the training forward, so inference stays within
+/// rounding of the reference path.
+inline void group_stats(const float* x, std::int64_t group_size, float eps,
+                        float* mu_out, float* inv_out) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::int64_t i = 0; i < group_size; ++i) {
+    const double v = x[i];
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mu = sum / double(group_size);
+  const double var = std::max(0.0, sum_sq / double(group_size) - mu * mu);
+  *mu_out = float(mu);
+  *inv_out = float(1.0 / std::sqrt(var + eps));
+}
+}  // namespace
+
 GroupNorm::GroupNorm(std::int32_t num_channels, std::int32_t num_groups, float eps)
     : channels_(num_channels), groups_(num_groups), eps_(eps) {
   assert(num_groups >= 1 && num_channels % num_groups == 0);
@@ -18,6 +37,11 @@ void GroupNorm::collect_parameters(std::vector<Parameter*>& out) {
 
 Tensor GroupNorm::forward(const Tensor& input) {
   assert(input.dim() == 4 && input.shape(0) == channels_);
+  if (!training()) {
+    Tensor out(input.shape());
+    infer_into(input.data(), out.data(), input.numel() / channels_);
+    return out;
+  }
   input_ = input;
   const std::int64_t spatial = input.numel() / channels_;
   const std::int32_t cpg = channels_ / groups_;  // channels per group
@@ -97,7 +121,73 @@ Tensor GroupNorm::forward_batch(const Tensor& input) {
   return out;
 }
 
+void GroupNorm::infer_into(const float* in, float* out,
+                           std::int64_t spatial) const {
+  const std::int32_t cpg = channels_ / groups_;
+  const std::int64_t group_size = cpg * spatial;
+  for (std::int32_t g = 0; g < groups_; ++g) {
+    const std::int64_t base = std::int64_t(g) * group_size;
+    float mu, inv;
+    group_stats(in + base, group_size, eps_, &mu, &inv);
+    for (std::int32_t c = 0; c < cpg; ++c) {
+      const std::int32_t chan = g * cpg + c;
+      const float gam = gamma_.value[chan];
+      const float bet = beta_.value[chan];
+      const std::int64_t cbase = base + std::int64_t(c) * spatial;
+      const float* __restrict__ xr = in + cbase;
+      float* __restrict__ yr = out + cbase;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        yr[i] = gam * ((xr[i] - mu) * inv) + bet;
+      }
+    }
+  }
+}
+
+void GroupNorm::infer_relu_inplace(float* x, std::int64_t spatial) const {
+  const std::int32_t cpg = channels_ / groups_;
+  const std::int64_t group_size = cpg * spatial;
+  for (std::int32_t g = 0; g < groups_; ++g) {
+    const std::int64_t base = std::int64_t(g) * group_size;
+    float mu, inv;
+    group_stats(x + base, group_size, eps_, &mu, &inv);
+    for (std::int32_t c = 0; c < cpg; ++c) {
+      const std::int32_t chan = g * cpg + c;
+      const float gam = gamma_.value[chan];
+      const float bet = beta_.value[chan];
+      float* __restrict__ xr = x + base + std::int64_t(c) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        const float v = gam * ((xr[i] - mu) * inv) + bet;
+        xr[i] = v > 0.0f ? v : 0.0f;
+      }
+    }
+  }
+}
+
+void GroupNorm::infer_add_relu_inplace(float* x, const float* skip,
+                                       std::int64_t spatial) const {
+  const std::int32_t cpg = channels_ / groups_;
+  const std::int64_t group_size = cpg * spatial;
+  for (std::int32_t g = 0; g < groups_; ++g) {
+    const std::int64_t base = std::int64_t(g) * group_size;
+    float mu, inv;
+    group_stats(x + base, group_size, eps_, &mu, &inv);
+    for (std::int32_t c = 0; c < cpg; ++c) {
+      const std::int32_t chan = g * cpg + c;
+      const float gam = gamma_.value[chan];
+      const float bet = beta_.value[chan];
+      const std::int64_t cbase = base + std::int64_t(c) * spatial;
+      float* __restrict__ xr = x + cbase;
+      const float* __restrict__ sr = skip + cbase;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        const float v = gam * ((xr[i] - mu) * inv) + bet + sr[i];
+        xr[i] = v > 0.0f ? v : 0.0f;
+      }
+    }
+  }
+}
+
 Tensor GroupNorm::backward(const Tensor& grad_output) {
+  assert(training());  // inference-mode forward retains nothing
   assert(input_.defined());
   const std::int64_t spatial = input_.numel() / channels_;
   const std::int32_t cpg = channels_ / groups_;

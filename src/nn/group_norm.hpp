@@ -23,6 +23,17 @@ class GroupNorm : public Module {
   Tensor forward_batch(const Tensor& input) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
+  // Single-sample inference kernels (no retention; same double-precision
+  // group statistics as the training forward).  `spatial` is the per-
+  // channel voxel count D0*D1*D2.
+  /// out = gn(in); in == out aliasing is allowed.
+  void infer_into(const float* in, float* out, std::int64_t spatial) const;
+  /// x = relu(gn(x)) in place — the norm1 position of a residual block.
+  void infer_relu_inplace(float* x, std::int64_t spatial) const;
+  /// x = relu(gn(x) + skip) in place — norm2 + skip-add + output ReLU.
+  void infer_add_relu_inplace(float* x, const float* skip,
+                              std::int64_t spatial) const;
+
  private:
   std::int32_t channels_, groups_;
   float eps_;

@@ -1,0 +1,40 @@
+#include "nn/inference.hpp"
+
+namespace oar::nn {
+
+Tensor& InferenceScratch::next_slot() {
+  if (used_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Tensor>());
+    ++grow_events_;
+  }
+  return *slots_[used_++];
+}
+
+Tensor& InferenceScratch::push(const std::vector<std::int32_t>& shape) {
+  Tensor& t = next_slot();
+  const std::size_t cap = t.raw().capacity();
+  t.reset_shape(shape);
+  if (t.raw().capacity() != cap) ++grow_events_;
+  return t;
+}
+
+Tensor& InferenceScratch::push(std::initializer_list<std::int32_t> shape) {
+  Tensor& t = next_slot();
+  const std::size_t cap = t.raw().capacity();
+  t.reset_shape(shape);
+  if (t.raw().capacity() != cap) ++grow_events_;
+  return t;
+}
+
+float* InferenceScratch::ensure(std::vector<float>& v, std::size_t n) {
+  if (v.capacity() < n) ++grow_events_;
+  if (v.size() < n) v.resize(n);
+  return v.data();
+}
+
+InferenceScratch& local_inference_scratch() {
+  static thread_local InferenceScratch scratch;
+  return scratch;
+}
+
+}  // namespace oar::nn

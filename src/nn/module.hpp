@@ -18,6 +18,13 @@
 // serving layer (src/serve) feeds micro-batches through this path.
 // forward_batch() clobbers the single-sample caches, so backward() must
 // not be called after it.
+//
+// set_training(false) switches forward() itself onto the single-sample
+// inference engine (DESIGN.md §11): tiled kernels from conv3d_batch.cpp,
+// temporaries from an InferenceScratch arena, and NO activation retention —
+// so backward() must not be called until set_training(true) has been
+// restored and a fresh training forward has run.  Layers assert training()
+// at the top of backward() to fail fast on stale caches.
 
 #include <algorithm>
 #include <memory>

@@ -10,6 +10,11 @@ Tensor MaxPool3d::forward(const Tensor& input) {
   const std::int32_t C = input.shape(0), D0 = input.shape(1), D1 = input.shape(2),
                      D2 = input.shape(3);
   const std::int32_t O0 = out_dim(D0), O1 = out_dim(D1), O2 = out_dim(D2);
+  if (!training()) {
+    Tensor out({C, O0, O1, O2});
+    infer_into(input.data(), C, D0, D1, D2, out.data());
+    return out;
+  }
   in_shape_ = input.shape();
 
   Tensor out({C, O0, O1, O2});
@@ -78,7 +83,33 @@ Tensor MaxPool3d::forward_batch(const Tensor& input) {
   return out;
 }
 
+void MaxPool3d::infer_into(const float* in, std::int32_t C, std::int32_t D0,
+                           std::int32_t D1, std::int32_t D2, float* out) const {
+  const std::int32_t O0 = out_dim(D0), O1 = out_dim(D1), O2 = out_dim(D2);
+  std::int64_t oi = 0;
+  for (std::int32_t c = 0; c < C; ++c) {
+    const std::int64_t cbase = std::int64_t(c) * D0 * D1 * D2;
+    for (std::int32_t o0 = 0; o0 < O0; ++o0) {
+      for (std::int32_t o1 = 0; o1 < O1; ++o1) {
+        for (std::int32_t o2 = 0; o2 < O2; ++o2, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int32_t z0 = o0 * 2; z0 < std::min(D0, o0 * 2 + 2); ++z0) {
+            for (std::int32_t z1 = o1 * 2; z1 < std::min(D1, o1 * 2 + 2); ++z1) {
+              for (std::int32_t z2 = o2 * 2; z2 < std::min(D2, o2 * 2 + 2); ++z2) {
+                best = std::max(best,
+                                in[cbase + (std::int64_t(z0) * D1 + z1) * D2 + z2]);
+              }
+            }
+          }
+          out[oi] = best;
+        }
+      }
+    }
+  }
+}
+
 Tensor MaxPool3d::backward(const Tensor& grad_output) {
+  assert(training());  // inference-mode forward retains nothing
   assert(!in_shape_.empty());
   Tensor grad_input(in_shape_);
   const float* go = grad_output.data();
@@ -94,11 +125,17 @@ Tensor UpsampleNearest3d::forward(const Tensor& input) {
   assert(t0_ > 0 && t1_ > 0 && t2_ > 0);
   const std::int32_t C = input.shape(0), D0 = input.shape(1), D1 = input.shape(2),
                      D2 = input.shape(3);
-  in_shape_ = input.shape();
+  if (training()) in_shape_ = input.shape();
 
   Tensor out({C, t0_, t1_, t2_});
-  const float* x = input.data();
-  float* y = out.data();
+  infer_into(input.data(), C, D0, D1, D2, out.data());
+  return out;
+}
+
+void UpsampleNearest3d::infer_into(const float* in, std::int32_t C,
+                                   std::int32_t D0, std::int32_t D1,
+                                   std::int32_t D2, float* out) const {
+  assert(t0_ > 0 && t1_ > 0 && t2_ > 0);
   std::int64_t oi = 0;
   for (std::int32_t c = 0; c < C; ++c) {
     const std::int64_t cbase = std::int64_t(c) * D0 * D1 * D2;
@@ -109,15 +146,15 @@ Tensor UpsampleNearest3d::forward(const Tensor& input) {
         for (std::int32_t o2 = 0; o2 < t2_; ++o2, ++oi) {
           const std::int32_t z2 =
               std::min(D2 - 1, std::int32_t(std::int64_t(o2) * D2 / t2_));
-          y[oi] = x[cbase + (std::int64_t(z0) * D1 + z1) * D2 + z2];
+          out[oi] = in[cbase + (std::int64_t(z0) * D1 + z1) * D2 + z2];
         }
       }
     }
   }
-  return out;
 }
 
 Tensor UpsampleNearest3d::backward(const Tensor& grad_output) {
+  assert(training());  // inference-mode forward retains nothing
   assert(!in_shape_.empty());
   const std::int32_t C = in_shape_[0], D0 = in_shape_[1], D1 = in_shape_[2],
                      D2 = in_shape_[3];

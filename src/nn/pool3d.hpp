@@ -23,6 +23,11 @@ class MaxPool3d : public Module {
 
   static std::int32_t out_dim(std::int32_t d) { return (d + 1) / 2; }
 
+  /// Single-sample inference kernel: pools the (C, D0, D1, D2) volume at
+  /// `in` into the (C, out_dim...) buffer at `out`; no argmax bookkeeping.
+  void infer_into(const float* in, std::int32_t C, std::int32_t D0,
+                  std::int32_t D1, std::int32_t D2, float* out) const;
+
  private:
   std::vector<std::int64_t> argmax_;  // flat input index per output element
   std::vector<std::int32_t> in_shape_;
@@ -39,6 +44,13 @@ class UpsampleNearest3d : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Single-sample inference kernel: upsamples the (C, D0, D1, D2) volume
+  /// at `in` to the (C, t0, t1, t2) target size at `out`.  The U-Net's
+  /// inference path points `out` at the first C channels of the concat
+  /// buffer, fusing away the separate concatenation pass.
+  void infer_into(const float* in, std::int32_t C, std::int32_t D0,
+                  std::int32_t D1, std::int32_t D2, float* out) const;
 
  private:
   std::int32_t t0_ = 0, t1_ = 0, t2_ = 0;

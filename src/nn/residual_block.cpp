@@ -1,5 +1,7 @@
 #include "nn/residual_block.hpp"
 
+#include "nn/inference.hpp"
+
 namespace oar::nn {
 
 std::int32_t ResidualBlock3d::pick_groups(std::int32_t channels) {
@@ -39,6 +41,11 @@ void ResidualBlock3d::set_training(bool training) {
 }
 
 Tensor ResidualBlock3d::forward(const Tensor& input) {
+  if (!training()) {
+    InferenceScratch& arena = local_inference_scratch();
+    arena.rewind();
+    return infer(input, arena);  // copies out of the arena
+  }
   Tensor main = norm2_.forward(conv2_.forward(
       relu1_.forward(norm1_.forward(conv1_.forward(input)))));
   Tensor skip = projection_ ? projection_->forward(input) : input;
@@ -71,7 +78,32 @@ Tensor ResidualBlock3d::forward_batch(const Tensor& input) {
   return main;
 }
 
+const Tensor& ResidualBlock3d::infer(const Tensor& input,
+                                     InferenceScratch& arena) {
+  assert(input.dim() == 4 && input.shape(0) == conv1_.in_channels());
+  const std::int32_t D0 = input.shape(1), D1 = input.shape(2),
+                     D2 = input.shape(3);
+  const std::int64_t spatial = std::int64_t(D0) * D1 * D2;
+
+  Tensor& t1 = arena.push({out_channels_, D0, D1, D2});
+  conv1_.infer_into(input.data(), D0, D1, D2, t1.data(), arena);
+  norm1_.infer_relu_inplace(t1.data(), spatial);
+
+  Tensor& t2 = arena.push({out_channels_, D0, D1, D2});
+  conv2_.infer_into(t1.data(), D0, D1, D2, t2.data(), arena);
+
+  const float* skip = input.data();
+  if (projection_) {
+    Tensor& proj = arena.push({out_channels_, D0, D1, D2});
+    projection_->infer_into(input.data(), D0, D1, D2, proj.data(), arena);
+    skip = proj.data();
+  }
+  norm2_.infer_add_relu_inplace(t2.data(), skip, spatial);
+  return t2;
+}
+
 Tensor ResidualBlock3d::backward(const Tensor& grad_output) {
+  assert(training());  // inference-mode forward retains nothing
   Tensor grad = grad_output;
   for (std::int64_t i = 0; i < grad.numel(); ++i) {
     if (!out_mask_[std::size_t(i)]) grad[i] = 0.0f;

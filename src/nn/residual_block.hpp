@@ -12,6 +12,8 @@
 
 namespace oar::nn {
 
+class InferenceScratch;
+
 class ResidualBlock3d : public Module {
  public:
   ResidualBlock3d(std::int32_t in_channels, std::int32_t out_channels, util::Rng& rng);
@@ -23,6 +25,12 @@ class ResidualBlock3d : public Module {
   Tensor forward_batch(const Tensor& input) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void set_training(bool training) override;
+
+  /// Single-sample inference fast path: tiled conv kernels with the norm /
+  /// skip / ReLU steps fused in place, all temporaries from `arena`.  The
+  /// returned tensor is arena-owned and stays valid until the arena is
+  /// rewound past it.  `input` may itself live in `arena`.
+  const Tensor& infer(const Tensor& input, InferenceScratch& arena);
 
   std::int32_t out_channels() const { return out_channels_; }
 

@@ -41,6 +41,26 @@ Tensor Tensor::reshaped(std::vector<std::int32_t> new_shape) const {
   return t;
 }
 
+void Tensor::reset_shape(const std::vector<std::int32_t>& shape) {
+  // Skip the assignment when the shape already matches: vector copy-assign
+  // reuses capacity, but the equality check keeps the warmed-up steady
+  // state trivially allocation-free.
+  if (shape_ != shape) shape_ = shape;
+  data_.resize(std::size_t(shape_numel(shape_)));
+}
+
+void Tensor::reset_shape(std::initializer_list<std::int32_t> shape) {
+  if (!std::equal(shape_.begin(), shape_.end(), shape.begin(), shape.end())) {
+    shape_.assign(shape.begin(), shape.end());
+  }
+  std::int64_t n = 1;
+  for (std::int32_t d : shape_) {
+    assert(d > 0);
+    n *= d;
+  }
+  data_.resize(std::size_t(n));
+}
+
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 Tensor& Tensor::operator+=(const Tensor& o) {

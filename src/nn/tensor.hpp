@@ -48,6 +48,15 @@ class Tensor {
   /// Same data, new shape (element counts must match).
   Tensor reshaped(std::vector<std::int32_t> new_shape) const;
 
+  /// In-place re-dimension for pooled tensors (InferenceScratch slots):
+  /// adopts `shape`, resizing storage to match.  Contents are unspecified
+  /// afterwards.  Capacity is never released, so once a slot has seen its
+  /// high-water shape further reset_shape calls allocate nothing.
+  void reset_shape(const std::vector<std::int32_t>& shape);
+  /// Braced-shape variant: avoids materializing a std::vector for the
+  /// shape argument, so a warm call performs no heap allocation at all.
+  void reset_shape(std::initializer_list<std::int32_t> shape);
+
   void fill(float v);
   void zero() { fill(0.0f); }
 

@@ -43,7 +43,8 @@ std::pair<Tensor, Tensor> split_channels(const Tensor& grad, std::int32_t c_firs
 
 }  // namespace
 
-UNet3d::UNet3d(UNet3dConfig config) : config_(config) {
+UNet3d::UNet3d(UNet3dConfig config)
+    : config_(config), scratch_(std::make_unique<InferenceScratch>()) {
   util::Rng rng(config_.seed);
   std::int32_t in_c = config_.in_channels;
   for (std::int32_t level = 0; level < config_.depth; ++level) {
@@ -76,13 +77,19 @@ void UNet3d::collect_parameters(std::vector<Parameter*>& out) {
 void UNet3d::set_training(bool training) {
   Module::set_training(training);
   for (auto& e : encoders_) e->set_training(training);
+  for (auto& p : pools_) p.set_training(training);
   bottleneck_->set_training(training);
+  for (auto& u : upsamples_) u.set_training(training);
   for (auto& d : decoders_) d->set_training(training);
   head_->set_training(training);
 }
 
 Tensor UNet3d::forward(const Tensor& input) {
   assert(input.dim() == 4 && input.shape(0) == config_.in_channels);
+  if (!training()) {
+    scratch_->rewind();
+    return infer(input);  // copies the logits out of the arena
+  }
   skip_shapes_.clear();
   skip_channels_.clear();
 
@@ -105,6 +112,50 @@ Tensor UNet3d::forward(const Tensor& input) {
     x = decoders_[std::size_t(i)]->forward(concat_channels(up, skip));
   }
   return head_->forward(x);
+}
+
+const Tensor& UNet3d::infer(const Tensor& input) {
+  assert(input.dim() == 4 && input.shape(0) == config_.in_channels);
+  InferenceScratch& arena = *scratch_;
+  infer_skips_.clear();
+
+  const Tensor* x = &input;
+  for (std::int32_t level = 0; level < config_.depth; ++level) {
+    const Tensor& enc = encoders_[std::size_t(level)]->infer(*x, arena);
+    infer_skips_.push_back(&enc);
+    Tensor& pooled = arena.push({enc.shape(0), MaxPool3d::out_dim(enc.shape(1)),
+                                 MaxPool3d::out_dim(enc.shape(2)),
+                                 MaxPool3d::out_dim(enc.shape(3))});
+    pools_[std::size_t(level)].infer_into(enc.data(), enc.shape(0), enc.shape(1),
+                                          enc.shape(2), enc.shape(3),
+                                          pooled.data());
+    x = &pooled;
+  }
+  x = &bottleneck_->infer(*x, arena);
+
+  for (std::int32_t i = 0; i < config_.depth; ++i) {
+    const std::int32_t level = config_.depth - 1 - i;
+    const Tensor& skip = *infer_skips_[std::size_t(level)];
+    const std::int32_t up_c = x->shape(0);
+    const std::int64_t spatial =
+        std::int64_t(skip.shape(1)) * skip.shape(2) * skip.shape(3);
+    // The upsample writes the first up_c channels of the concat buffer and
+    // the skip is copied in behind it — no separate concatenation pass.
+    Tensor& cat = arena.push(
+        {up_c + skip.shape(0), skip.shape(1), skip.shape(2), skip.shape(3)});
+    upsamples_[std::size_t(i)].set_target(skip.shape(1), skip.shape(2),
+                                          skip.shape(3));
+    upsamples_[std::size_t(i)].infer_into(x->data(), up_c, x->shape(1),
+                                          x->shape(2), x->shape(3), cat.data());
+    std::copy(skip.data(), skip.data() + skip.numel(),
+              cat.data() + std::int64_t(up_c) * spatial);
+    x = &decoders_[std::size_t(i)]->infer(cat, arena);
+  }
+
+  Tensor& logits = arena.push({1, x->shape(1), x->shape(2), x->shape(3)});
+  head_->infer_into(x->data(), x->shape(1), x->shape(2), x->shape(3),
+                    logits.data(), arena);
+  return logits;
 }
 
 Tensor UNet3d::forward_batch(const Tensor& input) {
@@ -130,6 +181,7 @@ Tensor UNet3d::forward_batch(const Tensor& input) {
 }
 
 Tensor UNet3d::backward(const Tensor& grad_output) {
+  assert(training());  // inference-mode forward retains nothing
   Tensor grad = head_->backward(grad_output);
 
   // Skip-connection gradients accumulate here, indexed by encoder level.

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/inference.hpp"
 #include "nn/pool3d.hpp"
 #include "nn/residual_block.hpp"
 
@@ -41,9 +42,23 @@ class UNet3d : public Module {
  public:
   explicit UNet3d(UNet3dConfig config = {});
 
-  /// (in_channels, H, V, M) -> logits (1, H, V, M).
+  /// (in_channels, H, V, M) -> logits (1, H, V, M).  In inference mode
+  /// (set_training(false)) this rewinds the arena and runs infer(),
+  /// copying the logits out; prefer infer() on the hot path.
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Single-sample inference fast path: the whole pass runs on the tiled
+  /// kernels with every intermediate in this net's InferenceScratch arena
+  /// and nothing retained for backward.  Returns the arena-owned logits
+  /// (1, H, V, M), valid until the arena is rewound.  infer() never
+  /// rewinds the arena itself, so callers may push the input tensor into
+  /// the arena first (SteinerSelector does); callers own the rewind.
+  const Tensor& infer(const Tensor& input);
+
+  /// This net's arena (one per net — the per-worker threading contract of
+  /// DESIGN.md §11 follows from per-worker selectors).
+  InferenceScratch& inference_scratch() { return *scratch_; }
   /// (N, in_channels, H, V, M) -> logits (N, 1, H, V, M); all samples of a
   /// micro-batch must share one (H, V, M) shape.  Inference-only: threads
   /// the batch through each layer's batched kernel (GEMM convolutions).
@@ -65,6 +80,12 @@ class UNet3d : public Module {
   // Forward caches.
   std::vector<std::vector<std::int32_t>> skip_shapes_;
   std::vector<std::int32_t> skip_channels_;
+
+  // Inference engine state: the arena (unique_ptr so the net stays
+  // movable) and the reused skip-pointer list (capacity persists across
+  // calls — no allocation once warm).
+  std::unique_ptr<InferenceScratch> scratch_;
+  std::vector<const Tensor*> infer_skips_;
 };
 
 }  // namespace oar::nn

@@ -73,6 +73,11 @@ PpoIterationReport PpoTrainer::run_iteration() {
   PpoIterationReport report;
   report.iteration = iteration_++;
 
+  // Keep the whole iteration — rollout included — on the training path so
+  // logp_old and logp_new come from the same kernels and the importance
+  // ratio starts at exactly 1.  Restored to inference mode on every exit.
+  selector_.net().set_training(true);
+
   // ---- rollout ----
   // Pooled routing scratch shared by every per-step critic cost below.
   route::RouterScratch& scratch = route::local_router_scratch();
@@ -155,6 +160,7 @@ PpoIterationReport PpoTrainer::run_iteration() {
     for (Step& s : e.steps) all_steps.push_back(&s);
   }
   if (all_steps.empty()) {
+    selector_.net().set_training(false);
     report.seconds = timer.seconds();
     return report;
   }
@@ -236,6 +242,7 @@ PpoIterationReport PpoTrainer::run_iteration() {
     report.mean_value_loss = value_loss / double(all_steps.size());
   }
 
+  selector_.net().set_training(false);
   report.seconds = timer.seconds();
   return report;
 }

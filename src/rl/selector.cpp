@@ -9,24 +9,47 @@
 namespace oar::rl {
 
 SteinerSelector::SteinerSelector(SelectorConfig config)
-    : config_(config), net_(config.unet) {}
+    : config_(config), net_(config.unet) {
+  // Selectors are inference objects first: MCTS, serving and evaluation
+  // all query fsp and never backprop.  Training passes flip the mode
+  // explicitly (and restore it when done).
+  net_.set_training(false);
+}
 
 nn::Tensor SteinerSelector::encode(const HananGrid& grid,
                                    const std::vector<Vertex>& extra_pins) {
-  const hanan::FeatureVolume vol = hanan::encode_features(grid, extra_pins);
-  nn::Tensor input({vol.c, vol.h, vol.v, vol.m});
-  std::copy(vol.data.begin(), vol.data.end(), input.data());
+  nn::Tensor input(
+      {hanan::kNumFeatureChannels, grid.h_dim(), grid.v_dim(), grid.m_dim()});
+  hanan::encode_features_into(grid, extra_pins, input.data());
   return input;
+}
+
+void SteinerSelector::infer_fsp_into(const HananGrid& grid,
+                                     const std::vector<Vertex>& extra_pins,
+                                     std::vector<double>& fsp) {
+  if (!net_.training()) {
+    nn::InferenceScratch& arena = net_.inference_scratch();
+    arena.rewind();  // infer() never rewinds, so the input slot survives
+    nn::Tensor& input = arena.push(
+        {hanan::kNumFeatureChannels, grid.h_dim(), grid.v_dim(), grid.m_dim()});
+    features_.encode_into(grid, extra_pins, input.data());
+    const nn::Tensor& logits = net_.infer(input);  // (1, H, V, M)
+    fsp.resize(std::size_t(logits.numel()));
+    nn::sigmoid_into(logits.data(), logits.numel(), fsp.data());
+    return;
+  }
+  // Reference path (training mode): full re-encode + scalar forward.  Also
+  // the baseline bench_infer measures the fast path against.
+  const nn::Tensor input = encode(grid, extra_pins);
+  const nn::Tensor logits = net_.forward(input);
+  fsp.resize(std::size_t(logits.numel()));
+  nn::sigmoid_into(logits.data(), logits.numel(), fsp.data());
 }
 
 std::vector<double> SteinerSelector::infer_fsp(const HananGrid& grid,
                                                const std::vector<Vertex>& extra_pins) {
-  const nn::Tensor input = encode(grid, extra_pins);
-  const nn::Tensor logits = net_.forward(input);  // (1, H, V, M), priority order
-  std::vector<double> fsp(std::size_t(logits.numel()));
-  for (std::int64_t i = 0; i < logits.numel(); ++i) {
-    fsp[std::size_t(i)] = nn::Sigmoid::apply(logits[i]);
-  }
+  std::vector<double> fsp;
+  infer_fsp_into(grid, extra_pins, fsp);
   return fsp;
 }
 

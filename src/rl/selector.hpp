@@ -27,6 +27,11 @@ struct SelectorConfig {
 
 class SteinerSelector {
  public:
+  /// A fresh selector starts in inference mode (net().training() false):
+  /// fsp queries run the single-sample inference engine (tiled kernels,
+  /// arena temporaries, incremental feature cache — DESIGN.md §11).
+  /// Gradient consumers (fit_dataset, PPO updates, gradcheck) switch the
+  /// net to training mode for the duration of the pass and restore it.
   explicit SteinerSelector(SelectorConfig config = {});
 
   /// Encode a layout (with optional extra pins) as the network input.
@@ -36,6 +41,15 @@ class SteinerSelector {
   /// fsp(v) for every vertex, in priority order.  One network inference.
   std::vector<double> infer_fsp(const HananGrid& grid,
                                 const std::vector<Vertex>& extra_pins = {});
+
+  /// Allocation-free variant for the MCTS hot loop: writes fsp into the
+  /// caller's buffer (resized to the vertex count).  In inference mode the
+  /// features go straight into an arena input tensor (patched from the
+  /// FeatureCache), the net runs infer(), and the sigmoid readout is one
+  /// bulk pass — zero heap allocations once warm.  In training mode it
+  /// falls back to the reference encode + forward path.
+  void infer_fsp_into(const HananGrid& grid, const std::vector<Vertex>& extra_pins,
+                      std::vector<double>& fsp);
 
   /// Select the `k` valid vertices with the highest fsp (valid: not a pin,
   /// not blocked, not in `extra_pins`).  This is the paper's top-(n-2)
@@ -51,6 +65,7 @@ class SteinerSelector {
 
   nn::UNet3d& net() { return net_; }
   const SelectorConfig& config() const { return config_; }
+  hanan::FeatureCache& feature_cache() { return features_; }
 
   bool save(const std::string& path);
   bool load(const std::string& path);
@@ -59,6 +74,7 @@ class SteinerSelector {
  private:
   SelectorConfig config_;
   nn::UNet3d net_;
+  hanan::FeatureCache features_;  // single-entry (grid, revision) base cache
 };
 
 }  // namespace oar::rl

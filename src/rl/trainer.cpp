@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
@@ -164,6 +166,9 @@ double fit_dataset(SteinerSelector& selector, nn::Adam& optimizer,
     }
     last_epoch_loss = batches == 0 ? 0.0 : epoch_loss / double(batches);
   }
+  // Hand the selector back in its default inference mode so callers (MCTS
+  // sample generation, evaluation, serving) land on the fast path again.
+  selector.net().set_training(false);
   return last_epoch_loss;
 }
 
@@ -194,6 +199,21 @@ double dataset_loss(SteinerSelector& selector, const Dataset& dataset,
     std::copy(input0.data(), input0.data() + in_stride, stacked.data());
     for (std::size_t i = 1; i < batch.size(); ++i) {
       const TrainingSample& sample = dataset.sample(batch[i]);
+      // Stacking assumes one layout size per batch (Dataset buckets by
+      // size); a mixed batch would silently overrun in_stride.
+      if (sample.grid.h_dim() != first.grid.h_dim() ||
+          sample.grid.v_dim() != first.grid.v_dim() ||
+          sample.grid.m_dim() != first.grid.m_dim()) {
+        throw std::runtime_error(
+            "dataset_loss: mixed-shape batch: sample " +
+            std::to_string(batch[i]) + " is " +
+            std::to_string(sample.grid.h_dim()) + "x" +
+            std::to_string(sample.grid.v_dim()) + "x" +
+            std::to_string(sample.grid.m_dim()) + " but the batch is " +
+            std::to_string(first.grid.h_dim()) + "x" +
+            std::to_string(first.grid.v_dim()) + "x" +
+            std::to_string(first.grid.m_dim()));
+      }
       const nn::Tensor input = SteinerSelector::encode(sample.grid, sample.extra_pins);
       std::copy(input.data(), input.data() + in_stride,
                 stacked.data() + std::int64_t(i) * in_stride);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "hanan/features.hpp"
 #include "nn/activations.hpp"
 
 namespace oar::serve {
@@ -22,13 +23,14 @@ std::vector<std::vector<double>> batched_fsp(rl::SteinerSelector& selector,
     (void)g;
   }
 
+  assert(C == hanan::kNumFeatureChannels);
   nn::Tensor input({N, C, H, V, M});
   const std::int64_t sample = std::int64_t(C) * H * V * M;
+  // Features go straight into each sample's slice of the stacked input —
+  // no intermediate per-grid tensor.
   const auto encode_one = [&](std::size_t i) {
-    const nn::Tensor features = rl::SteinerSelector::encode(*grids[i]);
-    assert(features.numel() == sample);
-    std::copy(features.data(), features.data() + sample,
-              input.data() + std::int64_t(i) * sample);
+    hanan::encode_features_into(*grids[i], {},
+                                input.data() + std::int64_t(i) * sample);
   };
   if (pool != nullptr && pool->size() > 1) {
     pool->parallel_for(grids.size(), encode_one);
@@ -44,10 +46,8 @@ std::vector<std::vector<double>> batched_fsp(rl::SteinerSelector& selector,
   std::vector<std::vector<double>> fsp(grids.size());
   for (std::int32_t i = 0; i < N; ++i) {
     fsp[std::size_t(i)].resize(std::size_t(per));
-    const float* src = logits.data() + std::int64_t(i) * per;
-    for (std::int64_t j = 0; j < per; ++j) {
-      fsp[std::size_t(i)][std::size_t(j)] = nn::Sigmoid::apply(src[j]);
-    }
+    nn::sigmoid_into(logits.data() + std::int64_t(i) * per, per,
+                     fsp[std::size_t(i)].data());
   }
   return fsp;
 }

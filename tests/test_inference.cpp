@@ -1,0 +1,333 @@
+// Tests for the single-sample inference engine (DESIGN.md §11): the tiled
+// eval-mode kernels, the InferenceScratch arena, and the incremental
+// feature cache.
+//
+// This translation unit replaces the global allocation functions with
+// counting wrappers so the zero-allocation acceptance criterion (no heap
+// traffic in a warmed-up inference forward) is checked directly rather
+// than inferred from arena statistics alone.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "gen/random_layout.hpp"
+#include "hanan/features.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/inference.hpp"
+#include "rl/augment.hpp"
+#include "rl/dataset.hpp"
+#include "rl/selector.hpp"
+#include "rl/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace oar {
+namespace {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+rl::SelectorConfig config_direct() {
+  // base 8 / depth 2: every conv hits a direct_conv<OC> or pointwise
+  // specialization of the tiled engine.
+  rl::SelectorConfig cfg;
+  cfg.unet.in_channels = 7;
+  cfg.unet.base_channels = 8;
+  cfg.unet.depth = 2;
+  cfg.unet.seed = 21;
+  return cfg;
+}
+
+rl::SelectorConfig config_im2col() {
+  // base 4: out-channel counts miss every direct specialization, forcing
+  // the im2col + blocked-GEMM fallback.
+  rl::SelectorConfig cfg;
+  cfg.unet.in_channels = 7;
+  cfg.unet.base_channels = 4;
+  cfg.unet.depth = 1;
+  cfg.unet.seed = 22;
+  return cfg;
+}
+
+HananGrid make_grid(std::int32_t h, std::int32_t v, std::int32_t m,
+                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RandomGridSpec spec;
+  spec.h = h;
+  spec.v = v;
+  spec.m = m;
+  spec.min_pins = 4;
+  spec.max_pins = 6;
+  spec.min_obstacles = 4;
+  spec.max_obstacles = 8;
+  return gen::random_grid(spec, rng);
+}
+
+std::vector<Vertex> some_valid_vertices(const HananGrid& grid, std::size_t k,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vertex> out;
+  while (out.size() < k) {
+    const Vertex v =
+        Vertex(rng.uniform_int(0, std::int64_t(grid.num_vertices()) - 1));
+    if (grid.is_pin(v) || grid.is_blocked(v)) continue;
+    bool dup = false;
+    for (Vertex u : out) dup |= (u == v);
+    if (!dup) out.push_back(v);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Train/eval parity and determinism (satellite 3).
+// ---------------------------------------------------------------------------
+
+void expect_parity(rl::SelectorConfig cfg, const HananGrid& grid) {
+  rl::SteinerSelector selector(cfg);
+  const std::vector<Vertex> extra = some_valid_vertices(grid, 2, 7);
+
+  ASSERT_FALSE(selector.net().training());
+  const std::vector<double> fast = selector.infer_fsp(grid, extra);
+
+  selector.net().set_training(true);
+  const std::vector<double> reference = selector.infer_fsp(grid, extra);
+  selector.net().set_training(false);
+
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    const double tol = 1e-4 * std::max(1.0, std::abs(reference[i]));
+    EXPECT_NEAR(fast[i], reference[i], tol) << "vertex priority " << i;
+  }
+}
+
+TEST(InferenceEngine, EvalMatchesTrainingWithin1e4DirectPath) {
+  expect_parity(config_direct(), make_grid(12, 12, 3, 101));
+}
+
+TEST(InferenceEngine, EvalMatchesTrainingWithin1e4Im2colPath) {
+  expect_parity(config_im2col(), make_grid(9, 11, 2, 102));
+}
+
+TEST(InferenceEngine, EvalIsBitwiseDeterministic) {
+  rl::SteinerSelector selector(config_direct());
+  const HananGrid grid = make_grid(10, 10, 3, 103);
+  const std::vector<Vertex> extra = some_valid_vertices(grid, 3, 9);
+
+  const std::vector<double> a = selector.infer_fsp(grid, extra);
+  // Interleave an unrelated layout to dirty the arena and feature cache.
+  const HananGrid other = make_grid(7, 8, 2, 104);
+  (void)selector.infer_fsp(other, {});
+  const std::vector<double> b = selector.infer_fsp(grid, extra);
+
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+TEST(InferenceEngine, GradCheckStillPassesAfterEvalUse) {
+  // Inference forwards retain nothing; a later training pass must still
+  // produce correct gradients on the reference path.  (Verified while
+  // picking the seeds: gradcheck results here are bitwise identical with
+  // and without the eval-mode warmup calls.)
+  rl::SelectorConfig cfg = config_im2col();
+  cfg.unet.seed = 24;
+  rl::SteinerSelector selector(cfg);
+  const HananGrid grid = make_grid(6, 6, 2, 105);
+  (void)selector.infer_fsp(grid, {});
+  (void)selector.infer_fsp(grid, some_valid_vertices(grid, 1, 3));
+
+  const nn::Tensor input = rl::SteinerSelector::encode(grid);
+  util::Rng rng(7);
+  const nn::Tensor weights =
+      nn::Tensor::randn({1, grid.h_dim(), grid.v_dim(), grid.m_dim()}, rng);
+  // Same tolerances as the UNet gradcheck in test_unet.cpp.
+  const nn::GradCheckResult result =
+      nn::grad_check(selector.net(), input, weights, rng, 1e-2, 8e-2, 12);
+  EXPECT_TRUE(result.ok) << "max_abs=" << result.max_abs_error
+                         << " max_rel=" << result.max_rel_error
+                         << " violations=" << result.violations;
+  // grad_check flips the module into training mode; selectors hand it back.
+  selector.net().set_training(false);
+  (void)selector.infer_fsp(grid, {});
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation acceptance: a warmed-up inference forward performs no
+// heap allocations (tentpole acceptance criterion).
+// ---------------------------------------------------------------------------
+
+TEST(InferenceEngine, WarmedUpForwardPerformsZeroHeapAllocations) {
+  rl::SteinerSelector selector(config_direct());
+  const HananGrid grid = make_grid(12, 12, 3, 106);
+
+  // Pre-build the per-state extra-pin vectors so the loop body is exactly
+  // the MCTS hot path: patch features, infer, read out.
+  std::vector<std::vector<Vertex>> states;
+  states.push_back({});
+  states.push_back(some_valid_vertices(grid, 1, 31));
+  states.push_back(some_valid_vertices(grid, 2, 32));
+  states.push_back(some_valid_vertices(grid, 3, 33));
+
+  std::vector<double> fsp;
+  for (const auto& extra : states) selector.infer_fsp_into(grid, extra, fsp);
+
+  const std::uint64_t grow_before = selector.net().inference_scratch().grow_events();
+  const std::uint64_t allocs_before = g_allocs.load();
+  for (int round = 0; round < 8; ++round) {
+    for (const auto& extra : states) selector.infer_fsp_into(grid, extra, fsp);
+  }
+  const std::uint64_t allocs_after = g_allocs.load();
+  const std::uint64_t grow_after = selector.net().inference_scratch().grow_events();
+
+  EXPECT_EQ(allocs_after - allocs_before, 0u);
+  EXPECT_EQ(grow_after - grow_before, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental feature encoding (satellite 4): property test.
+// ---------------------------------------------------------------------------
+
+TEST(FeatureCacheProperty, PatchedVolumesBitwiseMatchFreshEncodes) {
+  util::Rng rng(2024);
+  hanan::FeatureCache cache;
+  // Revisions are globally unique, so the cache must rebuild exactly when
+  // encode_into observes a revision it has not just served.  Consecutive
+  // mutations between encodes collapse into one rebuild.
+  std::uint64_t expected_rebuilds = 0;
+  std::uint64_t last_served_revision = 0;
+
+  for (int episode = 0; episode < 6; ++episode) {
+    HananGrid grid = make_grid(std::int32_t(rng.uniform_int(5, 10)),
+                               std::int32_t(rng.uniform_int(5, 10)),
+                               std::int32_t(rng.uniform_int(2, 4)),
+                               0xa0 + std::uint64_t(episode));
+    std::vector<Vertex> selected;
+    const std::size_t numel =
+        std::size_t(hanan::kNumFeatureChannels) * std::size_t(grid.h_dim()) *
+        std::size_t(grid.v_dim()) * std::size_t(grid.m_dim());
+    std::vector<float> patched(numel);
+
+    for (int step = 0; step < 12; ++step) {
+      // Random episode dynamics: add a selection, drop one, or mutate the
+      // grid itself (which must invalidate the cached base via revision()).
+      const double dice = rng.uniform();
+      if (dice < 0.5) {
+        const auto fresh = some_valid_vertices(grid, selected.size() + 1,
+                                               0xb0 + std::uint64_t(step));
+        for (Vertex v : fresh) {
+          bool dup = false;
+          for (Vertex u : selected) dup |= (u == v);
+          if (!dup) {
+            selected.push_back(v);
+            break;
+          }
+        }
+      } else if (dice < 0.7 && !selected.empty()) {
+        selected.pop_back();
+      } else {
+        const auto victims = some_valid_vertices(grid, 1, 0xc0 + std::uint64_t(step));
+        if (rng.chance(0.5)) {
+          grid.add_pin(victims[0]);
+        } else {
+          grid.block_vertex(victims[0]);
+        }
+        // Selections that became pins/obstacles are still encodable (both
+        // paths write channel 0 the same way); keep them.
+      }
+
+      if (grid.revision() != last_served_revision) {
+        ++expected_rebuilds;
+        last_served_revision = grid.revision();
+      }
+      cache.encode_into(grid, selected, patched.data());
+      const hanan::FeatureVolume fresh = hanan::encode_features(grid, selected);
+      ASSERT_EQ(fresh.data.size(), patched.size());
+      ASSERT_EQ(std::memcmp(patched.data(), fresh.data.data(),
+                            patched.size() * sizeof(float)),
+                0)
+          << "episode " << episode << " step " << step;
+    }
+    EXPECT_EQ(cache.rebuilds(), expected_rebuilds);
+  }
+}
+
+TEST(FeatureCacheProperty, FullAugmentationOrbitBitwiseMatches) {
+  const HananGrid grid = make_grid(8, 6, 3, 107);
+  const std::vector<Vertex> selected = some_valid_vertices(grid, 3, 17);
+
+  // Keep all 16 transformed grids alive at distinct addresses; one cache
+  // serves them all in sequence (worst case: every call re-keys).
+  std::vector<HananGrid> orbit;
+  std::vector<std::vector<Vertex>> orbit_selected;
+  for (const rl::AugmentSpec& spec : rl::all_augmentations()) {
+    orbit.push_back(rl::transform_grid(grid, spec));
+    std::vector<Vertex> mapped;
+    for (Vertex v : selected) mapped.push_back(rl::transform_vertex(grid, v, spec));
+    orbit_selected.push_back(std::move(mapped));
+  }
+
+  hanan::FeatureCache cache;
+  for (std::size_t i = 0; i < orbit.size(); ++i) {
+    const hanan::FeatureVolume fresh =
+        hanan::encode_features(orbit[i], orbit_selected[i]);
+    std::vector<float> patched(fresh.data.size());
+    cache.encode_into(orbit[i], orbit_selected[i], patched.data());
+    // Twice: second call hits the cached base for this (grid, revision).
+    ASSERT_EQ(std::memcmp(patched.data(), fresh.data.data(),
+                          patched.size() * sizeof(float)),
+              0)
+        << "augmentation " << i;
+    cache.encode_into(orbit[i], orbit_selected[i], patched.data());
+    ASSERT_EQ(std::memcmp(patched.data(), fresh.data.data(),
+                          patched.size() * sizeof(float)),
+              0)
+        << "augmentation " << i << " (cached)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dataset_loss shape guard (satellite 2): mixed-size datasets batch by
+// size, so stacking sees one shape per batch and the guard stays silent.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceEngine, DatasetLossHandlesMixedSizeDatasets) {
+  rl::SteinerSelector selector(config_im2col());
+  rl::Dataset dataset;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    for (const auto& [h, v, m] :
+         {std::tuple{6, 6, 2}, std::tuple{8, 5, 3}}) {
+      rl::TrainingSample sample;
+      sample.grid = make_grid(h, v, m, 0xd0 + seed);
+      const auto n = std::size_t(sample.grid.num_vertices());
+      sample.label.assign(n, 0.25f);
+      sample.mask.assign(n, 1.0f);
+      dataset.add(std::move(sample));
+    }
+  }
+  EXPECT_EQ(dataset.num_sizes(), 2u);
+  const double loss = rl::dataset_loss(selector, dataset, 4);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+}
+
+}  // namespace
+}  // namespace oar
