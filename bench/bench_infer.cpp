@@ -11,7 +11,11 @@
 // relative tolerance; a mismatch is a hard failure.  A second section runs
 // whole CombMcts episodes in both modes to show the end-to-end win.
 // Results go to stdout and BENCH_infer.json.  `--smoke` shrinks the work
-// for CI; like bench_route there is deliberately no timing assertion.
+// for CI; like bench_route there is deliberately no timing assertion on
+// the speedups.  A final section measures the observability tax (metrics
+// kill-switch on vs off, min-of-N alternating rounds); in --smoke mode an
+// overhead above 2% is a hard failure (the obs subsystem's acceptance
+// bound).
 
 #include <algorithm>
 #include <cmath>
@@ -22,6 +26,7 @@
 
 #include "gen/random_layout.hpp"
 #include "mcts/comb_mcts.hpp"
+#include "obs/metrics.hpp"
 #include "rl/selector.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -178,6 +183,38 @@ MctsReport bench_mcts(int episodes) {
   return rep;
 }
 
+struct ObsOverhead {
+  double off_ips = 0.0;
+  double on_ips = 0.0;
+  double overhead = 0.0;  // fractional slowdown with metrics recording
+};
+
+/// Inference-engine fsp loop with the metrics kill-switch off vs on,
+/// min-of-N alternating rounds (the min filters scheduler noise).
+ObsOverhead measure_obs_overhead(int state_count, int reps, int rounds) {
+  const HananGrid grid = make_grid(16, 4, /*pins=*/6, /*seed=*/17);
+  util::Rng rng(41);
+  const auto states = make_states(grid, state_count, rng);
+  rl::SteinerSelector selector;
+  selector.net().set_training(false);
+  (void)run_fsp(selector, grid, states, 1);  // warm arena + feature cache
+
+  double best_off = 1e300, best_on = 1e300;
+  for (int round = 0; round < rounds; ++round) {
+    obs::set_enabled(false);
+    best_off = std::min(best_off, run_fsp(selector, grid, states, reps).seconds);
+    obs::set_enabled(true);
+    best_on = std::min(best_on, run_fsp(selector, grid, states, reps).seconds);
+  }
+  obs::set_enabled(true);
+  const double inferences = double(states.size()) * reps;
+  ObsOverhead o;
+  o.off_ips = inferences / std::max(best_off, 1e-12);
+  o.on_ips = inferences / std::max(best_on, 1e-12);
+  o.overhead = best_on / std::max(best_off, 1e-12) - 1.0;
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +248,19 @@ int main(int argc, char** argv) {
               "%6.2f episodes/s | %5.2fx\n",
               mcts_rep.ref_eps, mcts_rep.engine_eps, mcts_rep.speedup);
 
+  const ObsOverhead obs_tax =
+      measure_obs_overhead(states, reps_engine, /*rounds=*/5);
+  std::printf("  obs overhead    : %6.2f%% (metrics on %.1f vs off %.1f "
+              "inf/s, min of 5)%s\n",
+              100.0 * obs_tax.overhead, obs_tax.on_ips, obs_tax.off_ips,
+              obs::kMetricsCompiled ? "" : " [compiled out]");
+  if (smoke && obs::kMetricsCompiled && obs_tax.overhead > 0.02) {
+    std::fprintf(stderr,
+                 "FATAL: metrics overhead %.2f%% exceeds the 2%% budget\n",
+                 100.0 * obs_tax.overhead);
+    return 1;
+  }
+
   if (std::FILE* f = std::fopen("BENCH_infer.json", "w")) {
     std::fprintf(
         f,
@@ -223,12 +273,13 @@ int main(int argc, char** argv) {
         "  ],\n"
         "  \"comb_mcts\": {\"h\": 16, \"v\": 16, \"m\": 4,\n"
         "    \"reference_eps\": %.3f, \"engine_eps\": %.3f, \"speedup\": %.3f},\n"
+        "  \"obs_overhead_fraction\": %.6f,\n"
         "  \"smoke\": %s\n"
         "}\n",
         small.ref_ips, small.engine_ips, small.speedup, small.max_rel,
         large.ref_ips, large.engine_ips, large.speedup, large.max_rel,
         mcts_rep.ref_eps, mcts_rep.engine_eps, mcts_rep.speedup,
-        smoke ? "true" : "false");
+        obs_tax.overhead, smoke ? "true" : "false");
     std::fclose(f);
     std::printf("  wrote BENCH_infer.json\n");
   }

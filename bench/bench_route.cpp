@@ -14,7 +14,12 @@
 // Every build's cost is cross-checked across all three modes; a mismatch is
 // a hard failure.  Results go to stdout and BENCH_route.json.  `--smoke`
 // shrinks the repetition count for CI; there is deliberately no timing
-// assertion (CI machines are too noisy for a speedup gate).
+// assertion on the speedups (CI machines are too noisy for a speedup gate).
+//
+// A final section measures the observability tax: the incremental hot loop
+// with the metrics kill-switch on vs off, min-of-N alternating rounds.  In
+// --smoke mode an overhead above 2% is a hard failure (the obs subsystem's
+// acceptance bound); min-of-N makes the estimate robust to scheduler noise.
 
 #include <algorithm>
 #include <cinttypes>
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "gen/random_layout.hpp"
+#include "obs/metrics.hpp"
 #include "route/oarmst.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -248,6 +254,37 @@ Run run_builds(const hanan::HananGrid& grid, Mode mode,
   return run;
 }
 
+struct ObsOverhead {
+  double off_bps = 0.0;  // metrics kill-switch off
+  double on_bps = 0.0;   // metrics recording (the default)
+  double overhead = 0.0; // fractional slowdown of on vs off
+};
+
+/// Minimum-of-N alternating A/B rounds: the min filters out scheduler and
+/// frequency-scaling noise, alternation keeps cache/allocator state fair.
+ObsOverhead measure_obs_overhead(
+    const hanan::HananGrid& grid,
+    const std::vector<std::vector<hanan::Vertex>>& selections, int reps,
+    int rounds) {
+  const double total_builds = double(selections.size()) * reps;
+  double best_off = 1e300, best_on = 1e300;
+  for (int round = 0; round < rounds; ++round) {
+    oar::obs::set_enabled(false);
+    best_off = std::min(
+        best_off,
+        run_builds(grid, Mode::kIncremental, selections, reps).seconds);
+    oar::obs::set_enabled(true);
+    best_on = std::min(
+        best_on, run_builds(grid, Mode::kIncremental, selections, reps).seconds);
+  }
+  oar::obs::set_enabled(true);
+  ObsOverhead o;
+  o.off_bps = total_builds / std::max(best_off, 1e-12);
+  o.on_bps = total_builds / std::max(best_on, 1e-12);
+  o.overhead = best_on / std::max(best_off, 1e-12) - 1.0;
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,6 +351,19 @@ int main(int argc, char** argv) {
               "legacy within %.3f%% (tie-breaks)\n",
               100.0 * max_legacy_rel);
 
+  const ObsOverhead obs_tax =
+      measure_obs_overhead(grid, selections, reps, /*rounds=*/5);
+  std::printf("  obs overhead   : %10.2f%% (metrics on %0.1f vs off %0.1f "
+              "builds/sec, min of 5)%s\n",
+              100.0 * obs_tax.overhead, obs_tax.on_bps, obs_tax.off_bps,
+              obs::kMetricsCompiled ? "" : " [compiled out]");
+  if (smoke && obs::kMetricsCompiled && obs_tax.overhead > 0.02) {
+    std::fprintf(stderr,
+                 "FATAL: metrics overhead %.2f%% exceeds the 2%% budget\n",
+                 100.0 * obs_tax.overhead);
+    return 1;
+  }
+
   if (std::FILE* f = std::fopen("BENCH_route.json", "w")) {
     std::fprintf(f,
                  "{\n"
@@ -326,11 +376,12 @@ int main(int argc, char** argv) {
                  "  \"pooled_scratch_builds_per_sec\": %.3f,\n"
                  "  \"incremental_builds_per_sec\": %.3f,\n"
                  "  \"speedup_vs_legacy\": %.4f,\n"
-                 "  \"max_legacy_cost_rel_diff\": %.6f\n"
+                 "  \"max_legacy_cost_rel_diff\": %.6f,\n"
+                 "  \"obs_overhead_fraction\": %.6f\n"
                  "}\n",
                  dim, dim, layers, pins, selections.size(), reps,
                  smoke ? "true" : "false", legacy_bps, scratch_bps, inc_bps,
-                 speedup, max_legacy_rel);
+                 speedup, max_legacy_rel, obs_tax.overhead);
     std::fclose(f);
     std::printf("  wrote BENCH_route.json\n");
   } else {

@@ -9,15 +9,23 @@
 //   steiner::{Lin08,Liu14,Lin18}Router — algorithmic baselines
 //   rl::SteinerSelector     — the 3D-U-Net Steiner-point selector
 //   rl::CombTrainer         — combinatorial-MCTS training pipeline
+//   core::Router            — unified facade over every entry point
+//                             (route(Layout, Net) -> RouteResult + metrics)
 //   core::RlRouter          — the trained RL ML-OARSMT router
 //   core::pretrained_*      — bundled tiny checkpoint helpers
 //   serve::RouterService    — micro-batching + result-cache serving layer
 //                             (see examples/serve_demo.cpp)
+//   obs::MetricsRegistry    — process-global counters/gauges/histograms,
+//                             Prometheus + JSON exporters (obs/export.hpp)
 
 #include "core/multi_net.hpp"
 #include "core/pretrained.hpp"
 #include "core/registry.hpp"
 #include "core/rl_router.hpp"
+#include "core/router.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "gen/grid_io.hpp"
 #include "gen/public_benchmarks.hpp"
 #include "gen/svg.hpp"

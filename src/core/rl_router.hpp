@@ -36,6 +36,10 @@ struct RlRouterConfig {
   /// insulates a weakly trained selector.  Off by default — the paper's
   /// flow commits to the top n-2 (Fig. 2).
   bool prefix_sweep = false;
+
+  /// All fields are currently unconstrained; present so every *Config in
+  /// the API shares the validate() contract.
+  void validate() const {}
 };
 
 class RlRouter : public steiner::Router {

@@ -1,0 +1,112 @@
+#include "core/router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/pretrained.hpp"
+#include "core/registry.hpp"
+#include "util/timer.hpp"
+
+namespace oar::core {
+
+void RouterOptions::validate() const {
+  if (engine.empty() || !RouterRegistry::instance().contains(engine)) {
+    throw std::invalid_argument(
+        "RouterOptions.engine must name a registered router (got '" + engine +
+        "'); see RouterRegistry::names()");
+  }
+  if (use_service && engine != "rl-ours") {
+    throw std::invalid_argument(
+        "RouterOptions.use_service requires engine 'rl-ours' (got '" + engine +
+        "'); the serving layer batches through the RL selector");
+  }
+  service.validate();
+}
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  options_.validate();
+}
+
+Router::~Router() = default;
+
+std::shared_ptr<rl::SteinerSelector> Router::shared_selector() {
+  if (!selector_) selector_ = load_or_train_pretrained();
+  return selector_;
+}
+
+void Router::ensure_engine() {
+  if (engine_) return;
+  if (options_.engine == "rl-ours") {
+    // Constructed directly (not via the registry) so options_.rl applies.
+    engine_ = std::make_unique<RlRouter>(shared_selector(), options_.rl);
+  } else {
+    engine_ = RouterRegistry::instance().create(options_.engine);
+  }
+  if (!engine_) {
+    throw std::runtime_error("core::Router: registry failed to create '" +
+                             options_.engine + "'");
+  }
+}
+
+void Router::ensure_service() {
+  if (!service_) {
+    service_ = std::make_unique<serve::RouterService>(shared_selector(),
+                                                      options_.service);
+  }
+}
+
+RouteResult Router::finish(RouteResult out, double seconds) {
+  out.total_seconds = seconds;
+  if (options_.collect_obs) {
+    out.obs = obs::MetricsRegistry::instance().snapshot();
+  }
+  return out;
+}
+
+RouteResult Router::route(const geom::Layout& layout, const Net& net) {
+  auto grid =
+      std::make_shared<hanan::HananGrid>(hanan::HananGrid::from_layout(layout));
+  for (hanan::Vertex p : net.pins) {
+    if (p < 0 || p >= grid->num_vertices()) {
+      throw std::invalid_argument("core::Router: net '" + net.name + "' pin " +
+                                  std::to_string(p) +
+                                  " is outside the layout's Hanan grid (" +
+                                  std::to_string(grid->num_vertices()) +
+                                  " vertices)");
+    }
+    grid->add_pin(p);
+  }
+  return route(std::shared_ptr<const hanan::HananGrid>(std::move(grid)));
+}
+
+RouteResult Router::route(const hanan::HananGrid& grid) {
+  return route(std::make_shared<const hanan::HananGrid>(grid));
+}
+
+RouteResult Router::route(std::shared_ptr<const hanan::HananGrid> grid) {
+  util::Timer timer;
+  RouteResult out;
+  out.grid = grid;
+
+  if (options_.use_service) {
+    ensure_service();
+    serve::RouteReply reply = service_->route(std::move(grid));
+    out.grid = std::move(reply.grid);
+    out.result = std::move(reply.result);
+    out.cache_hit = reply.cache_hit;
+    out.engine = "rl-ours@service";
+  } else {
+    ensure_engine();
+    out.result = engine_->route(*out.grid);
+    out.engine = engine_->name();
+  }
+  return finish(std::move(out), timer.seconds());
+}
+
+RouteResult route(const geom::Layout& layout, const Net& net,
+                  RouterOptions options) {
+  Router router(std::move(options));
+  return router.route(layout, net);
+}
+
+}  // namespace oar::core

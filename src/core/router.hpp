@@ -1,0 +1,123 @@
+#pragma once
+
+// core::Router — the unified routing facade.
+//
+// The repository grew three entry points with different shapes:
+//
+//   * core::RlRouter / the RouterRegistry baselines: construct, then
+//     route(const HananGrid&) synchronously,
+//   * serve::RouterService: submit(shared_ptr<const HananGrid>) through the
+//     micro-batcher + symmetry cache,
+//   * geometric callers: build a HananGrid from a geom::Layout by hand
+//     before either of the above.
+//
+// This facade folds them behind one call:
+//
+//   core::Router router({.engine = "rl-ours"});
+//   core::RouteResult r = router.route(layout, net);
+//   // r.result.tree, r.result.cost, r.obs (metrics snapshot)
+//
+// RouterOptions selects the engine by registry name ("lin08", "liu14",
+// "lin18", "oracle", "rl-ours", ...) and, for the RL engine, whether calls
+// go through serve::RouterService (micro-batching + result cache) or the
+// direct single-shot RlRouter path.  Engines are constructed lazily on the
+// first route() and reused across calls, so the facade is as cheap per call
+// as the entry point it wraps.  The old entry points remain supported as
+// the thin layers the facade dispatches to.
+//
+// Every RouteResult carries a point-in-time obs::Snapshot of the global
+// metrics registry (disable with collect_obs = false), so callers get the
+// cache hit rates / router epoch counts / latency histograms of the call
+// they just made without touching obs:: directly.
+//
+// A Router instance is NOT thread safe; share a serve::RouterService (or
+// give each thread its own facade) for concurrent routing.
+
+#include <memory>
+#include <string>
+
+#include "core/multi_net.hpp"
+#include "core/rl_router.hpp"
+#include "geom/layout.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "steiner/router_base.hpp"
+
+namespace oar::core {
+
+struct RouterOptions {
+  /// Engine by RouterRegistry name.  "rl-ours" uses the bundled pretrained
+  /// selector (quick-trained when the checkpoint is absent) and honors `rl`.
+  std::string engine = "rl-ours";
+  /// RL-engine knobs (prefix sweep); ignored by baseline engines.
+  RlRouterConfig rl;
+  /// Route through serve::RouterService (micro-batching + symmetry cache)
+  /// instead of the direct single-shot path.  RL engine only.
+  bool use_service = false;
+  serve::RouterServiceConfig service;
+  /// Attach an obs::Snapshot of the global metrics registry to each result.
+  bool collect_obs = true;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+struct RouteResult {
+  /// The grid the tree is bound to (kept alive by the result).
+  std::shared_ptr<const hanan::HananGrid> grid;
+  route::OarmstResult result;
+  /// Resolved engine name ("rl-ours+sweep" when the sweep is on, ...).
+  std::string engine;
+  /// True when the serving path answered from the symmetry cache.
+  bool cache_hit = false;
+  double total_seconds = 0.0;
+  /// Point-in-time metrics (empty when collect_obs is off).
+  obs::Snapshot obs;
+
+  double cost() const { return result.cost; }
+  bool connected() const { return result.connected; }
+};
+
+class Router {
+ public:
+  /// Validates `options` eagerly; engine construction is deferred to the
+  /// first route() call.
+  explicit Router(RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Geometric entry: builds the Hanan grid from `layout`, then adds the
+  /// net's pins (vertex indices on that grid; empty = use the layout's own
+  /// pins).  Throws std::invalid_argument on an out-of-range pin.
+  RouteResult route(const geom::Layout& layout, const Net& net);
+
+  /// Grid entry, pins already on the grid.  The const& overload copies the
+  /// grid so the returned tree owns a stable binding.
+  RouteResult route(const hanan::HananGrid& grid);
+  RouteResult route(std::shared_ptr<const hanan::HananGrid> grid);
+
+  const RouterOptions& options() const { return options_; }
+
+  /// The lazily-created underlying service; nullptr until the first
+  /// service-path route().  Exposed for metrics scrapes.
+  serve::RouterService* service() { return service_.get(); }
+
+ private:
+  void ensure_engine();
+  void ensure_service();
+  std::shared_ptr<rl::SteinerSelector> shared_selector();
+  RouteResult finish(RouteResult out, double seconds);
+
+  RouterOptions options_;
+  std::shared_ptr<rl::SteinerSelector> selector_;
+  std::unique_ptr<steiner::Router> engine_;
+  std::unique_ptr<serve::RouterService> service_;
+};
+
+/// One-call convenience: route `net` on `layout` with a throwaway facade.
+RouteResult route(const geom::Layout& layout, const Net& net,
+                  RouterOptions options = {});
+
+}  // namespace oar::core

@@ -3,16 +3,39 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace oar::hanan {
 
+namespace {
+
+struct FeatureObs {
+  obs::Counter& cache_hits;
+  obs::Counter& cache_rebuilds;
+};
+
+FeatureObs& feature_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static FeatureObs o{
+      reg.counter("oar_nn_feature_cache_hits_total",
+                  "encode_into calls answered from the cached base volume"),
+      reg.counter("oar_nn_feature_cache_rebuilds_total",
+                  "Base feature-volume re-encodes (grid address or revision "
+                  "changed)"),
+  };
+  return o;
+}
+
+}  // namespace
+
 void encode_features_into(const HananGrid& grid,
-                          const std::vector<Vertex>& extra_pins, float* dst) {
+                          const std::vector<Vertex>& extra_pins, float* out) {
   const std::int32_t H = grid.h_dim(), V = grid.v_dim(), M = grid.m_dim();
   const std::int64_t chan = std::int64_t(H) * V * M;
-  std::fill(dst, dst + kNumFeatureChannels * chan, 0.0f);
+  std::fill(out, out + kNumFeatureChannels * chan, 0.0f);
   const auto at = [&](std::int32_t c, std::int32_t h, std::int32_t v,
                       std::int32_t m) -> float& {
-    return dst[std::size_t(((std::int64_t(c) * H + h) * V + v) * M + m)];
+    return out[std::size_t(((std::int64_t(c) * H + h) * V + v) * M + m)];
   };
 
   // Normalizer: the maximum of all cost-related values in the layout.
@@ -66,8 +89,10 @@ FeatureVolume encode_features(const HananGrid& grid,
 
 void FeatureCache::encode_into(const HananGrid& grid,
                                const std::vector<Vertex>& extra_pins,
-                               float* dst) {
-  if (grid_ != &grid || revision_ != grid.revision()) {
+                               float* out) {
+  if (grid_ == &grid && revision_ == grid.revision()) {
+    feature_obs().cache_hits.inc();
+  } else {
     base_.c = kNumFeatureChannels;
     base_.h = grid.h_dim();
     base_.v = grid.v_dim();
@@ -77,12 +102,13 @@ void FeatureCache::encode_into(const HananGrid& grid,
     grid_ = &grid;
     revision_ = grid.revision();
     ++rebuilds_;
+    feature_obs().cache_rebuilds.inc();
   }
-  std::copy(base_.data.begin(), base_.data.end(), dst);
+  std::copy(base_.data.begin(), base_.data.end(), out);
   for (Vertex p : extra_pins) {
     assert(p >= 0 && p < grid.num_vertices());
     const Cell c = grid.cell(p);
-    dst[base_.offset(0, c.h, c.v, c.m)] = 1.0f;
+    out[base_.offset(0, c.h, c.v, c.m)] = 1.0f;
   }
 }
 

@@ -51,7 +51,7 @@ FeatureVolume encode_features(const HananGrid& grid,
 /// serving layer write features straight into a network input tensor with
 /// no intermediate FeatureVolume copy.
 void encode_features_into(const HananGrid& grid,
-                          const std::vector<Vertex>& extra_pins, float* dst);
+                          const std::vector<Vertex>& extra_pins, float* out);
 
 /// Incremental feature encoding for the MCTS hot loop.
 ///
@@ -74,11 +74,11 @@ class FeatureCache {
   FeatureCache(FeatureCache&&) = default;
   FeatureCache& operator=(FeatureCache&&) = default;
 
-  /// Equivalent to encode_features_into(grid, extra_pins, dst), but only
+  /// Equivalent to encode_features_into(grid, extra_pins, out), but only
   /// the extra-pin deltas are recomputed while (address, revision) match
   /// the cached base volume.
   void encode_into(const HananGrid& grid, const std::vector<Vertex>& extra_pins,
-                   float* dst);
+                   float* out);
 
   /// Full base re-encodes performed so far (diagnostic/test hook: one per
   /// distinct (grid, revision) actually seen).

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace oar::mcts {
 
 namespace {
@@ -9,6 +11,25 @@ route::OarmstConfig raw_config() {
   route::OarmstConfig cfg;
   cfg.remove_redundant_steiner = false;
   return cfg;
+}
+
+struct CriticObs {
+  obs::Counter& fsp_calls;
+  obs::Counter& critic_calls;
+  obs::Counter& exact_cost_calls;
+};
+
+CriticObs& critic_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static CriticObs o{
+      reg.counter("oar_mcts_fsp_calls_total",
+                  "Selector fsp inferences issued through ActorCritic"),
+      reg.counter("oar_mcts_critic_calls_total",
+                  "Critic completions (top-up + OARMST route) evaluated"),
+      reg.counter("oar_mcts_exact_cost_calls_total",
+                  "Exact raw-state routing-cost evaluations"),
+  };
+  return o;
 }
 }  // namespace
 
@@ -24,6 +45,7 @@ std::vector<double> ActorCritic::fsp(const std::vector<Vertex>& selected) {
 
 void ActorCritic::fsp_into(const std::vector<Vertex>& selected,
                            std::vector<double>& out) {
+  critic_obs().fsp_calls.inc();
   selector_.infer_fsp_into(grid_, selected, out);
 }
 
@@ -58,6 +80,7 @@ std::vector<std::pair<Vertex, double>> ActorCritic::policy(
 double ActorCritic::critic_cost(const std::vector<Vertex>& selected,
                                 std::int32_t steiner_budget,
                                 const std::vector<double>& fsp_map) const {
+  critic_obs().critic_calls.inc();
   const std::int32_t remaining = steiner_budget - std::int32_t(selected.size());
   std::vector<Vertex> completed = selected;
   if (remaining > 0) {
@@ -69,6 +92,7 @@ double ActorCritic::critic_cost(const std::vector<Vertex>& selected,
 }
 
 double ActorCritic::exact_cost(const std::vector<Vertex>& selected) const {
+  critic_obs().exact_cost_calls.inc();
   return raw_router_.cost(grid_.pins(), selected, &scratch_);
 }
 

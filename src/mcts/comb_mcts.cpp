@@ -4,11 +4,36 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace oar::mcts {
 
 namespace {
+
+struct MctsObs {
+  obs::Counter& episodes;
+  obs::Counter& iterations;
+  obs::Counter& simulations;
+  obs::Counter& expansions;
+  obs::Histogram& episode_seconds;
+};
+
+MctsObs& mcts_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static MctsObs o{
+      reg.counter("oar_mcts_episodes_total",
+                  "Combinatorial MCTS search trees built (CombMcts::run)"),
+      reg.counter("oar_mcts_iterations_total", "UCT iterations across all episodes"),
+      reg.counter("oar_mcts_simulations_total",
+                  "Leaf evaluations (critic or exact) across all episodes"),
+      reg.counter("oar_mcts_expansions_total", "Node expansions across all episodes"),
+      reg.histogram("oar_mcts_episode_seconds", obs::latency_buckets(),
+                    "Wall time per CombMcts episode"),
+  };
+  return o;
+}
 
 struct Edge {
   Vertex action = hanan::kInvalidVertex;
@@ -43,8 +68,26 @@ std::int32_t scaled_iterations(std::int32_t base_iterations,
       8, std::int32_t(std::lround(double(base_iterations) * std::max(ratio, 0.05))));
 }
 
+void CombMctsConfig::validate() const {
+  util::check_field(iterations_per_move >= 1, "CombMctsConfig",
+                    "iterations_per_move", "be >= 1", iterations_per_move);
+  util::check_field(c_puct >= 0.0, "CombMctsConfig", "c_puct",
+                    "be non-negative", c_puct);
+  util::check_field(flat_cost_patience >= 0, "CombMctsConfig",
+                    "flat_cost_patience", "be >= 0", flat_cost_patience);
+  util::check_field(flat_eps >= 0.0, "CombMctsConfig", "flat_eps",
+                    "be non-negative", flat_eps);
+  util::check_field(max_children >= 0, "CombMctsConfig", "max_children",
+                    "be >= 0 (0 = all valid children)", max_children);
+  util::check_field(prior_uniform_mix >= 0.0 && prior_uniform_mix <= 1.0,
+                    "CombMctsConfig", "prior_uniform_mix", "be in [0, 1]",
+                    prior_uniform_mix);
+}
+
 CombMcts::CombMcts(rl::SteinerSelector& selector, CombMctsConfig config)
-    : selector_(selector), config_(config) {}
+    : selector_(selector), config_(config) {
+  config_.validate();
+}
 
 CombMctsResult CombMcts::run(const HananGrid& grid) {
   util::Timer timer;
@@ -290,6 +333,15 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
     }
   }
   result.stats.seconds = timer.seconds();
+
+  // One flush per episode: the search's per-iteration counters stay plain
+  // struct fields and only land in the global registry here.
+  MctsObs& o = mcts_obs();
+  o.episodes.inc();
+  o.iterations.add(std::uint64_t(result.stats.iterations));
+  o.simulations.add(std::uint64_t(result.stats.simulations));
+  o.expansions.add(std::uint64_t(result.stats.expansions));
+  o.episode_seconds.observe(result.stats.seconds);
   return result;
 }
 

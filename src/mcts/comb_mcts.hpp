@@ -48,6 +48,9 @@ struct CombMctsConfig {
   /// practically zero prior to high-priority-index vertices under an
   /// untrained selector and UCT never explores them.
   double prior_uniform_mix = 0.15;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 /// Paper: alpha = 2000 for 16x16x4, proportional to size for larger.

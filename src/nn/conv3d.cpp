@@ -38,7 +38,7 @@ Tensor Conv3d::forward(const Tensor& input) {
 
   if (!training()) {
     Tensor out({out_channels_, O0, O1, O2});
-    infer_into(input.data(), D0, D1, D2, out.data(), local_inference_scratch());
+    infer_into(input.data(), D0, D1, D2, local_inference_scratch(), out.data());
     return out;
   }
   input_ = input;

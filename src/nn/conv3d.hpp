@@ -34,8 +34,17 @@ class Conv3d : public Module {
   /// (which also defines this, so it compiles under that TU's wider
   /// flags).  All temporaries come from `scratch`; nothing is retained, so
   /// a warmed-up call performs zero heap allocations.
+  ///
+  /// Parameter order follows the repo-wide *_into convention (DESIGN.md
+  /// §13): inputs, then scratch, then the output buffer last.
   void infer_into(const float* in, std::int32_t D0, std::int32_t D1,
-                  std::int32_t D2, float* out, InferenceScratch& scratch) const;
+                  std::int32_t D2, InferenceScratch& scratch, float* out) const;
+
+  [[deprecated("use infer_into(in, D0, D1, D2, scratch, out) — output last")]]
+  void infer_into(const float* in, std::int32_t D0, std::int32_t D1,
+                  std::int32_t D2, float* out, InferenceScratch& scratch) const {
+    infer_into(in, D0, D1, D2, scratch, out);
+  }
 
   std::int32_t in_channels() const { return in_channels_; }
   std::int32_t out_channels() const { return out_channels_; }

@@ -487,8 +487,8 @@ Tensor Conv3d::forward_batch(const Tensor& input) {
 }
 
 void Conv3d::infer_into(const float* in, std::int32_t D0, std::int32_t D1,
-                        std::int32_t D2, float* out,
-                        InferenceScratch& scratch) const {
+                        std::int32_t D2, InferenceScratch& scratch,
+                        float* out) const {
   const std::int32_t O0 = D0 + 2 * padding_ - kernel_ + 1;
   const std::int32_t O1 = D1 + 2 * padding_ - kernel_ + 1;
   const std::int32_t O2 = D2 + 2 * padding_ - kernel_ + 1;

@@ -39,7 +39,7 @@ Tensor GroupNorm::forward(const Tensor& input) {
   assert(input.dim() == 4 && input.shape(0) == channels_);
   if (!training()) {
     Tensor out(input.shape());
-    infer_into(input.data(), out.data(), input.numel() / channels_);
+    infer_into(input.data(), input.numel() / channels_, out.data());
     return out;
   }
   input_ = input;
@@ -121,8 +121,8 @@ Tensor GroupNorm::forward_batch(const Tensor& input) {
   return out;
 }
 
-void GroupNorm::infer_into(const float* in, float* out,
-                           std::int64_t spatial) const {
+void GroupNorm::infer_into(const float* in, std::int64_t spatial,
+                           float* out) const {
   const std::int32_t cpg = channels_ / groups_;
   const std::int64_t group_size = cpg * spatial;
   for (std::int32_t g = 0; g < groups_; ++g) {

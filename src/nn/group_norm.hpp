@@ -26,8 +26,14 @@ class GroupNorm : public Module {
   // Single-sample inference kernels (no retention; same double-precision
   // group statistics as the training forward).  `spatial` is the per-
   // channel voxel count D0*D1*D2.
-  /// out = gn(in); in == out aliasing is allowed.
-  void infer_into(const float* in, float* out, std::int64_t spatial) const;
+  /// out = gn(in); in == out aliasing is allowed.  Parameter order follows
+  /// the repo-wide *_into convention (DESIGN.md §13): output buffer last.
+  void infer_into(const float* in, std::int64_t spatial, float* out) const;
+
+  [[deprecated("use infer_into(in, spatial, out) — output last")]]
+  void infer_into(const float* in, float* out, std::int64_t spatial) const {
+    infer_into(in, spatial, out);
+  }
   /// x = relu(gn(x)) in place — the norm1 position of a residual block.
   void infer_relu_inplace(float* x, std::int64_t spatial) const;
   /// x = relu(gn(x) + skip) in place — norm2 + skip-add + output ReLU.

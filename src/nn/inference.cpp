@@ -1,11 +1,39 @@
 #include "nn/inference.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace oar::nn {
+
+namespace {
+
+// Growth is a warm-up-only event, so the registry traffic here is cold by
+// construction; the steady-state forward touches no metric at all (the
+// zero-allocation contract doubles as the zero-instrumentation contract).
+struct ArenaObs {
+  obs::Counter& grow_events;
+  obs::Gauge& arena_bytes;
+};
+
+ArenaObs& arena_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static ArenaObs o{
+      reg.counter("oar_nn_arena_grow_events_total",
+                  "InferenceScratch capacity growths (new slot or workspace "
+                  "outgrowing its storage); constant once warm"),
+      reg.gauge("oar_nn_arena_bytes",
+                "Total bytes held by all inference arenas' tensor slots and "
+                "kernel workspaces"),
+  };
+  return o;
+}
+
+}  // namespace
 
 Tensor& InferenceScratch::next_slot() {
   if (used_ == slots_.size()) {
     slots_.push_back(std::make_unique<Tensor>());
     ++grow_events_;
+    arena_obs().grow_events.inc();
   }
   return *slots_[used_++];
 }
@@ -14,7 +42,12 @@ Tensor& InferenceScratch::push(const std::vector<std::int32_t>& shape) {
   Tensor& t = next_slot();
   const std::size_t cap = t.raw().capacity();
   t.reset_shape(shape);
-  if (t.raw().capacity() != cap) ++grow_events_;
+  if (t.raw().capacity() != cap) {
+    ++grow_events_;
+    ArenaObs& o = arena_obs();
+    o.grow_events.inc();
+    o.arena_bytes.add(double(t.raw().capacity() - cap) * double(sizeof(float)));
+  }
   return t;
 }
 
@@ -22,12 +55,25 @@ Tensor& InferenceScratch::push(std::initializer_list<std::int32_t> shape) {
   Tensor& t = next_slot();
   const std::size_t cap = t.raw().capacity();
   t.reset_shape(shape);
-  if (t.raw().capacity() != cap) ++grow_events_;
+  if (t.raw().capacity() != cap) {
+    ++grow_events_;
+    ArenaObs& o = arena_obs();
+    o.grow_events.inc();
+    o.arena_bytes.add(double(t.raw().capacity() - cap) * double(sizeof(float)));
+  }
   return t;
 }
 
 float* InferenceScratch::ensure(std::vector<float>& v, std::size_t n) {
-  if (v.capacity() < n) ++grow_events_;
+  if (v.capacity() < n) {
+    ++grow_events_;
+    const std::size_t old_cap = v.capacity();
+    v.resize(n);
+    ArenaObs& o = arena_obs();
+    o.grow_events.inc();
+    o.arena_bytes.add(double(v.capacity() - old_cap) * double(sizeof(float)));
+    return v.data();
+  }
   if (v.size() < n) v.resize(n);
   return v.data();
 }

@@ -86,16 +86,16 @@ const Tensor& ResidualBlock3d::infer(const Tensor& input,
   const std::int64_t spatial = std::int64_t(D0) * D1 * D2;
 
   Tensor& t1 = arena.push({out_channels_, D0, D1, D2});
-  conv1_.infer_into(input.data(), D0, D1, D2, t1.data(), arena);
+  conv1_.infer_into(input.data(), D0, D1, D2, arena, t1.data());
   norm1_.infer_relu_inplace(t1.data(), spatial);
 
   Tensor& t2 = arena.push({out_channels_, D0, D1, D2});
-  conv2_.infer_into(t1.data(), D0, D1, D2, t2.data(), arena);
+  conv2_.infer_into(t1.data(), D0, D1, D2, arena, t2.data());
 
   const float* skip = input.data();
   if (projection_) {
     Tensor& proj = arena.push({out_channels_, D0, D1, D2});
-    projection_->infer_into(input.data(), D0, D1, D2, proj.data(), arena);
+    projection_->infer_into(input.data(), D0, D1, D2, arena, proj.data());
     skip = proj.data();
   }
   norm2_.infer_add_relu_inplace(t2.data(), skip, spatial);

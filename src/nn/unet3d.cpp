@@ -1,6 +1,20 @@
 #include "nn/unet3d.hpp"
 
+#include <cmath>
+
+#include "util/validate.hpp"
+
 namespace oar::nn {
+
+void UNet3dConfig::validate() const {
+  util::check_field(in_channels >= 1, "UNet3dConfig", "in_channels", "be >= 1",
+                    in_channels);
+  util::check_field(base_channels >= 1, "UNet3dConfig", "base_channels",
+                    "be >= 1", base_channels);
+  util::check_field(depth >= 1, "UNet3dConfig", "depth", "be >= 1", depth);
+  util::check_field(std::isfinite(head_bias_init), "UNet3dConfig",
+                    "head_bias_init", "be finite", head_bias_init);
+}
 
 namespace {
 
@@ -45,6 +59,7 @@ std::pair<Tensor, Tensor> split_channels(const Tensor& grad, std::int32_t c_firs
 
 UNet3d::UNet3d(UNet3dConfig config)
     : config_(config), scratch_(std::make_unique<InferenceScratch>()) {
+  config_.validate();
   util::Rng rng(config_.seed);
   std::int32_t in_c = config_.in_channels;
   for (std::int32_t level = 0; level < config_.depth; ++level) {
@@ -153,8 +168,8 @@ const Tensor& UNet3d::infer(const Tensor& input) {
   }
 
   Tensor& logits = arena.push({1, x->shape(1), x->shape(2), x->shape(3)});
-  head_->infer_into(x->data(), x->shape(1), x->shape(2), x->shape(3),
-                    logits.data(), arena);
+  head_->infer_into(x->data(), x->shape(1), x->shape(2), x->shape(3), arena,
+                    logits.data());
   return logits;
 }
 

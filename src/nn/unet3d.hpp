@@ -35,6 +35,9 @@ struct UNet3dConfig {
   /// running product from vanishing before training has shaped fsp.
   float head_bias_init = -5.0f;
 
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+
   friend bool operator==(const UNet3dConfig&, const UNet3dConfig&) = default;
 };
 

@@ -1,8 +1,19 @@
 #include "nn/value_net.hpp"
 
+#include "util/validate.hpp"
+
 namespace oar::nn {
 
+void ValueNetConfig::validate() const {
+  util::check_field(in_channels >= 1, "ValueNetConfig", "in_channels",
+                    "be >= 1", in_channels);
+  util::check_field(channels >= 1, "ValueNetConfig", "channels", "be >= 1",
+                    channels);
+  util::check_field(hidden >= 1, "ValueNetConfig", "hidden", "be >= 1", hidden);
+}
+
 ValueNet::ValueNet(ValueNetConfig config) : config_(config) {
+  config_.validate();
   util::Rng rng(config_.seed);
   block1_ = std::make_unique<ResidualBlock3d>(config_.in_channels, config_.channels, rng);
   block2_ = std::make_unique<ResidualBlock3d>(config_.channels, config_.channels, rng);

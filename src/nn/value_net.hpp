@@ -15,6 +15,9 @@ struct ValueNetConfig {
   std::int32_t channels = 8;
   std::int32_t hidden = 16;
   std::uint64_t seed = 0x7a1;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class ValueNet : public Module {

@@ -1,0 +1,120 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace oar::obs {
+
+namespace {
+
+/// Shortest round-trip-ish formatting: integers print bare, everything
+/// else with up to 9 significant digits (enough for latency seconds).
+std::string format_number(double x) {
+  char buf[64];
+  if (std::isfinite(x) && x == std::floor(x) && std::fabs(x) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", x);
+  } else if (std::isinf(x)) {
+    std::snprintf(buf, sizeof(buf), "%s", x > 0 ? "+Inf" : "-Inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", x);
+  }
+  return buf;
+}
+
+void append_header(std::string& out, const std::string& name,
+                   const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + help + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  char buf[64];
+  for (const CounterSample& c : snapshot.counters) {
+    append_header(out, c.name, c.help, "counter");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", c.value);
+    out += c.name + buf;
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    append_header(out, g.name, g.help, "gauge");
+    out += g.name + " " + format_number(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    append_header(out, h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? format_number(h.bounds[b]) : "+Inf";
+      std::snprintf(buf, sizeof(buf), "\"} %" PRIu64 "\n", cumulative);
+      out += h.name + "_bucket{le=\"" + le + buf;
+    }
+    out += h.name + "_sum " + format_number(h.sum) + "\n";
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+    out += h.name + "_count" + buf;
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{";
+  char buf[64];
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const CounterSample& c : snapshot.counters) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value);
+    out += "  \"" + c.name + "\": " + buf;
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    sep();
+    out += "  \"" + g.name + "\": " + format_number(g.value);
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    sep();
+    out += "  \"" + h.name + "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out += ", ";
+      out += format_number(h.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, h.counts[b]);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count);
+    out += std::string("], \"count\": ") + buf +
+           ", \"sum\": " + format_number(h.sum) + "}";
+  }
+  out += first ? "}\n" : "\n}\n";
+  return out;
+}
+
+std::string scrape_prometheus() {
+  return to_prometheus(MetricsRegistry::instance().snapshot());
+}
+
+std::string scrape_json() {
+  return to_json(MetricsRegistry::instance().snapshot());
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return bool(out);
+}
+
+}  // namespace oar::obs

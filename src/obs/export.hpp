@@ -1,0 +1,33 @@
+#pragma once
+
+// Text exporters over an obs::Snapshot (DESIGN.md §12).
+//
+//   to_prometheus — Prometheus exposition format 0.0.4: HELP/TYPE headers,
+//     histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+//     `_count`.  Scrapeable by any Prometheus-compatible collector.
+//   to_json — one flat JSON object keyed by metric name; histograms carry
+//     their bounds, per-bucket counts, sum and count.  The bench/service
+//     snapshot artifact format.
+//
+// Both are deterministic for a given snapshot (families sorted by name,
+// fixed float formatting), which is what the golden-file tests pin down.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace oar::obs {
+
+std::string to_prometheus(const Snapshot& snapshot);
+std::string to_json(const Snapshot& snapshot);
+
+/// Convenience: exports of the process-global registry.
+std::string scrape_prometheus();
+std::string scrape_json();
+
+/// Writes `text` to `path` (atomically via temp + rename is overkill for
+/// diagnostics; this is a plain write).  Returns false when the file
+/// cannot be opened.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace oar::obs

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace oar::obs {
+
+#ifndef OARSMTRL_NO_METRICS
+
+namespace detail {
+
+std::atomic<bool> g_enabled{true};
+
+std::size_t shard_index() {
+  thread_local const std::size_t index = [] {
+    const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    // Avalanche the hash a little: libstdc++'s thread-id hash is close to
+    // the raw pthread pointer, whose low bits barely vary.
+    std::size_t x = h;
+    x ^= x >> 17;
+    x *= 0x9e3779b97f4a7c15ull;
+    x ^= x >> 29;
+    return x & (kShards - 1);
+  }();
+  return index;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram bounds must be strictly ascending");
+    }
+  }
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<detail::PaddedU64>(bounds_.size() + 1);
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& b : shard.buckets) {
+      total += b.v.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+#endif  // !OARSMTRL_NO_METRICS
+
+std::vector<double> latency_buckets() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 100.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> pow2_buckets(int max_exponent) {
+  std::vector<double> bounds;
+  for (int e = 0; e <= max_exponent; ++e) {
+    bounds.push_back(double(std::uint64_t(1) << e));
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kGauge) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.help = help;
+#ifndef OARSMTRL_NO_METRICS
+    entry.histogram.reset(new Histogram(std::move(bounds)));
+#else
+    (void)bounds;
+    entry.histogram = std::make_unique<Histogram>();
+#endif
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kHistogram) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  return *it->second.histogram;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+#ifndef OARSMTRL_NO_METRICS
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.help, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.help, entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        HistogramSample sample;
+        sample.name = name;
+        sample.help = entry.help;
+        sample.bounds = h.bounds();
+        sample.counts.assign(sample.bounds.size() + 1, 0);
+        for (const auto& shard : h.shards_) {
+          for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
+            sample.counts[b] += shard.buckets[b].v.load(std::memory_order_relaxed);
+          }
+        }
+        for (std::uint64_t c : sample.counts) sample.count += c;
+        sample.sum = h.sum();
+        snap.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+#endif
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+#ifndef OARSMTRL_NO_METRICS
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        for (auto& s : entry.counter->shards_) {
+          s.v.store(0, std::memory_order_relaxed);
+        }
+        break;
+      case Kind::kGauge:
+        entry.gauge->value_.store(0.0, std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram:
+        for (auto& shard : entry.histogram->shards_) {
+          for (auto& b : shard.buckets) b.v.store(0, std::memory_order_relaxed);
+          shard.sum.v.store(0.0, std::memory_order_relaxed);
+        }
+        break;
+    }
+  }
+#endif
+}
+
+}  // namespace oar::obs

@@ -1,0 +1,266 @@
+#pragma once
+
+// Process-global observability metrics (DESIGN.md §12).
+//
+// A MetricsRegistry maps names to three metric kinds:
+//   Counter   — monotonically increasing u64 (events, items processed),
+//   Gauge     — last-write-wins double (queue depth, arena bytes),
+//   Histogram — fixed upper-bound buckets + sum/count (latencies, sizes).
+//
+// Hot-path cost model: every metric is striped across kShards cache-line-
+// padded slots; a thread picks its slot once (hashed thread id cached in
+// TLS) and increments it with a relaxed atomic add.  There is no lock, no
+// false sharing between threads on different slots, and no merge work
+// until someone scrapes — snapshot() sums the shards.  Totals are exact:
+// two threads hashing to the same slot still combine through fetch_add.
+//
+// Handles are stable references: look a metric up once (registration takes
+// the registry mutex), stash the Counter&/Histogram&, and increment
+// lock-free forever after.  Instrumentation sites use a function-local
+// static for this.
+//
+// Two off-switches:
+//   * runtime  — set_enabled(false) turns every record into a checked
+//     no-op (one relaxed bool load).  The benches use it to measure the
+//     enabled-vs-disabled overhead inside one binary.
+//   * compile-time — building with -DOARSMTRL_NO_METRICS compiles every
+//     handle method to an empty inline body (kMetricsCompiled == false);
+//     the registry still exists so call sites and exporters compile
+//     unchanged, but snapshots are empty and no atomics are touched.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oar::obs {
+
+#ifdef OARSMTRL_NO_METRICS
+inline constexpr bool kMetricsCompiled = false;
+#else
+inline constexpr bool kMetricsCompiled = true;
+#endif
+
+#ifndef OARSMTRL_NO_METRICS
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+/// Runtime kill-switch (default on).  Disabled metrics drop records but
+/// keep their registered identity, so a scrape still lists every family.
+/// One relaxed load on the hot path.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+#else
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#endif
+
+/// Scrape-side value of one metric, used by the exporters (obs/export.hpp).
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  /// Ascending finite upper bounds; an implicit +Inf bucket follows.
+  std::vector<double> bounds;
+  /// Per-bucket (non-cumulative) counts, size bounds.size() + 1.
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;  // total observations
+  double sum = 0.0;         // sum of observed values
+};
+
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+#ifndef OARSMTRL_NO_METRICS
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;  // power of two
+
+/// This thread's shard slot: thread id hashed once, cached in TLS.
+std::size_t shard_index();
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) PaddedF64 {
+  std::atomic<double> v{0.0};
+
+  void add_relaxed(double x) {
+    double cur = v.load(std::memory_order_relaxed);
+    while (!v.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::array<detail::PaddedU64, detail::kShards> shards_;
+};
+
+class Gauge {
+ public:
+  void set(double x) {
+    if (!enabled()) return;
+    value_.store(x, std::memory_order_relaxed);
+  }
+  void add(double x) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  void observe(double x) {
+    if (!enabled()) return;
+    Shard& shard = shards_[detail::shard_index()];
+    shard.buckets[bucket_of(x)].v.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.add_relaxed(x);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const;
+  double sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::size_t bucket_of(double x) const {
+    // bounds_ has at most a few dozen entries; a linear scan beats a
+    // branchy binary search at this size.  Prometheus "le" semantics:
+    // x lands in the first bucket whose bound is >= x.
+    std::size_t i = 0;
+    while (i < bounds_.size() && x > bounds_[i]) ++i;
+    return i;
+  }
+
+  struct Shard {
+    std::vector<detail::PaddedU64> buckets;  // bounds_.size() + 1 (+Inf last)
+    detail::PaddedF64 sum;
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+#else  // OARSMTRL_NO_METRICS — every handle is a no-op shell.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  void inc() {}
+  std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  void add(double) {}
+  double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void observe(double) {}
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> empty;
+    return empty;
+  }
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+};
+
+#endif  // OARSMTRL_NO_METRICS
+
+/// Default latency bucket ladder: 1 µs .. ~65 s, doubling (27 buckets).
+std::vector<double> latency_buckets();
+
+/// Small-integer bucket ladder for size-like histograms (1, 2, 4, .., 2^k).
+std::vector<double> pow2_buckets(int max_exponent);
+
+class MetricsRegistry {
+ public:
+  /// The process-global registry every subsystem records into.
+  static MetricsRegistry& instance();
+
+  /// Get-or-create.  The returned reference is stable for the registry's
+  /// lifetime.  Re-registering an existing name returns the existing
+  /// metric (first help string and bounds win); a name already bound to a
+  /// different metric kind throws std::logic_error.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Merges every shard into a point-in-time view, families sorted by
+  /// name.  Counters scraped concurrently with increments are torn only
+  /// across *distinct* metrics, never within one (each shard is summed
+  /// with atomic loads).
+  Snapshot snapshot() const;
+
+  /// Zeroes every registered metric (keeps registrations).  Test/bench
+  /// hook; never called by library code.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // ordered => deterministic export
+};
+
+}  // namespace oar::obs

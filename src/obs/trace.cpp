@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#ifndef OARSMTRL_NO_METRICS
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace oar::obs {
+
+TraceRing& TraceRing::instance() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  slots_.assign(capacity, TraceEvent{});
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRing::record(const char* name, std::int64_t start_ns, std::int64_t dur_ns) {
+  if (slots_.empty()) return;
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& slot = slots_[std::size_t(ticket % slots_.size())];
+  slot.name = name;
+  slot.tid = std::uint32_t(detail::shard_index());
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::vector<TraceEvent> out;
+  if (slots_.empty()) return out;
+  const std::uint64_t total = next_.load(std::memory_order_relaxed);
+  const std::uint64_t n = std::min<std::uint64_t>(total, slots_.size());
+  out.reserve(std::size_t(n));
+  // Oldest retained record first.  Unfilled slots (name == nullptr) are
+  // skipped defensively in case a racing writer claimed a ticket but has
+  // not finished writing its slot yet.
+  const std::uint64_t first = total - n;
+  for (std::uint64_t i = first; i < total; ++i) {
+    const TraceEvent& e = slots_[std::size_t(i % slots_.size())];
+    if (e.name != nullptr) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRing::dump_chrome_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    // chrome://tracing wants microseconds ("ts"/"dur"); "ph":"X" is a
+    // complete (begin+end) event.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%" PRIu32
+                  ",\"ts\":%.3f,\"dur\":%.3f}",
+                  i == 0 ? "" : ",", e.name, e.tid, double(e.start_ns) * 1e-3,
+                  double(e.dur_ns) * 1e-3);
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::int64_t TraceRing::now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch)
+      .count();
+}
+
+}  // namespace oar::obs
+
+#endif  // !OARSMTRL_NO_METRICS

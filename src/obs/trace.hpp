@@ -1,0 +1,152 @@
+#pragma once
+
+// Scoped timing + optional ring-buffer tracing (DESIGN.md §12).
+//
+// ScopedTimer is the one-liner for feeding a latency Histogram:
+//
+//   obs::ScopedTimer timer(request_latency_hist);   // observes on scope exit
+//
+// TraceSpan does the same and additionally records a (name, tid, start,
+// duration) event into the global TraceRing when tracing is on.  The ring
+// is a fixed-capacity lock-free buffer (monotone atomic write index, slot =
+// index % capacity) that keeps the most recent events; it is disabled
+// (capacity 0) by default so spans cost exactly one Timer read when unused.
+// dump_chrome_json() emits the retained events in the chrome://tracing /
+// Perfetto "traceEvents" array format.
+//
+// Span names must be string literals (or otherwise outlive the ring): the
+// ring stores the pointer, never a copy — recording must not allocate.
+//
+// Under OARSMTRL_NO_METRICS both classes compile to empty shells and the
+// ring never records.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+#ifndef OARSMTRL_NO_METRICS
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace oar::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;  // since process trace epoch
+  std::int64_t dur_ns = 0;
+};
+
+#ifndef OARSMTRL_NO_METRICS
+
+class TraceRing {
+ public:
+  static TraceRing& instance();
+
+  /// Sets the retained-event capacity; 0 disables tracing (default).
+  /// Resizing discards previously retained events.  Not safe to call
+  /// concurrently with recording spans.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return slots_.size(); }
+
+  bool recording() const {
+    return !slots_.empty() && enabled();
+  }
+
+  void record(const char* name, std::int64_t start_ns, std::int64_t dur_ns);
+
+  /// The retained events, oldest first.  Racing writers may tear the very
+  /// newest slots; the dump is a diagnostic view, not a synchronized one.
+  std::vector<TraceEvent> events() const;
+
+  /// chrome://tracing JSON: {"traceEvents":[{"ph":"X",...}]}.
+  std::string dump_chrome_json() const;
+
+  /// Nanoseconds since the process trace epoch (first use).
+  static std::int64_t now_ns();
+
+ private:
+  TraceRing() = default;
+
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> next_{0};  // total records ever; slot = next_ % size
+};
+
+/// RAII: observes elapsed seconds into `hist` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { hist_->observe(seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII: feeds `hist` (when non-null) and the global TraceRing (when
+/// tracing is on).  `name` must outlive the ring (use a literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* hist = nullptr)
+      : name_(name), hist_(hist), start_ns_(TraceRing::now_ns()) {}
+
+  ~TraceSpan() {
+    const std::int64_t dur = TraceRing::now_ns() - start_ns_;
+    if (hist_ != nullptr) hist_->observe(double(dur) * 1e-9);
+    TraceRing& ring = TraceRing::instance();
+    if (ring.recording()) ring.record(name_, start_ns_, dur);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::int64_t start_ns_;
+};
+
+#else  // OARSMTRL_NO_METRICS
+
+class TraceRing {
+ public:
+  static TraceRing& instance() {
+    static TraceRing ring;
+    return ring;
+  }
+  void set_capacity(std::size_t) {}
+  std::size_t capacity() const { return 0; }
+  bool recording() const { return false; }
+  void record(const char*, std::int64_t, std::int64_t) {}
+  std::vector<TraceEvent> events() const { return {}; }
+  std::string dump_chrome_json() const { return "{\"traceEvents\":[]}\n"; }
+  static std::int64_t now_ns() { return 0; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+  double seconds() const { return 0.0; }
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, Histogram* = nullptr) {}
+};
+
+#endif  // OARSMTRL_NO_METRICS
+
+}  // namespace oar::obs

@@ -6,6 +6,7 @@
 
 #include "route/oarmst.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace oar::rl {
 
@@ -58,6 +59,35 @@ std::vector<PolicyEntry> masked_softmax(const hanan::HananGrid& grid,
 
 }  // namespace
 
+void PpoConfig::validate() const {
+  util::check_field(episodes_per_iteration >= 1, "PpoConfig",
+                    "episodes_per_iteration", "be >= 1",
+                    episodes_per_iteration);
+  util::check_field(update_epochs >= 1, "PpoConfig", "update_epochs",
+                    "be >= 1", update_epochs);
+  util::check_field(clip_epsilon > 0.0, "PpoConfig", "clip_epsilon",
+                    "be positive", clip_epsilon);
+  util::check_field(lr_policy > 0.0 && std::isfinite(lr_policy), "PpoConfig",
+                    "lr_policy", "be finite and positive", lr_policy);
+  util::check_field(lr_value > 0.0 && std::isfinite(lr_value), "PpoConfig",
+                    "lr_value", "be finite and positive", lr_value);
+  util::check_field(gamma > 0.0 && gamma <= 1.0, "PpoConfig", "gamma",
+                    "be in (0, 1]", gamma);
+  util::check_field(gae_lambda >= 0.0 && gae_lambda <= 1.0, "PpoConfig",
+                    "gae_lambda", "be in [0, 1]", gae_lambda);
+  util::check_field(entropy_coef >= 0.0, "PpoConfig", "entropy_coef",
+                    "be non-negative", entropy_coef);
+  util::check_field(grad_clip > 0.0, "PpoConfig", "grad_clip", "be positive",
+                    grad_clip);
+  util::check_field(min_pins >= 2, "PpoConfig", "min_pins", "be >= 2",
+                    min_pins);
+  util::check_field(max_pins >= min_pins, "PpoConfig", "max_pins",
+                    "be >= min_pins", max_pins);
+  util::check_field(obstacle_density >= 0.0 && obstacle_density < 1.0,
+                    "PpoConfig", "obstacle_density", "be in [0, 1)",
+                    obstacle_density);
+}
+
 PpoTrainer::PpoTrainer(SteinerSelector& selector, std::vector<LayoutSizeSpec> sizes,
                        PpoConfig config)
     : selector_(selector),
@@ -66,7 +96,9 @@ PpoTrainer::PpoTrainer(SteinerSelector& selector, std::vector<LayoutSizeSpec> si
       value_net_(nn::ValueNetConfig{7, 8, 16, config.seed ^ 0xbeefull}),
       policy_opt_(selector.net().parameters(), config.lr_policy),
       value_opt_(value_net_.parameters(), config.lr_value),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  config_.validate();
+}
 
 PpoIterationReport PpoTrainer::run_iteration() {
   util::Timer timer;

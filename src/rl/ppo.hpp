@@ -33,6 +33,9 @@ struct PpoConfig {
   std::int32_t max_pins = 6;
   double obstacle_density = 0.10;
   std::uint64_t seed = 7;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 struct PpoIterationReport {

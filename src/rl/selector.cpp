@@ -26,7 +26,7 @@ nn::Tensor SteinerSelector::encode(const HananGrid& grid,
 
 void SteinerSelector::infer_fsp_into(const HananGrid& grid,
                                      const std::vector<Vertex>& extra_pins,
-                                     std::vector<double>& fsp) {
+                                     std::vector<double>& out) {
   if (!net_.training()) {
     nn::InferenceScratch& arena = net_.inference_scratch();
     arena.rewind();  // infer() never rewinds, so the input slot survives
@@ -34,16 +34,16 @@ void SteinerSelector::infer_fsp_into(const HananGrid& grid,
         {hanan::kNumFeatureChannels, grid.h_dim(), grid.v_dim(), grid.m_dim()});
     features_.encode_into(grid, extra_pins, input.data());
     const nn::Tensor& logits = net_.infer(input);  // (1, H, V, M)
-    fsp.resize(std::size_t(logits.numel()));
-    nn::sigmoid_into(logits.data(), logits.numel(), fsp.data());
+    out.resize(std::size_t(logits.numel()));
+    nn::sigmoid_into(logits.data(), logits.numel(), out.data());
     return;
   }
   // Reference path (training mode): full re-encode + scalar forward.  Also
   // the baseline bench_infer measures the fast path against.
   const nn::Tensor input = encode(grid, extra_pins);
   const nn::Tensor logits = net_.forward(input);
-  fsp.resize(std::size_t(logits.numel()));
-  nn::sigmoid_into(logits.data(), logits.numel(), fsp.data());
+  out.resize(std::size_t(logits.numel()));
+  nn::sigmoid_into(logits.data(), logits.numel(), out.data());
 }
 
 std::vector<double> SteinerSelector::infer_fsp(const HananGrid& grid,

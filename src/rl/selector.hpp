@@ -23,6 +23,9 @@ using hanan::Vertex;
 
 struct SelectorConfig {
   nn::UNet3dConfig unet;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const { unet.validate(); }
 };
 
 class SteinerSelector {
@@ -49,7 +52,7 @@ class SteinerSelector {
   /// bulk pass — zero heap allocations once warm.  In training mode it
   /// falls back to the reference encode + forward path.
   void infer_fsp_into(const HananGrid& grid, const std::vector<Vertex>& extra_pins,
-                      std::vector<double>& fsp);
+                      std::vector<double>& out);
 
   /// Select the `k` valid vertices with the highest fsp (valid: not a pin,
   /// not blocked, not in `extra_pins`).  This is the paper's top-(n-2)

@@ -9,12 +9,96 @@
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rl/augment.hpp"
 #include "steiner/router_base.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace oar::rl {
+
+namespace {
+
+struct TrainObs {
+  obs::Counter& stages;
+  obs::Counter& samples;
+  obs::Counter& fit_batches;
+  obs::Counter& fit_samples;
+  obs::Gauge& stage_loss;
+  obs::Gauge& samples_per_second;
+  obs::Histogram& checkpoint_seconds;
+};
+
+TrainObs& train_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static TrainObs o{
+      reg.counter("oar_rl_stages_total", "Training stages completed"),
+      reg.counter("oar_rl_samples_total",
+                  "MCTS-labelled raw samples generated (before augmentation)"),
+      reg.counter("oar_rl_fit_batches_total",
+                  "Gradient batches accumulated by ParallelFitter"),
+      reg.counter("oar_rl_fit_samples_total",
+                  "Samples backpropagated by ParallelFitter"),
+      reg.gauge("oar_rl_stage_loss", "Mean fit loss of the last stage"),
+      reg.gauge("oar_rl_samples_per_second",
+                "Raw-sample generation throughput of the last stage"),
+      reg.histogram("oar_rl_checkpoint_seconds", obs::latency_buckets(),
+                    "Wall time per training-checkpoint write"),
+  };
+  return o;
+}
+
+}  // namespace
+
+void TrainConfig::validate() const {
+  util::check_field(!sizes.empty(), "TrainConfig", "sizes", "be non-empty",
+                    sizes.size());
+  for (const LayoutSizeSpec& s : sizes) {
+    util::check_field(s.h >= 2 && s.v >= 2 && s.m >= 1, "TrainConfig", "sizes",
+                      "contain only specs with h, v >= 2 and m >= 1",
+                      std::to_string(s.h) + "x" + std::to_string(s.v) + "x" +
+                          std::to_string(s.m));
+  }
+  util::check_field(layouts_per_size >= 1, "TrainConfig", "layouts_per_size",
+                    "be >= 1", layouts_per_size);
+  util::check_field(stages >= 1, "TrainConfig", "stages", "be >= 1", stages);
+  util::check_field(epochs_per_stage >= 1, "TrainConfig", "epochs_per_stage",
+                    "be >= 1", epochs_per_stage);
+  util::check_field(batch_size >= 1, "TrainConfig", "batch_size", "be >= 1",
+                    batch_size);
+  util::check_field(lr > 0.0 && std::isfinite(lr), "TrainConfig", "lr",
+                    "be finite and positive", lr);
+  util::check_field(grad_clip > 0.0, "TrainConfig", "grad_clip", "be positive",
+                    grad_clip);
+  util::check_field(augment_count >= 1 && augment_count <= 16, "TrainConfig",
+                    "augment_count", "be in [1, 16]", augment_count);
+  util::check_field(curriculum_stages >= 0, "TrainConfig", "curriculum_stages",
+                    "be >= 0", curriculum_stages);
+  util::check_field(min_pins >= 2, "TrainConfig", "min_pins", "be >= 2",
+                    min_pins);
+  util::check_field(max_pins >= min_pins, "TrainConfig", "max_pins",
+                    "be >= min_pins", max_pins);
+  util::check_field(obstacle_density >= 0.0 && obstacle_density < 1.0,
+                    "TrainConfig", "obstacle_density", "be in [0, 1)",
+                    obstacle_density);
+  util::check_field(threads >= 0, "TrainConfig", "threads",
+                    "be >= 0 (0 = hardware)", threads);
+  util::check_field(fit_workers >= 0, "TrainConfig", "fit_workers",
+                    "be >= 0 (0 = inherit threads)", fit_workers);
+  mcts.validate();
+}
+
+void FitOptions::validate() const {
+  util::check_field(epochs >= 1, "FitOptions", "epochs", "be >= 1", epochs);
+  util::check_field(batch_size >= 1, "FitOptions", "batch_size", "be >= 1",
+                    batch_size);
+  util::check_field(grad_clip > 0.0, "FitOptions", "grad_clip", "be positive",
+                    grad_clip);
+  util::check_field(workers >= 0, "FitOptions", "workers",
+                    "be >= 0 (<= 1 runs serially)", workers);
+}
 
 gen::RandomGridSpec training_spec(const LayoutSizeSpec& size, double obstacle_density,
                                   std::int32_t min_pins, std::int32_t max_pins) {
@@ -88,6 +172,8 @@ double ParallelFitter::accumulate_batch(const Dataset& dataset,
                                         const std::vector<std::size_t>& batch) {
   if (batch.empty()) return 0.0;
   const std::size_t n = batch.size();
+  train_obs().fit_batches.inc();
+  train_obs().fit_samples.add(n);
   const float inv_batch = 1.0f / float(n);
   sync_replicas();
   if (sample_grads_.size() < n) sample_grads_.resize(n);
@@ -141,6 +227,7 @@ double ParallelFitter::accumulate_batch(const Dataset& dataset,
 double fit_dataset(SteinerSelector& selector, nn::Adam& optimizer,
                    const Dataset& dataset, const FitOptions& options,
                    util::Rng& rng) {
+  options.validate();
   if (dataset.empty()) return 0.0;
   const std::int32_t workers = std::max<std::int32_t>(1, options.workers);
   std::unique_ptr<util::ThreadPool> local_pool;
@@ -246,7 +333,9 @@ CombTrainer::CombTrainer(SteinerSelector& selector, TrainConfig config)
     : selector_(selector),
       config_(config),
       optimizer_(selector.net().parameters(), config.lr),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  config_.validate();
+}
 
 StageReport CombTrainer::run_stage() {
   StageReport report;
@@ -374,6 +463,15 @@ StageReport CombTrainer::run_stage() {
   report.mean_loss = fit_dataset(selector_, optimizer_, dataset, fit, rng_);
   report.train_seconds = fit_timer.seconds();
 
+  TrainObs& tobs = train_obs();
+  tobs.stages.inc();
+  tobs.samples.add(std::uint64_t(report.raw_samples));
+  tobs.stage_loss.set(report.mean_loss);
+  tobs.samples_per_second.set(report.sample_gen_seconds > 0.0
+                                  ? double(report.raw_samples) /
+                                        report.sample_gen_seconds
+                                  : 0.0);
+
   util::log_info("stage ", stage_index_, ": ", report.raw_samples, " layouts -> ",
                  report.train_samples, " samples, loss ", report.mean_loss,
                  ", mcts ST/MST ", report.mean_mcts_st_mst);
@@ -394,6 +492,7 @@ std::vector<StageReport> CombTrainer::train() {
 }
 
 bool CombTrainer::save_checkpoint(const std::string& path) {
+  obs::ScopedTimer timer(train_obs().checkpoint_seconds);
   return nn::save_training_checkpoint(path, selector_.net(), optimizer_,
                                       rng_.state(), stage_index_);
 }

@@ -65,6 +65,10 @@ struct TrainConfig {
   /// (see nn/serialize), and load_checkpoint()/try_resume() continue a
   /// killed run mid-schedule.
   std::string checkpoint_path;
+
+  /// Throws std::invalid_argument naming the offending field (also
+  /// validates the nested `mcts` config).
+  void validate() const;
 };
 
 struct StageReport {
@@ -93,6 +97,9 @@ struct FitOptions {
   /// Optional shared pool; when null and workers > 1 a temporary pool is
   /// created for the duration of the call.
   util::ThreadPool* pool = nullptr;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 /// Shards mini-batches across per-worker selector replicas.  Worker w

@@ -4,7 +4,33 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace oar::route {
+
+namespace {
+
+// Registered once, incremented lock-free ever after (DESIGN.md §12).
+struct MazeObs {
+  obs::Counter& epochs;
+  obs::Counter& heap_pushes;
+  obs::Counter& adjacency_rebuilds;
+};
+
+MazeObs& maze_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static MazeObs o{
+      reg.counter("oar_route_maze_epochs_total",
+                  "Dijkstra search epochs started (MazeRouter::begin)"),
+      reg.counter("oar_route_maze_heap_pushes_total",
+                  "Heap pushes performed by the maze relaxation loop"),
+      reg.counter("oar_route_maze_adjacency_rebuilds_total",
+                  "CSR adjacency cache rebuilds (MazeRouter::bind misses)"),
+  };
+  return o;
+}
+
+}  // namespace
 
 MazeRouter::MazeRouter(const HananGrid& grid) { bind(grid); }
 
@@ -23,6 +49,7 @@ void MazeRouter::bind(const HananGrid& grid) {
   // Flatten the usable edges into CSR arrays once per (grid, revision); the
   // relaxation loop is then a contiguous scan with no per-edge coordinate
   // math or blocked checks.
+  maze_obs().adjacency_rebuilds.inc();
   bound_revision_ = grid.revision();
   adj_offset_.assign(n + 1, 0);
   adj_vertex_.clear();
@@ -44,6 +71,7 @@ void MazeRouter::bind(const HananGrid& grid) {
 // pops the same sequence; bitwise equivalence between the incremental and
 // from-scratch modes does not depend on heap shape.
 void MazeRouter::push_entry(double d, Vertex v) {
+  ++heap_pushes_pending_;  // flushed to the obs registry per continue_run
   const Entry e{d, v};
   std::size_t i = heap_.size();
   heap_.push_back(e);
@@ -128,6 +156,7 @@ void MazeRouter::begin(const std::vector<Vertex>& sources) {
   // The grid may have been mutated in place (block_vertex etc.) since the
   // last bind; a new search must see the current topology.
   if (bound_revision_ != grid_->revision()) bind(*grid_);
+  maze_obs().epochs.inc();
   heap_.clear();
   ++current_epoch_;
   if (current_epoch_ == 0) {  // stamp wrap-around: hard reset
@@ -180,7 +209,8 @@ Vertex MazeRouter::continue_run(const std::vector<Vertex>& targets) {
   }
   const bool have_targets = !targets.empty();
 
-  while (!heap_.empty()) {
+  Vertex found = hanan::kInvalidVertex;
+  while (found == hanan::kInvalidVertex && !heap_.empty()) {
     const auto [d, u] = pop_entry();
     State& su = state_[std::size_t(u)];
     if (su.epoch != current_epoch_ || d > su.dist) continue;  // stale entry
@@ -208,9 +238,13 @@ Vertex MazeRouter::continue_run(const std::vector<Vertex>& targets) {
         sn.parent = u;
       }
     }
-    if (is_target) return u;
+    if (is_target) found = u;
   }
-  return hanan::kInvalidVertex;
+  if (heap_pushes_pending_ != 0) {
+    maze_obs().heap_pushes.add(heap_pushes_pending_);
+    heap_pushes_pending_ = 0;
+  }
+  return found;
 }
 
 Vertex MazeRouter::run(const std::vector<Vertex>& sources,

@@ -128,6 +128,12 @@ class MazeRouter {
   using Entry = std::pair<double, Vertex>;  // (distance, vertex) min-heap
   std::vector<Entry> heap_;
 
+  // Heap pushes since the last flush into the obs registry.  The hot loop
+  // bumps this plain member; one relaxed atomic add per continue_run()
+  // publishes it (DESIGN.md §12), keeping instrumentation off the
+  // relaxation path.
+  std::uint64_t heap_pushes_pending_ = 0;
+
   bool stamped(Vertex v) const {
     return current_epoch_ != 0 && state_[std::size_t(v)].epoch == current_epoch_;
   }

@@ -3,10 +3,46 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "util/validate.hpp"
+
 namespace oar::route {
 
+namespace {
+
+struct OarmstObs {
+  obs::Counter& builds;
+  obs::Counter& rebuild_passes;
+  obs::Counter& bare_cache_hits;
+  obs::Counter& bare_cache_misses;
+};
+
+OarmstObs& oarmst_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static OarmstObs o{
+      reg.counter("oar_route_oarmst_builds_total",
+                  "OARMST constructions (OarmstRouter::build)"),
+      reg.counter("oar_route_oarmst_rebuild_passes_total",
+                  "Redundant-Steiner removal rebuild passes"),
+      reg.counter("oar_route_bare_cache_hits_total",
+                  "RouterScratch bare pins-only tree cache hits"),
+      reg.counter("oar_route_bare_cache_misses_total",
+                  "RouterScratch bare pins-only tree cache misses"),
+  };
+  return o;
+}
+
+}  // namespace
+
+void OarmstConfig::validate() const {
+  util::check_field(max_rebuild_passes >= 1, "OarmstConfig",
+                    "max_rebuild_passes", "be >= 1", max_rebuild_passes);
+}
+
 OarmstRouter::OarmstRouter(const HananGrid& grid, OarmstConfig config)
-    : grid_(grid), config_(config) {}
+    : grid_(grid), config_(config) {
+  config_.validate();
+}
 
 OarmstResult OarmstRouter::build_once(const std::vector<Vertex>& terminals,
                                       RouterScratch& scratch) const {
@@ -91,6 +127,7 @@ OarmstResult OarmstRouter::build(const std::vector<Vertex>& pins,
                                  const std::vector<Vertex>& steiner_points,
                                  RouterScratch* scratch_in) const {
   RouterScratch& scratch = scratch_in != nullptr ? *scratch_in : local_router_scratch();
+  oarmst_obs().builds.inc();
 
   // Filter Steiner points: drop blocked vertices and duplicates of pins.
   const auto n = std::size_t(grid_.num_vertices());
@@ -138,6 +175,7 @@ OarmstResult OarmstRouter::build(const std::vector<Vertex>& pins,
       return bare;
     }
 
+    oarmst_obs().rebuild_passes.inc();
     auto& new_terminals = scratch.rebuild_terminals_;
     new_terminals.assign(pins.begin(), pins.end());
     new_terminals.insert(new_terminals.end(), kept.begin(), kept.end());
@@ -157,12 +195,14 @@ OarmstResult OarmstRouter::bare_result(const std::vector<Vertex>& pins,
       scratch.bare_revision_ == grid_.revision() &&
       scratch.bare_attach_ == attach && scratch.bare_cost_model_ == model &&
       scratch.bare_pins_ == pins) {
+    oarmst_obs().bare_cache_hits.inc();
     OarmstResult result;
     result.tree = scratch.bare_tree_;
     result.cost = scratch.bare_cost_;
     result.connected = scratch.bare_connected_;
     return result;
   }
+  oarmst_obs().bare_cache_misses.inc();
   OarmstResult result = build_once(pins, scratch);
   scratch.bare_valid_ = true;
   scratch.bare_grid_ = &grid_;

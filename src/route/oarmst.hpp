@@ -50,6 +50,9 @@ struct OarmstConfig {
   /// from-scratch mode exists as an equivalence baseline for tests and
   /// benchmarks; results are identical either way.
   bool incremental = true;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 struct OarmstResult {

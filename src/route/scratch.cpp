@@ -1,9 +1,20 @@
 #include "route/scratch.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace oar::route {
 
 RouterScratch& local_router_scratch() {
   thread_local RouterScratch scratch;
+  thread_local const bool counted = [] {
+    obs::MetricsRegistry::instance()
+        .counter("oar_route_scratch_created_total",
+                 "Per-thread RouterScratch pools created (each amortizes "
+                 "O(V) maze arrays across every later build on its thread)")
+        .inc();
+    return true;
+  }();
+  (void)counted;
   return scratch;
 }
 

@@ -1,11 +1,69 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "serve/batched_selector.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace oar::serve {
+
+namespace {
+
+// Global-registry counterparts of ServiceMetrics (which keeps the CSV
+// percentile path).  Names follow the oar_<subsystem>_<what>_<unit> scheme
+// of DESIGN.md §12; the serving integration test pins these families.
+struct ServeObs {
+  obs::Counter& requests;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& batches;
+  obs::Counter& deadline_misses;
+  obs::Gauge& queue_depth;
+  obs::Gauge& cache_entries;
+  obs::Histogram& batch_occupancy;
+  obs::Histogram& request_latency;
+  obs::Histogram& inference_latency;
+  obs::Histogram& routing_latency;
+};
+
+ServeObs& serve_obs() {
+  auto& reg = obs::MetricsRegistry::instance();
+  static ServeObs o{
+      reg.counter("oar_serve_requests_total", "Routing requests submitted"),
+      reg.counter("oar_serve_cache_hits_total",
+                  "Requests answered from the symmetry-aware result cache"),
+      reg.counter("oar_serve_cache_misses_total",
+                  "Requests that missed the result cache and were queued"),
+      reg.counter("oar_serve_batches_total", "Micro-batches processed"),
+      reg.counter("oar_serve_deadline_misses_total",
+                  "Replies that finished after the request deadline"),
+      reg.gauge("oar_serve_queue_depth", "Requests waiting in the batcher queue"),
+      reg.gauge("oar_serve_cache_entries", "Entries resident in the result cache"),
+      reg.histogram("oar_serve_batch_occupancy", obs::pow2_buckets(8),
+                    "Requests per processed micro-batch"),
+      reg.histogram("oar_serve_request_latency_seconds", obs::latency_buckets(),
+                    "Submit-to-reply latency per request"),
+      reg.histogram("oar_serve_inference_seconds", obs::latency_buckets(),
+                    "Batched U-Net pass latency per micro-batch"),
+      reg.histogram("oar_serve_routing_seconds", obs::latency_buckets(),
+                    "OARMST fan-out latency per micro-batch"),
+  };
+  return o;
+}
+
+}  // namespace
+
+void RouterServiceConfig::validate() const {
+  util::check_field(max_batch >= 1, "RouterServiceConfig", "max_batch",
+                    "be >= 1 (1 disables batching)", max_batch);
+  util::check_field(batch_wait_ms >= 0.0 && std::isfinite(batch_wait_ms),
+                    "RouterServiceConfig", "batch_wait_ms",
+                    "be finite and non-negative", batch_wait_ms);
+}
 
 namespace {
 
@@ -27,6 +85,7 @@ RouterService::RouterService(std::shared_ptr<rl::SteinerSelector> selector,
       cache_(config.cache_capacity),
       pool_(config.worker_threads) {
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  config_.validate();
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -41,6 +100,7 @@ RouterService::~RouterService() {
 
 std::future<RouteReply> RouterService::submit(RouteRequest request) {
   metrics_.add_request();
+  serve_obs().requests.inc();
   const Clock::time_point now = Clock::now();
 
   Pending pending;
@@ -52,21 +112,26 @@ std::future<RouteReply> RouterService::submit(RouteRequest request) {
     pending.canon = canonicalize(*pending.request.grid);
     if (std::optional<CachedRoute> hit = cache_.get(pending.canon.key)) {
       metrics_.add_cache_hit();
+      serve_obs().cache_hits.inc();
       RouteReply reply = replay_cached(pending.request, pending.canon, *hit);
       reply.total_seconds = seconds_between(now, Clock::now());
       if (pending.request.deadline && Clock::now() > *pending.request.deadline) {
         reply.deadline_met = false;
         metrics_.add_deadline_miss();
+        serve_obs().deadline_misses.inc();
       }
       metrics_.record_stage(Stage::kTotal, reply.total_seconds);
+      serve_obs().request_latency.observe(reply.total_seconds);
       pending.promise.set_value(std::move(reply));
       return fut;
     }
   }
 
+  serve_obs().cache_misses.inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(pending));
+    serve_obs().queue_depth.set(double(queue_.size()));
   }
   cv_.notify_all();
   return fut;
@@ -118,6 +183,7 @@ std::vector<RouterService::Pending> RouterService::take_batch() {
     }
     harvest();
   }
+  serve_obs().queue_depth.set(double(queue_.size()));
   return batch;
 }
 
@@ -127,6 +193,8 @@ void RouterService::process_batch(std::vector<Pending> batch) {
     metrics_.record_stage(Stage::kQueueWait, seconds_between(p.enqueued, popped));
   }
   metrics_.add_batch(batch.size());
+  serve_obs().batches.inc();
+  serve_obs().batch_occupancy.observe(double(batch.size()));
 
   std::vector<const HananGrid*> grids;
   grids.reserve(batch.size());
@@ -139,6 +207,7 @@ void RouterService::process_batch(std::vector<Pending> batch) {
   const double infer_seconds = infer_timer.seconds();
   metrics_.record_stage(Stage::kBatchAssembly, 0.0);
   metrics_.record_stage(Stage::kInference, infer_seconds);
+  serve_obs().inference_latency.observe(infer_seconds);
 
   // Stage 2: per-net top-k + OARMST construction across the pool.
   util::Timer route_timer;
@@ -156,6 +225,7 @@ void RouterService::process_batch(std::vector<Pending> batch) {
   });
   const double route_seconds = route_timer.seconds();
   metrics_.record_stage(Stage::kRouting, route_seconds);
+  serve_obs().routing_latency.observe(route_seconds);
 
   const Clock::time_point done = Clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -194,10 +264,32 @@ void RouterService::process_batch(std::vector<Pending> batch) {
     if (p.request.deadline && done > *p.request.deadline) {
       reply.deadline_met = false;
       metrics_.add_deadline_miss();
+      serve_obs().deadline_misses.inc();
     }
     metrics_.record_stage(Stage::kTotal, reply.total_seconds);
+    serve_obs().request_latency.observe(reply.total_seconds);
     p.promise.set_value(std::move(reply));
   }
+}
+
+std::string RouterService::scrape_prometheus() {
+  ServeObs& o = serve_obs();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    o.queue_depth.set(double(queue_.size()));
+  }
+  o.cache_entries.set(double(cache_.size()));
+  return obs::scrape_prometheus();
+}
+
+std::string RouterService::scrape_json() {
+  ServeObs& o = serve_obs();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    o.queue_depth.set(double(queue_.size()));
+  }
+  o.cache_entries.set(double(cache_.size()));
+  return obs::scrape_json();
 }
 
 RouteReply RouterService::replay_cached(const RouteRequest& request,

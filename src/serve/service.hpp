@@ -73,6 +73,9 @@ struct RouterServiceConfig {
   std::size_t cache_capacity = 256;
   /// Worker threads for encode/routing fan-out; 0 = hardware concurrency.
   std::size_t worker_threads = 0;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class RouterService {
@@ -94,6 +97,14 @@ class RouterService {
   const RouterServiceConfig& config() const { return config_; }
   ServiceMetrics& metrics() { return metrics_; }
   std::size_t cache_size() const { return cache_.size(); }
+
+  /// Point-in-time export of the process-global obs::MetricsRegistry in
+  /// Prometheus exposition format / JSON.  Contains this service's
+  /// families (request latency, batch occupancy, symmetry-cache hits) and
+  /// every lower layer's (MazeRouter epochs, inference arena, ...);
+  /// liveness gauges (queue depth, cache entries) are refreshed first.
+  std::string scrape_prometheus();
+  std::string scrape_json();
 
  private:
   struct Pending {

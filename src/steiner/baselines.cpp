@@ -5,8 +5,30 @@
 #include "steiner/lin08.hpp"
 #include "steiner/lin18.hpp"
 #include "steiner/liu14.hpp"
+#include "util/validate.hpp"
 
 namespace oar::steiner {
+
+void Liu14Config::validate() const {
+  util::check_field(max_evaluations >= 1, "Liu14Config", "max_evaluations",
+                    "be >= 1", max_evaluations);
+  util::check_field(neighbors_per_terminal >= 1, "Liu14Config",
+                    "neighbors_per_terminal", "be >= 1",
+                    neighbors_per_terminal);
+}
+
+void Lin18Config::validate() const {
+  util::check_field(max_evaluations_per_round >= 1, "Lin18Config",
+                    "max_evaluations_per_round", "be >= 1",
+                    max_evaluations_per_round);
+  util::check_field(neighbors_per_terminal >= 1, "Lin18Config",
+                    "neighbors_per_terminal", "be >= 1",
+                    neighbors_per_terminal);
+  util::check_field(max_rounds >= 1, "Lin18Config", "max_rounds", "be >= 1",
+                    max_rounds);
+  util::check_field(min_gain >= 0.0, "Lin18Config", "min_gain",
+                    "be non-negative", min_gain);
+}
 
 double mst_cost(const HananGrid& grid, route::RouterScratch* scratch) {
   route::OarmstConfig cfg;

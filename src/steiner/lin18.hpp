@@ -22,11 +22,16 @@ struct Lin18Config {
   int max_rounds = 64;
   /// Minimum relative improvement to accept a candidate.
   double min_gain = 1e-9;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class Lin18Router : public Router {
  public:
-  explicit Lin18Router(Lin18Config config = {}) : config_(config) {}
+  explicit Lin18Router(Lin18Config config = {}) : config_(config) {
+    config_.validate();
+  }
 
   std::string name() const override { return "lin18"; }
   route::OarmstResult route(const HananGrid& grid) override;

@@ -18,11 +18,16 @@ struct Liu14Config {
   int max_evaluations = 24;
   /// Per terminal, how many nearest terminals contribute corner candidates.
   int neighbors_per_terminal = 3;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class Liu14Router : public Router {
  public:
-  explicit Liu14Router(Liu14Config config = {}) : config_(config) {}
+  explicit Liu14Router(Liu14Config config = {}) : config_(config) {
+    config_.validate();
+  }
 
   std::string name() const override { return "liu14"; }
   route::OarmstResult route(const HananGrid& grid) override;

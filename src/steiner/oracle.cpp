@@ -2,7 +2,16 @@
 
 #include <vector>
 
+#include "util/validate.hpp"
+
 namespace oar::steiner {
+
+void OracleConfig::validate() const {
+  util::check_field(max_steiner >= 0, "OracleConfig", "max_steiner",
+                    "be >= 0", max_steiner);
+  util::check_field(max_evaluations >= 0, "OracleConfig", "max_evaluations",
+                    "be >= 0 (0 = unlimited)", max_evaluations);
+}
 
 route::OarmstResult OracleRouter::route(const HananGrid& grid) {
   route::OarmstRouter router(grid);

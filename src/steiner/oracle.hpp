@@ -22,11 +22,16 @@ struct OracleConfig {
   std::int32_t max_steiner = 2;
   /// Hard cap on OARMST evaluations; 0 = unlimited.
   std::int64_t max_evaluations = 200000;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class OracleRouter : public Router {
  public:
-  explicit OracleRouter(OracleConfig config = {}) : config_(config) {}
+  explicit OracleRouter(OracleConfig config = {}) : config_(config) {
+    config_.validate();
+  }
 
   std::string name() const override { return "oracle"; }
   route::OarmstResult route(const HananGrid& grid) override;

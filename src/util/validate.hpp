@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared config-validation helpers.  Every *Config::validate() in the
+// repository reports failures through check_field(), so the message format
+// is uniform and greppable:
+//
+//   <Struct>.<field> must <requirement> (got <value>)
+//
+// validate() is called by the consuming constructor (Liu14Router,
+// RouterService, CombTrainer, ...), so a bad value fails fast at the API
+// boundary with the offending field named, instead of surfacing as an
+// assert or silent misbehavior deep in the stack.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oar::util {
+
+template <typename T>
+[[noreturn]] void fail_field(const char* struct_name, const char* field,
+                             const char* requirement, const T& got) {
+  std::ostringstream oss;
+  oss << struct_name << "." << field << " must " << requirement << " (got "
+      << got << ")";
+  throw std::invalid_argument(oss.str());
+}
+
+/// Throws std::invalid_argument naming the offending field when !ok.
+template <typename T>
+void check_field(bool ok, const char* struct_name, const char* field,
+                 const char* requirement, const T& got) {
+  if (!ok) fail_field(struct_name, field, requirement, got);
+}
+
+}  // namespace oar::util

@@ -1,0 +1,310 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oar::obs {
+namespace {
+
+MetricsRegistry& reg() { return MetricsRegistry::instance(); }
+
+// Most tests exercise the real implementation; under OARSMTRL_NO_METRICS the
+// whole layer compiles to no-ops, so they skip (the no-op build has its own
+// compile test in CI, plus NoMetricsBuildStillLinks below).
+#define SKIP_WITHOUT_METRICS() \
+  if (!kMetricsCompiled) GTEST_SKIP() << "built with OARSMTRL_NO_METRICS"
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
+  Counter& a = reg().counter("test_registry_stable_total", "help");
+  Counter& b = reg().counter("test_registry_stable_total", "help");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg().gauge("test_registry_stable_gauge", "help");
+  Gauge& g2 = reg().gauge("test_registry_stable_gauge", "help");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 =
+      reg().histogram("test_registry_stable_hist", {1.0, 2.0}, "help");
+  Histogram& h2 =
+      reg().histogram("test_registry_stable_hist", {1.0, 2.0}, "help");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  SKIP_WITHOUT_METRICS();
+  reg().counter("test_registry_kind_total", "help");
+  EXPECT_THROW(reg().gauge("test_registry_kind_total", "help"),
+               std::logic_error);
+  EXPECT_THROW(reg().histogram("test_registry_kind_total", {1.0}, "help"),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, HistogramRequiresAscendingBounds) {
+  SKIP_WITHOUT_METRICS();
+  EXPECT_THROW(reg().histogram("test_registry_bad_bounds", {2.0, 1.0}, "h"),
+               std::invalid_argument);
+  EXPECT_THROW(reg().histogram("test_registry_dup_bounds", {1.0, 1.0}, "h"),
+               std::invalid_argument);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  SKIP_WITHOUT_METRICS();
+  Counter& c = reg().counter("test_concurrent_total", "help");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    c.add(5);
+  });
+  const Snapshot snap = reg().snapshot();
+  bool found = false;
+  for (const CounterSample& s : snap.counters) {
+    if (s.name == "test_concurrent_total") {
+      EXPECT_EQ(s.value, kThreads * kPerThread + kThreads * 5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Histogram, ConcurrentObservationsAreExact) {
+  SKIP_WITHOUT_METRICS();
+  Histogram& h =
+      reg().histogram("test_concurrent_hist", {1.0, 2.0, 4.0}, "help");
+  constexpr std::size_t kThreads = 8;
+  constexpr int kPerThread = 5000;
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kPerThread; ++i) h.observe(1.5);
+  });
+  const Snapshot snap = reg().snapshot();
+  for (const HistogramSample& s : snap.histograms) {
+    if (s.name != "test_concurrent_hist") continue;
+    EXPECT_EQ(s.count, std::uint64_t(kThreads * kPerThread));
+    EXPECT_EQ(s.counts[1], std::uint64_t(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(s.sum, 1.5 * kThreads * kPerThread);
+    return;
+  }
+  FAIL() << "histogram not found in snapshot";
+}
+
+TEST(Histogram, BucketBoundariesUsePrometheusLeSemantics) {
+  SKIP_WITHOUT_METRICS();
+  Histogram& h = reg().histogram("test_bounds_hist", {1.0, 2.0, 4.0}, "help");
+  h.observe(0.5);  // <= 1    -> bucket 0
+  h.observe(1.0);  // <= 1    -> bucket 0 (le is inclusive)
+  h.observe(1.5);  // <= 2    -> bucket 1
+  h.observe(4.0);  // <= 4    -> bucket 2
+  h.observe(9.0);  // overflow-> bucket 3 (+Inf)
+  const Snapshot snap = reg().snapshot();
+  for (const HistogramSample& s : snap.histograms) {
+    if (s.name != "test_bounds_hist") continue;
+    ASSERT_EQ(s.bounds.size(), 3u);
+    ASSERT_EQ(s.counts.size(), 4u);
+    EXPECT_EQ(s.counts[0], 2u);
+    EXPECT_EQ(s.counts[1], 1u);
+    EXPECT_EQ(s.counts[2], 1u);
+    EXPECT_EQ(s.counts[3], 1u);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+    return;
+  }
+  FAIL() << "histogram not found in snapshot";
+}
+
+TEST(Gauge, SetAndAdd) {
+  SKIP_WITHOUT_METRICS();
+  Gauge& g = reg().gauge("test_gauge", "help");
+  g.set(10.0);
+  g.add(-2.5);
+  const Snapshot snap = reg().snapshot();
+  for (const GaugeSample& s : snap.gauges) {
+    if (s.name == "test_gauge") {
+      EXPECT_DOUBLE_EQ(s.value, 7.5);
+      return;
+    }
+  }
+  FAIL() << "gauge not found in snapshot";
+}
+
+TEST(Enabled, KillSwitchSuppressesRecording) {
+  SKIP_WITHOUT_METRICS();
+  Counter& c = reg().counter("test_kill_switch_total", "help");
+  set_enabled(false);
+  c.inc();
+  c.add(100);
+  set_enabled(true);
+  c.inc();
+  const Snapshot snap = reg().snapshot();
+  for (const CounterSample& s : snap.counters) {
+    if (s.name == "test_kill_switch_total") {
+      EXPECT_EQ(s.value, 1u);
+      return;
+    }
+  }
+  FAIL() << "counter not found in snapshot";
+}
+
+// Exporters are tested against hand-built snapshots, so the expected text
+// is exact regardless of what other tests registered globally.
+Snapshot golden_snapshot() {
+  Snapshot snap;
+  snap.counters.push_back({"app_requests_total", "Requests served", 42});
+  snap.gauges.push_back({"app_queue_depth", "", 3.5});
+  HistogramSample h;
+  h.name = "app_latency_seconds";
+  h.help = "Request latency";
+  h.bounds = {0.001, 0.01};
+  h.counts = {2, 1, 1};
+  h.count = 4;
+  h.sum = 0.5125;
+  snap.histograms.push_back(h);
+  return snap;
+}
+
+TEST(Export, PrometheusGolden) {
+  // Kind-grouped exposition: counters, gauges, histograms; HELP only when
+  // a help string was registered; cumulative le buckets ending in +Inf.
+  const std::string expected =
+      "# HELP app_requests_total Requests served\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total 42\n"
+      "# TYPE app_queue_depth gauge\n"
+      "app_queue_depth 3.5\n"
+      "# HELP app_latency_seconds Request latency\n"
+      "# TYPE app_latency_seconds histogram\n"
+      "app_latency_seconds_bucket{le=\"0.001\"} 2\n"
+      "app_latency_seconds_bucket{le=\"0.01\"} 3\n"
+      "app_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "app_latency_seconds_sum 0.5125\n"
+      "app_latency_seconds_count 4\n";
+  EXPECT_EQ(to_prometheus(golden_snapshot()), expected);
+}
+
+TEST(Export, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"app_requests_total\": 42,\n"
+      "  \"app_queue_depth\": 3.5,\n"
+      "  \"app_latency_seconds\": {\"bounds\": [0.001, 0.01], "
+      "\"counts\": [2, 1, 1], \"count\": 4, \"sum\": 0.5125}\n"
+      "}\n";
+  EXPECT_EQ(to_json(golden_snapshot()), expected);
+}
+
+TEST(Export, EmptySnapshot) {
+  EXPECT_EQ(to_prometheus(Snapshot{}), "");
+  EXPECT_EQ(to_json(Snapshot{}), "{}\n");
+}
+
+TEST(Trace, RingRecordsAndDumpsChromeJson) {
+  SKIP_WITHOUT_METRICS();
+  TraceRing& ring = TraceRing::instance();
+  ring.set_capacity(4);
+  {
+    TraceSpan s1("span_one");
+    TraceSpan s2("span_two");
+  }
+  std::vector<TraceEvent> events = ring.events();
+  ASSERT_EQ(events.size(), 2u);
+  // RAII destruction order: s2 completes (and records) before s1.
+  EXPECT_STREQ(events[0].name, "span_two");
+  EXPECT_STREQ(events[1].name, "span_one");
+  EXPECT_GE(events[0].dur_ns, 0);
+
+  const std::string json = ring.dump_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_one\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  ring.set_capacity(0);  // restore the disabled default
+}
+
+TEST(Trace, RingWrapsKeepingNewestEvents) {
+  SKIP_WITHOUT_METRICS();
+  TraceRing& ring = TraceRing::instance();
+  ring.set_capacity(2);
+  { TraceSpan a("wrap_a"); }
+  { TraceSpan b("wrap_b"); }
+  { TraceSpan c("wrap_c"); }
+  std::vector<TraceEvent> events = ring.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "wrap_b");
+  EXPECT_STREQ(events[1].name, "wrap_c");
+  ring.set_capacity(0);
+}
+
+TEST(Trace, ScopedTimerFeedsHistogram) {
+  SKIP_WITHOUT_METRICS();
+  Histogram& h =
+      reg().histogram("test_scoped_timer_seconds", latency_buckets(), "help");
+  { ScopedTimer t(h); }
+  const Snapshot snap = reg().snapshot();
+  for (const HistogramSample& s : snap.histograms) {
+    if (s.name == "test_scoped_timer_seconds") {
+      EXPECT_EQ(s.count, 1u);
+      return;
+    }
+  }
+  FAIL() << "histogram not found in snapshot";
+}
+
+TEST(Buckets, GeneratorsAreAscending) {
+  const std::vector<double> lat = latency_buckets();
+  ASSERT_GT(lat.size(), 2u);
+  for (std::size_t i = 1; i < lat.size(); ++i) EXPECT_LT(lat[i - 1], lat[i]);
+  const std::vector<double> p2 = pow2_buckets(8);
+  ASSERT_EQ(p2.size(), 9u);
+  EXPECT_DOUBLE_EQ(p2.front(), 1.0);
+  EXPECT_DOUBLE_EQ(p2.back(), 256.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesKeepsEntries) {
+  SKIP_WITHOUT_METRICS();
+  Counter& c = reg().counter("test_reset_total", "help");
+  c.add(7);
+  reg().reset();
+  c.add(2);
+  const Snapshot snap = reg().snapshot();
+  for (const CounterSample& s : snap.counters) {
+    if (s.name == "test_reset_total") {
+      EXPECT_EQ(s.value, 2u);
+      return;
+    }
+  }
+  FAIL() << "counter not found after reset";
+}
+
+// The no-op shells must keep the full API surface: this block compiles and
+// runs in BOTH builds, proving instrumented call sites never need #ifdefs.
+TEST(NoMetrics, ApiSurfaceIsCallableInEitherBuild) {
+  Counter& c = reg().counter("test_noop_surface_total", "help");
+  c.inc();
+  c.add(3);
+  Gauge& g = reg().gauge("test_noop_surface_gauge", "help");
+  g.set(1.0);
+  g.add(-1.0);
+  Histogram& h =
+      reg().histogram("test_noop_surface_hist", latency_buckets(), "help");
+  h.observe(0.5);
+  { ScopedTimer t(h); }
+  { TraceSpan span("noop_surface", &h); }
+  set_enabled(true);
+  (void)enabled();
+  const Snapshot snap = reg().snapshot();
+  const std::string prom = scrape_prometheus();
+  const std::string json = scrape_json();
+  if (!kMetricsCompiled) {
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_EQ(json, "{}\n");
+  } else {
+    EXPECT_NE(prom.find("test_noop_surface_total"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace oar::obs

@@ -1,0 +1,136 @@
+// core::Router — the unified facade over the registry baselines, the RL
+// router and serve::RouterService.  These tests run the cheap baseline
+// engines only; the "rl-ours" path (which quick-trains a selector when no
+// checkpoint is present) is covered by the option-validation checks and the
+// serving suite.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/router.hpp"
+#include "obs/metrics.hpp"
+#include "steiner/liu14.hpp"
+
+namespace oar::core {
+namespace {
+
+geom::Layout two_layer_layout() {
+  geom::Layout layout(100, 100, 2, 3.0);
+  layout.add_pin(10, 20, 0);
+  layout.add_pin(80, 70, 1);
+  layout.add_pin(80, 20, 0);
+  layout.add_obstacle(geom::Rect(30, 30, 50, 60), 0);
+  return layout;
+}
+
+RouterOptions liu14_options() {
+  RouterOptions options;
+  options.engine = "liu14";
+  return options;
+}
+
+TEST(RouterFacade, RoutesLayoutWithItsOwnPins) {
+  Router router(liu14_options());
+  const RouteResult r = router.route(two_layer_layout(), Net{"clk", {}});
+  EXPECT_EQ(r.engine, "liu14");
+  EXPECT_TRUE(r.connected());
+  EXPECT_GT(r.cost(), 0.0);
+  ASSERT_NE(r.grid, nullptr);
+  EXPECT_EQ(r.grid->pins().size(), 3u);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GE(r.total_seconds, 0.0);
+}
+
+TEST(RouterFacade, NetPinsAugmentTheGrid) {
+  Router router(liu14_options());
+  // First resolve the grid to find a legal extra vertex index.
+  const RouteResult base = router.route(two_layer_layout(), Net{"base", {}});
+  const hanan::Vertex extra = [&] {
+    for (hanan::Vertex v = 0; v < base.grid->num_vertices(); ++v) {
+      if (!base.grid->is_pin(v) && !base.grid->is_blocked(v)) return v;
+    }
+    return hanan::Vertex{0};
+  }();
+  const RouteResult r =
+      router.route(two_layer_layout(), Net{"augmented", {extra}});
+  EXPECT_EQ(r.grid->pins().size(), 4u);
+  EXPECT_TRUE(r.grid->is_pin(extra));
+  EXPECT_TRUE(r.connected());
+  EXPECT_GT(r.cost(), 0.0);
+}
+
+TEST(RouterFacade, OutOfRangePinThrows) {
+  Router router(liu14_options());
+  EXPECT_THROW(router.route(two_layer_layout(), Net{"bad", {1 << 20}}),
+               std::invalid_argument);
+  EXPECT_THROW(router.route(two_layer_layout(), Net{"bad", {-1}}),
+               std::invalid_argument);
+}
+
+TEST(RouterFacade, MatchesTheUnderlyingEngine) {
+  const hanan::HananGrid grid =
+      hanan::HananGrid::from_layout(two_layer_layout());
+  steiner::Liu14Router direct;
+  const route::OarmstResult expected = direct.route(grid);
+
+  Router router(liu14_options());
+  const RouteResult r = router.route(grid);
+  EXPECT_DOUBLE_EQ(r.cost(), expected.cost);
+  EXPECT_EQ(r.connected(), expected.connected);
+}
+
+TEST(RouterFacade, AttachesObsSnapshotByDefault) {
+  Router router(liu14_options());
+  const RouteResult r = router.route(two_layer_layout(), Net{"clk", {}});
+  if (obs::kMetricsCompiled) {
+    // Routing drives MazeRouter underneath, so the snapshot must carry its
+    // epoch counter family.
+    bool found = false;
+    for (const obs::CounterSample& c : r.obs.counters) {
+      if (c.name == "oar_route_maze_epochs_total") found = true;
+    }
+    EXPECT_TRUE(found);
+  } else {
+    EXPECT_TRUE(r.obs.counters.empty());
+  }
+}
+
+TEST(RouterFacade, CollectObsOffYieldsEmptySnapshot) {
+  RouterOptions options = liu14_options();
+  options.collect_obs = false;
+  Router router(options);
+  const RouteResult r = router.route(two_layer_layout(), Net{"clk", {}});
+  EXPECT_TRUE(r.obs.counters.empty());
+  EXPECT_TRUE(r.obs.gauges.empty());
+  EXPECT_TRUE(r.obs.histograms.empty());
+}
+
+TEST(RouterFacade, ServiceIsLazy) {
+  Router router(liu14_options());
+  EXPECT_EQ(router.service(), nullptr);
+  router.route(two_layer_layout(), Net{"clk", {}});
+  EXPECT_EQ(router.service(), nullptr);  // direct path never builds one
+}
+
+TEST(RouterFacade, FreeFunctionRoutesInOneCall) {
+  const RouteResult r =
+      route(two_layer_layout(), Net{"clk", {}}, liu14_options());
+  EXPECT_EQ(r.engine, "liu14");
+  EXPECT_TRUE(r.connected());
+}
+
+TEST(RouterFacade, EveryRegisteredBaselineRoutesThroughTheFacade) {
+  for (const std::string& name : {"lin08", "liu14", "lin18"}) {
+    RouterOptions options;
+    options.engine = name;
+    Router router(options);
+    const RouteResult r = router.route(two_layer_layout(), Net{name, {}});
+    EXPECT_EQ(r.engine, name) << name;
+    EXPECT_TRUE(r.connected()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace oar::core
