@@ -1,0 +1,74 @@
+// Full-chip routing demo: many nets on one shared grid, negotiated
+// rip-up & reroute (DESIGN.md §14, README "Full-chip routing").
+//
+// Builds a small layout with an obstacle wall, generates a random netlist
+// on it, routes the whole chip through the core::Router facade, prints a
+// per-net table plus the negotiation trajectory, and round-trips the
+// netlist through the plain-text file format.
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "core/oarsmtrl.hpp"
+
+int main() {
+  using namespace oar;
+
+  // A 12x12x2 unit grid with a wall through the middle of layer 0 —
+  // nets crossing it must share the gap or hop to layer 1.
+  const std::int32_t H = 12, V = 12, M = 2;
+  hanan::HananGrid grid(H, V, M, std::vector<double>(std::size_t(H - 1), 1.0),
+                        std::vector<double>(std::size_t(V - 1), 1.0),
+                        /*via_cost=*/2.0);
+  for (std::int32_t v = 0; v < V; ++v) {
+    if (v != 5 && v != 6) grid.block_vertex(grid.index(5, v, 0));
+  }
+
+  // Random netlist: 8 nets, non-overlapping pins, each solo-routable.
+  util::Rng rng(9);
+  const chip::Netlist netlist = gen::random_netlist(grid, 8, rng);
+
+  // Round-trip through the text format (see README for the spec).
+  std::ostringstream file;
+  chip::write_netlist(netlist, grid, file);
+  std::printf("---- netlist file ----\n%s----------------------\n",
+              file.str().c_str());
+  std::istringstream in(file.str());
+  std::string error;
+  const auto reloaded = chip::read_netlist(in, grid, &error);
+  if (!reloaded) {
+    std::fprintf(stderr, "round-trip failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Route the whole chip: lin08 single-net engine under PathFinder-style
+  // negotiation.  Swap options.engine for "rl-ours" to drive the RL router.
+  core::RouterOptions options;
+  options.engine = "lin08";
+  options.chip.order = chip::NetOrder::kHpwl;
+  core::Router router(options);
+  const core::ChipRouteResult chip_result = router.route(grid, *reloaded);
+  const chip::ChipResult& r = chip_result.result;
+
+  std::printf("engine %s: %s after %d iteration(s), overflow %" PRId64 "\n",
+              chip_result.engine.c_str(),
+              r.success ? "converged" : "NOT converged", r.iterations_run,
+              r.overflow);
+  std::printf("%-6s %5s %12s %5s %9s\n", "net", "pins", "wirelength", "vias",
+              "reroutes");
+  for (std::size_t i = 0; i < r.nets.size(); ++i) {
+    const chip::NetRoute& net = r.nets[i];
+    std::printf("%-6s %5zu %12.1f %5d %9d\n", net.name.c_str(),
+                reloaded->nets[i].pins.size(), net.wirelength, net.vias,
+                net.reroutes);
+  }
+  std::printf("total  %5" PRId64 " %12.1f %5" PRId64 "\n",
+              reloaded->total_pins(), r.wirelength, r.via_count);
+  std::printf("negotiation overflow series:");
+  for (const chip::IterationStats& it : r.iterations) {
+    std::printf(" %" PRId64, it.overflow);
+  }
+  std::printf("\n");
+  return r.success ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+#include "chip/congestion.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oar::chip {
+
+Dir edge_dir(const HananGrid& grid, Vertex a, Vertex b) {
+  if (a > b) std::swap(a, b);
+  const auto ca = grid.cell(a);
+  const auto cb = grid.cell(b);
+  if (cb.h == ca.h + 1 && cb.v == ca.v && cb.m == ca.m) return Dir::kPosX;
+  if (cb.v == ca.v + 1 && cb.h == ca.h && cb.m == ca.m) return Dir::kPosY;
+  assert(cb.m == ca.m + 1 && cb.h == ca.h && cb.v == ca.v);
+  return Dir::kPosZ;
+}
+
+std::size_t edge_slot(const HananGrid& grid, Vertex a, Vertex b) {
+  const Vertex lo = std::min(a, b);
+  return std::size_t(lo) * 3 + std::size_t(edge_dir(grid, a, b));
+}
+
+CongestionMap::CongestionMap(const HananGrid& grid, std::int32_t capacity)
+    : grid_(&grid), capacity_(capacity) {
+  assert(capacity >= 1);
+  const std::size_t slots = std::size_t(grid.num_vertices()) * 3;
+  usage_.assign(slots, 0);
+  history_.assign(slots, 0.0);
+}
+
+void CongestionMap::commit(const route::RouteTree& tree) {
+  for (const auto& e : tree.edges()) {
+    ++usage_[edge_slot(*grid_, e.a, e.b)];
+  }
+}
+
+void CongestionMap::rip_up(const route::RouteTree& tree) {
+  for (const auto& e : tree.edges()) {
+    std::int32_t& u = usage_[edge_slot(*grid_, e.a, e.b)];
+    assert(u > 0 && "rip_up without a matching commit");
+    --u;
+  }
+}
+
+std::int64_t CongestionMap::overflow() const {
+  std::int64_t total = 0;
+  for (const std::int32_t u : usage_) {
+    if (u > capacity_) total += u - capacity_;
+  }
+  return total;
+}
+
+std::int64_t CongestionMap::overflowed_edges() const {
+  std::int64_t n = 0;
+  for (const std::int32_t u : usage_) n += u > capacity_;
+  return n;
+}
+
+std::int64_t CongestionMap::total_usage() const {
+  std::int64_t total = 0;
+  for (const std::int32_t u : usage_) total += u;
+  return total;
+}
+
+bool CongestionMap::tree_overflows(const route::RouteTree& tree) const {
+  for (const auto& e : tree.edges()) {
+    if (usage_[edge_slot(*grid_, e.a, e.b)] > capacity_) return true;
+  }
+  return false;
+}
+
+void CongestionMap::add_history(double increment) {
+  assert(increment >= 0.0);
+  for (std::size_t slot = 0; slot < usage_.size(); ++slot) {
+    if (usage_[slot] > capacity_) history_[slot] += increment;
+  }
+}
+
+double CongestionMap::base_edge_cost(std::size_t slot) const {
+  const auto idx = Vertex(slot / 3);
+  const auto c = grid_->cell(idx);
+  switch (Dir(slot % 3)) {
+    case Dir::kPosX: return grid_->x_step(c.h);
+    case Dir::kPosY: return grid_->y_step(c.v);
+    case Dir::kPosZ: return grid_->via_cost();
+  }
+  return 0.0;
+}
+
+bool CongestionMap::apply_to(HananGrid& grid, double present_factor) const {
+  assert(&grid == grid_ ||
+         (grid.num_vertices() == grid_->num_vertices() &&
+          "overlay target must have the tracked grid's dimensions"));
+  bias_.assign(usage_.size(), 0.0);
+  bool any = false;
+  for (std::size_t slot = 0; slot < usage_.size(); ++slot) {
+    const std::int32_t over = usage_[slot] + 1 - capacity_;
+    const double relative =
+        present_factor * double(std::max(0, over)) + history_[slot];
+    if (relative > 0.0) {
+      bias_[slot] = base_edge_cost(slot) * relative;
+      any = true;
+    }
+  }
+  if (!any) return grid.set_edge_cost_biases({});
+  return grid.set_edge_cost_biases(bias_);
+}
+
+bool CongestionMap::matches(
+    const std::vector<const route::RouteTree*>& trees) const {
+  std::vector<std::int32_t> recount(usage_.size(), 0);
+  for (const route::RouteTree* tree : trees) {
+    if (tree == nullptr) continue;
+    for (const auto& e : tree->edges()) {
+      ++recount[edge_slot(*grid_, e.a, e.b)];
+    }
+  }
+  return recount == usage_;
+}
+
+}  // namespace oar::chip

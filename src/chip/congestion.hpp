@@ -1,0 +1,97 @@
+#pragma once
+
+// Per-edge congestion accounting for negotiated full-chip routing
+// (DESIGN.md §14).
+//
+// The CongestionMap tracks, for every grid edge, how many committed route
+// trees currently use it (present usage) and how persistently it has been
+// over capacity across negotiation iterations (history).  PathFinder-style
+// negotiation turns both into an additive cost overlay on the shared
+// HananGrid:
+//
+//   bias(e) = base(e) * ( present_factor * max(0, usage(e) + 1 - capacity)
+//                         + history(e) )
+//
+// The `usage + 1` term prices the edge as the net being routed would leave
+// it: an edge at capacity already costs extra, an edge below capacity is
+// free.  Scaling by the base cost keeps penalties commensurate on grids
+// whose step costs span 1..1000.  History is monotone non-decreasing: each
+// negotiation iteration adds a fixed increment to every over-capacity edge,
+// so chronically contested edges become expensive even when momentarily
+// uncongested — the mechanism that breaks livelock between nets that keep
+// displacing each other.
+//
+// Edges are addressed like HananGrid's edge blocks: slot = vertex * 3 + dir
+// for the positive edge leaving `vertex`.
+
+#include <cstdint>
+#include <vector>
+
+#include "hanan/hanan_grid.hpp"
+#include "route/route_tree.hpp"
+
+namespace oar::chip {
+
+using hanan::Dir;
+using hanan::HananGrid;
+using hanan::Vertex;
+
+/// (min-vertex, direction) slot of the edge between adjacent a and b.
+std::size_t edge_slot(const HananGrid& grid, Vertex a, Vertex b);
+Dir edge_dir(const HananGrid& grid, Vertex a, Vertex b);
+
+class CongestionMap {
+ public:
+  /// `capacity` is the per-edge net limit (>= 1); the classic grid-graph
+  /// model uses 1 — each unit edge carries one net.
+  CongestionMap(const HananGrid& grid, std::int32_t capacity = 1);
+
+  std::int32_t capacity() const { return capacity_; }
+  std::int32_t usage(Vertex idx, Dir dir) const {
+    return usage_[std::size_t(idx) * 3 + std::size_t(dir)];
+  }
+  double history(Vertex idx, Dir dir) const {
+    return history_[std::size_t(idx) * 3 + std::size_t(dir)];
+  }
+
+  /// Adds / removes one unit of usage on every edge of `tree`.  rip_up
+  /// asserts the usage was there (a tree can only be ripped after commit).
+  void commit(const route::RouteTree& tree);
+  void rip_up(const route::RouteTree& tree);
+
+  /// Sum over edges of max(0, usage - capacity): the negotiation loop's
+  /// convergence objective (0 = every edge within capacity).
+  std::int64_t overflow() const;
+  /// Number of edges currently over capacity.
+  std::int64_t overflowed_edges() const;
+  /// Sum of usage over all edges (0 exactly when nothing is committed).
+  std::int64_t total_usage() const;
+
+  /// True when any edge of `tree` is over capacity — the rip-up criterion
+  /// for the reroute-only-overflowed iteration mode.
+  bool tree_overflows(const route::RouteTree& tree) const;
+
+  /// history(e) += increment for every over-capacity edge.  Called once
+  /// per negotiation iteration; history never decreases.
+  void add_history(double increment);
+
+  /// Writes the cost overlay into `grid` (see file comment).  Returns true
+  /// when the overlay changed and the grid's revision was bumped.
+  bool apply_to(HananGrid& grid, double present_factor) const;
+
+  /// Exact usage equality against a set of committed trees — the
+  /// validation hook for tests and bench_chip: recounts from scratch and
+  /// compares to the running tallies.
+  bool matches(const std::vector<const route::RouteTree*>& trees) const;
+
+ private:
+  double base_edge_cost(std::size_t slot) const;
+
+  const HananGrid* grid_;
+  std::int32_t capacity_;
+  std::vector<std::int32_t> usage_;   // per edge slot
+  std::vector<double> history_;       // per edge slot, monotone
+  mutable std::vector<double> bias_;  // apply_to scratch
+};
+
+}  // namespace oar::chip

@@ -1,0 +1,202 @@
+#include "chip/netlist.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace oar::chip {
+
+namespace {
+
+void fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string cell_str(const HananGrid& grid, Vertex v) {
+  const auto c = grid.cell(v);
+  std::ostringstream os;
+  os << "vertex " << v << " = (" << c.h << ", " << c.v << ", " << c.m << ")";
+  return os.str();
+}
+
+/// check_field-style message with a dynamically composed field path:
+///   Netlist.<field> must <requirement> (got <value>)
+std::string problem(const std::string& field, const std::string& requirement,
+                    const std::string& got) {
+  return "Netlist." + field + " must " + requirement + " (got " + got + ")";
+}
+
+}  // namespace
+
+std::int64_t Netlist::total_pins() const {
+  std::int64_t n = 0;
+  for (const Net& net : nets) n += std::ssize(net.pins);
+  return n;
+}
+
+std::string Netlist::validate(const HananGrid& grid) const {
+  std::unordered_map<std::string, std::size_t> names;
+  // pin vertex -> (net index, pin index) of first placement, for the
+  // cross-net short diagnostic.
+  std::unordered_map<Vertex, std::pair<std::size_t, std::size_t>> placed;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const Net& net = nets[i];
+    const std::string field = "nets[\"" + net.name + "\"]";
+    if (net.name.empty()) {
+      return problem("nets[" + std::to_string(i) + "].name",
+                     "be non-empty", "\"\"");
+    }
+    if (const auto [it, inserted] = names.emplace(net.name, i); !inserted) {
+      return problem(field + ".name", "be unique",
+                     "also used by nets[" + std::to_string(it->second) + "]");
+    }
+    if (net.pins.size() < 2) {
+      return problem(field + ".pins", "contain at least 2 pins",
+                     std::to_string(net.pins.size()));
+    }
+    std::unordered_set<Vertex> within;
+    for (std::size_t j = 0; j < net.pins.size(); ++j) {
+      const Vertex p = net.pins[j];
+      const std::string pin_field = field + ".pins[" + std::to_string(j) + "]";
+      if (p < 0 || p >= grid.num_vertices()) {
+        return problem(pin_field, "be a valid grid vertex",
+                       std::to_string(p) + " on " +
+                           std::to_string(grid.num_vertices()) + " vertices");
+      }
+      if (grid.is_blocked(p)) {
+        return problem(pin_field, "not lie on a blocked (obstacle) vertex",
+                       cell_str(grid, p));
+      }
+      if (!within.insert(p).second) {
+        return problem(pin_field, "not duplicate a pin of the same net",
+                       cell_str(grid, p));
+      }
+      if (const auto [it, inserted] = placed.emplace(p, std::make_pair(i, j));
+          !inserted) {
+        return problem(pin_field,
+                       "not share a vertex with net \"" +
+                           nets[it->second.first].name + "\" (electrical short)",
+                       cell_str(grid, p));
+      }
+    }
+  }
+  return "";
+}
+
+bool write_netlist(const Netlist& netlist, const HananGrid& grid,
+                   std::ostream& out) {
+  out << "oarnetlist 1\n";
+  if (!netlist.name.empty()) out << "name " << netlist.name << "\n";
+  for (const Net& net : netlist.nets) {
+    out << "net " << net.name;
+    for (Vertex p : net.pins) {
+      const auto c = grid.cell(p);
+      out << "  " << c.h << " " << c.v << " " << c.m;
+    }
+    out << "\n";
+  }
+  out << "end\n";
+  return bool(out);
+}
+
+bool save_netlist(const Netlist& netlist, const HananGrid& grid,
+                  const std::string& path) {
+  std::ofstream out(path);
+  return out && write_netlist(netlist, grid, out);
+}
+
+std::optional<Netlist> read_netlist(std::istream& in, const HananGrid& grid,
+                                    std::string* error) {
+  Netlist netlist;
+  std::unordered_set<std::string> names;
+  bool saw_header = false, saw_end = false;
+  int line_no = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string at = " (line " + std::to_string(line_no) + ")";
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "oarnetlist") {
+      int version = 0;
+      if (!(ls >> version) || version != 1) {
+        fail(error, "unsupported oarnetlist version" + at);
+        return std::nullopt;
+      }
+      saw_header = true;
+    } else if (keyword == "name") {
+      if (!(ls >> netlist.name)) {
+        fail(error, "bad name line" + at);
+        return std::nullopt;
+      }
+    } else if (keyword == "net") {
+      if (!saw_header) {
+        fail(error, "net before oarnetlist header" + at);
+        return std::nullopt;
+      }
+      Net net;
+      if (!(ls >> net.name)) {
+        fail(error, "net line without a name" + at);
+        return std::nullopt;
+      }
+      if (!names.insert(net.name).second) {
+        fail(error, "duplicate net name \"" + net.name + "\"" + at);
+        return std::nullopt;
+      }
+      std::vector<std::int32_t> coords;
+      std::int32_t value;
+      while (ls >> value) coords.push_back(value);
+      if (!ls.eof() || coords.size() % 3 != 0) {
+        fail(error, "net \"" + net.name + "\": malformed pin triples" + at);
+        return std::nullopt;
+      }
+      if (coords.size() < 6) {
+        fail(error, "net \"" + net.name + "\": fewer than 2 pins" + at);
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i + 2 < coords.size(); i += 3) {
+        const std::int32_t h = coords[i], v = coords[i + 1], m = coords[i + 2];
+        if (h < 0 || h >= grid.h_dim() || v < 0 || v >= grid.v_dim() ||
+            m < 0 || m >= grid.m_dim()) {
+          std::ostringstream os;
+          os << "net \"" << net.name << "\": pin (" << h << ", " << v << ", "
+             << m << ") outside the " << grid.h_dim() << "x" << grid.v_dim()
+             << "x" << grid.m_dim() << " grid" << at;
+          fail(error, os.str());
+          return std::nullopt;
+        }
+        net.pins.push_back(grid.index(h, v, m));
+      }
+      netlist.nets.push_back(std::move(net));
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail(error, "unknown keyword: " + keyword + at);
+      return std::nullopt;
+    }
+  }
+
+  if (!saw_header || !saw_end) {
+    fail(error, "missing oarnetlist header or end marker");
+    return std::nullopt;
+  }
+  return netlist;
+}
+
+std::optional<Netlist> load_netlist(const std::string& path,
+                                    const HananGrid& grid,
+                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return read_netlist(in, grid, error);
+}
+
+}  // namespace oar::chip

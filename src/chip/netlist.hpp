@@ -1,0 +1,80 @@
+#pragma once
+
+// Netlist model for full-chip multi-net routing (DESIGN.md §14).
+//
+// A Netlist is a list of named nets whose pins are vertex indices on one
+// shared HananGrid.  Unlike the single-net entry points, pins live in the
+// netlist rather than on the grid: the ChipRouter presents each net's pins
+// to the underlying single-net engine in turn while all nets share the
+// grid's obstacles and congestion state.
+//
+// Plain-text file format (line oriented, '#' starts a comment):
+//
+//   oarnetlist 1
+//   name <identifier>                  # optional netlist name
+//   net <name> h v m  h v m ...        # one line per net, >= 2 pin triples
+//   end
+//
+// Pins are written as h v m cell coordinates so files stay meaningful
+// across serialization of the grid itself (gen/grid_io.hpp uses the same
+// convention).  The parser validates strictly — malformed lines, unknown
+// directives, duplicate net names, out-of-range coordinates and nets with
+// fewer than two pins are all errors that name the offending line.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hanan/hanan_grid.hpp"
+
+namespace oar::chip {
+
+using hanan::HananGrid;
+using hanan::Vertex;
+
+struct Net {
+  std::string name;
+  std::vector<Vertex> pins;
+};
+
+struct Netlist {
+  std::string name = "netlist";
+  std::vector<Net> nets;
+
+  std::size_t size() const { return nets.size(); }
+  std::int64_t total_pins() const;
+
+  /// Structural validation against `grid`.  Empty string when routable as
+  /// a full-chip problem; otherwise the first problem found, in the
+  /// repository's check_field message style with the offending net named:
+  ///
+  ///   Netlist.nets["clk"].pins[2] must not lie on a blocked vertex (got ...)
+  ///
+  /// Checks: non-empty unique net names, >= 2 pins per net, pins in range,
+  /// no pin on an obstacle (blocked) vertex, no duplicate pin inside a net,
+  /// and no pin vertex shared between two nets (an electrical short — the
+  /// message names both nets).
+  std::string validate(const HananGrid& grid) const;
+};
+
+/// Serializes `netlist` (grid supplies the vertex -> cell mapping).
+/// Returns false on I/O failure.
+bool write_netlist(const Netlist& netlist, const HananGrid& grid,
+                   std::ostream& out);
+bool save_netlist(const Netlist& netlist, const HananGrid& grid,
+                  const std::string& path);
+
+/// Parses a netlist, resolving pin cells to vertex indices on `grid`.
+/// Returns std::nullopt and fills `error` (when non-null) on malformed
+/// input; errors name the offending line.  Structural netlist validation
+/// (blocked pins, cross-net duplicates) is Netlist::validate's job — the
+/// parser only enforces format-level rules so a netlist for a grid variant
+/// with different obstacles can still be loaded and inspected.
+std::optional<Netlist> read_netlist(std::istream& in, const HananGrid& grid,
+                                    std::string* error = nullptr);
+std::optional<Netlist> load_netlist(const std::string& path,
+                                    const HananGrid& grid,
+                                    std::string* error = nullptr);
+
+}  // namespace oar::chip

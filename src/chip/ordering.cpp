@@ -1,0 +1,98 @@
+#include "chip/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace oar::chip {
+
+namespace {
+
+struct Bbox {
+  std::int32_t min_h = 0, max_h = 0, min_v = 0, max_v = 0, min_m = 0, max_m = 0;
+};
+
+Bbox net_bbox(const HananGrid& grid, const Net& net) {
+  Bbox b;
+  bool first = true;
+  for (Vertex p : net.pins) {
+    const auto c = grid.cell(p);
+    if (first) {
+      b = Bbox{c.h, c.h, c.v, c.v, c.m, c.m};
+      first = false;
+    } else {
+      b.min_h = std::min(b.min_h, c.h);
+      b.max_h = std::max(b.max_h, c.h);
+      b.min_v = std::min(b.min_v, c.v);
+      b.max_v = std::max(b.max_v, c.v);
+      b.min_m = std::min(b.min_m, c.m);
+      b.max_m = std::max(b.max_m, c.m);
+    }
+  }
+  return b;
+}
+
+double span_cost(const HananGrid& grid, std::int32_t lo, std::int32_t hi,
+                 bool x_axis) {
+  double total = 0.0;
+  for (std::int32_t i = lo; i < hi; ++i) {
+    total += x_axis ? grid.x_step(i) : grid.y_step(i);
+  }
+  return total;
+}
+
+}  // namespace
+
+double net_hpwl(const HananGrid& grid, const Net& net) {
+  if (net.pins.empty()) return 0.0;
+  const Bbox b = net_bbox(grid, net);
+  return span_cost(grid, b.min_h, b.max_h, /*x_axis=*/true) +
+         span_cost(grid, b.min_v, b.max_v, /*x_axis=*/false) +
+         grid.via_cost() * double(b.max_m - b.min_m);
+}
+
+double net_bbox_area(const HananGrid& grid, const Net& net) {
+  if (net.pins.empty()) return 0.0;
+  const Bbox b = net_bbox(grid, net);
+  return span_cost(grid, b.min_h, b.max_h, /*x_axis=*/true) *
+         span_cost(grid, b.min_v, b.max_v, /*x_axis=*/false);
+}
+
+std::vector<std::size_t> order_nets(const HananGrid& grid,
+                                    const std::vector<Net>& nets,
+                                    NetOrder order, const OrderKeyFn& custom) {
+  std::vector<std::size_t> sequence(nets.size());
+  std::iota(sequence.begin(), sequence.end(), std::size_t{0});
+  if (!custom) {
+    if (order == NetOrder::kAsGiven) return sequence;
+  }
+  std::vector<double> primary(nets.size(), 0.0), secondary(nets.size(), 0.0);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (custom) {
+      primary[i] = custom(grid, nets[i]);
+      continue;
+    }
+    switch (order) {
+      case NetOrder::kAsGiven:
+        break;
+      case NetOrder::kHpwl:
+        primary[i] = net_hpwl(grid, nets[i]);
+        break;
+      case NetOrder::kPinCount:
+        primary[i] = double(nets[i].pins.size());
+        secondary[i] = net_hpwl(grid, nets[i]);
+        break;
+      case NetOrder::kBboxArea:
+        primary[i] = net_bbox_area(grid, nets[i]);
+        secondary[i] = net_hpwl(grid, nets[i]);
+        break;
+    }
+  }
+  std::stable_sort(sequence.begin(), sequence.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (primary[a] != primary[b]) return primary[a] < primary[b];
+                     return secondary[a] < secondary[b];
+                   });
+  return sequence;
+}
+
+}  // namespace oar::chip

@@ -1,0 +1,45 @@
+#pragma once
+
+// Net-ordering heuristics for sequential full-chip routing.
+//
+// The first negotiation iteration routes nets one at a time, so the order
+// decides who claims contested resources first.  Small-before-large is the
+// classic choice (short nets have the fewest detour options); the
+// negotiation loop then corrects whatever the ordering got wrong.  All
+// keys sort ascending with the netlist index as the tie-break, so orders
+// are deterministic for a fixed netlist.
+
+#include <functional>
+#include <vector>
+
+#include "chip/netlist.hpp"
+
+namespace oar::chip {
+
+enum class NetOrder {
+  kAsGiven,    // netlist order
+  kHpwl,       // half-perimeter wirelength (geometric steps + via span)
+  kPinCount,   // pin count, HPWL tie-break
+  kBboxArea,   // bounding-box area in geometric units, HPWL tie-break
+};
+
+/// Custom ordering hook: smaller key routes earlier.  When set on
+/// ChipConfig it overrides the NetOrder enum.
+using OrderKeyFn = std::function<double(const HananGrid&, const Net&)>;
+
+/// Half-perimeter wirelength of the net's bounding box in geometric units:
+/// the sum of x steps and y steps spanned plus via_cost per layer spanned.
+/// The standard routing-demand estimate for a net.
+double net_hpwl(const HananGrid& grid, const Net& net);
+
+/// Bounding-box area (x extent * y extent) in geometric units.
+double net_bbox_area(const HananGrid& grid, const Net& net);
+
+/// Routing sequence: indices into `nets`, ordered per `order` (or `custom`
+/// when provided).
+std::vector<std::size_t> order_nets(const HananGrid& grid,
+                                    const std::vector<Net>& nets,
+                                    NetOrder order,
+                                    const OrderKeyFn& custom = {});
+
+}  // namespace oar::chip

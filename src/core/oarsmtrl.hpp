@@ -11,6 +11,10 @@
 //   rl::CombTrainer         — combinatorial-MCTS training pipeline
 //   core::Router            — unified facade over every entry point
 //                             (route(Layout, Net) -> RouteResult + metrics)
+//   chip::ChipRouter        — full-chip multi-net negotiated rip-up &
+//                             reroute (route(grid, Netlist) on the facade,
+//                             see examples/chip_demo.cpp)
+//   chip::Netlist           — named multi-pin nets + text file format
 //   core::RlRouter          — the trained RL ML-OARSMT router
 //   core::pretrained_*      — bundled tiny checkpoint helpers
 //   serve::RouterService    — micro-batching + result-cache serving layer
@@ -18,6 +22,10 @@
 //   obs::MetricsRegistry    — process-global counters/gauges/histograms,
 //                             Prometheus + JSON exporters (obs/export.hpp)
 
+#include "chip/chip_router.hpp"
+#include "chip/congestion.hpp"
+#include "chip/netlist.hpp"
+#include "chip/ordering.hpp"
 #include "core/multi_net.hpp"
 #include "core/pretrained.hpp"
 #include "core/registry.hpp"
@@ -30,6 +38,7 @@
 #include "gen/public_benchmarks.hpp"
 #include "gen/svg.hpp"
 #include "gen/random_layout.hpp"
+#include "gen/random_netlist.hpp"
 #include "geom/layout.hpp"
 #include "hanan/features.hpp"
 #include "hanan/hanan_grid.hpp"

@@ -21,6 +21,7 @@ void RouterOptions::validate() const {
         "'); the serving layer batches through the RL selector");
   }
   service.validate();
+  chip.validate();
 }
 
 Router::Router(RouterOptions options) : options_(std::move(options)) {
@@ -101,6 +102,21 @@ RouteResult Router::route(std::shared_ptr<const hanan::HananGrid> grid) {
     out.engine = engine_->name();
   }
   return finish(std::move(out), timer.seconds());
+}
+
+ChipRouteResult Router::route(const hanan::HananGrid& grid,
+                              const chip::Netlist& netlist) {
+  util::Timer timer;
+  ensure_engine();
+  chip::ChipRouter chip_router(grid, options_.chip);
+  ChipRouteResult out;
+  out.result = chip_router.route(netlist, *engine_);
+  out.engine = engine_->name();
+  out.total_seconds = timer.seconds();
+  if (options_.collect_obs) {
+    out.obs = obs::MetricsRegistry::instance().snapshot();
+  }
+  return out;
 }
 
 RouteResult route(const geom::Layout& layout, const Net& net,

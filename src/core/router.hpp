@@ -36,6 +36,8 @@
 #include <memory>
 #include <string>
 
+#include "chip/chip_router.hpp"
+#include "chip/netlist.hpp"
 #include "core/multi_net.hpp"
 #include "core/rl_router.hpp"
 #include "geom/layout.hpp"
@@ -55,6 +57,8 @@ struct RouterOptions {
   /// instead of the direct single-shot path.  RL engine only.
   bool use_service = false;
   serve::RouterServiceConfig service;
+  /// Full-chip negotiation knobs for route(grid, netlist).
+  chip::ChipConfig chip;
   /// Attach an obs::Snapshot of the global metrics registry to each result.
   bool collect_obs = true;
 
@@ -78,6 +82,20 @@ struct RouteResult {
   bool connected() const { return result.connected; }
 };
 
+/// Result of the full-chip entry: the chip::ChipResult plus the facade's
+/// usual envelope (resolved engine name, wall time, metrics snapshot).
+struct ChipRouteResult {
+  chip::ChipResult result;
+  std::string engine;
+  double total_seconds = 0.0;
+  /// Point-in-time metrics (empty when collect_obs is off).
+  obs::Snapshot obs;
+
+  bool success() const { return result.success; }
+  double wirelength() const { return result.wirelength; }
+  std::int64_t overflow() const { return result.overflow; }
+};
+
 class Router {
  public:
   /// Validates `options` eagerly; engine construction is deferred to the
@@ -97,6 +115,15 @@ class Router {
   /// grid so the returned tree owns a stable binding.
   RouteResult route(const hanan::HananGrid& grid);
   RouteResult route(std::shared_ptr<const hanan::HananGrid> grid);
+
+  /// Full-chip entry: negotiated rip-up & reroute of `netlist` on `grid`
+  /// (chip::ChipRouter with options().chip, single-net searches through
+  /// this facade's engine).  The grid must carry no pins of its own; the
+  /// netlist must pass chip::Netlist::validate on it.  Always uses the
+  /// direct engine path (the serving layer's symmetry cache is per single
+  /// net, not per chip).
+  ChipRouteResult route(const hanan::HananGrid& grid,
+                        const chip::Netlist& netlist);
 
   const RouterOptions& options() const { return options_; }
 

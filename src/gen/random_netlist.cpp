@@ -1,0 +1,106 @@
+#include "gen/random_netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "route/maze.hpp"
+
+namespace oar::gen {
+
+using chip::Net;
+using chip::Netlist;
+using hanan::HananGrid;
+using hanan::Vertex;
+
+namespace {
+
+/// True when every pin of `pins` reaches the first one (single maze flood;
+/// the grid graph is undirected, so pairwise reachability follows).
+bool routable(route::MazeRouter& maze, const std::vector<Vertex>& pins) {
+  maze.run({pins.front()});
+  for (const Vertex p : pins) {
+    if (maze.dist(p) == route::MazeRouter::kInf) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+chip::Netlist random_netlist(const HananGrid& grid, std::int32_t n_nets,
+                             util::Rng& rng, RandomNetlistSpec spec) {
+  spec.validate();
+  util::check_field(n_nets >= 0, "random_netlist", "n_nets", "be >= 0",
+                    n_nets);
+
+  // Candidate pool: unblocked vertices that are not pins of the grid
+  // itself.  Accepted pins leave the pool, which is what makes the
+  // netlist overlap-free by construction.
+  std::vector<Vertex> pool;
+  pool.reserve(std::size_t(grid.num_vertices()));
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    if (!grid.is_blocked(v)) pool.push_back(v);
+  }
+  for (const Vertex p : grid.pins()) {
+    if (const auto it = std::find(pool.begin(), pool.end(), p);
+        it != pool.end()) {
+      pool.erase(it);
+    }
+  }
+
+  route::MazeRouter maze(grid);
+
+  Netlist netlist;
+  netlist.nets.reserve(std::size_t(n_nets));
+  std::vector<std::size_t> picked;  // indices into pool, this attempt
+  for (std::int32_t net_idx = 0; net_idx < n_nets; ++net_idx) {
+    const std::int32_t want =
+        std::int32_t(rng.uniform_int(spec.min_pins, spec.max_pins));
+    if (std::size_t(want) > pool.size()) {
+      throw std::runtime_error(
+          "random_netlist: grid too full for net " + std::to_string(net_idx) +
+          " (" + std::to_string(pool.size()) + " free vertices, need " +
+          std::to_string(want) + ")");
+    }
+
+    bool accepted = false;
+    for (std::int32_t attempt = 0; attempt < spec.max_attempts_per_net;
+         ++attempt) {
+      picked.clear();
+      while (picked.size() < std::size_t(want)) {
+        const auto idx = std::size_t(
+            rng.uniform_int(0, std::int64_t(pool.size()) - 1));
+        if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
+          picked.push_back(idx);
+        }
+      }
+      Net net;
+      net.name = "n" + std::to_string(net_idx);
+      net.pins.reserve(picked.size());
+      for (const std::size_t idx : picked) net.pins.push_back(pool[idx]);
+      std::sort(net.pins.begin(), net.pins.end());
+      if (spec.ensure_routable && !routable(maze, net.pins)) continue;
+
+      // Accept: remove the pins from the pool (descending swap-pop so the
+      // earlier indices stay valid).
+      std::sort(picked.begin(), picked.end(), std::greater<>());
+      for (const std::size_t idx : picked) {
+        pool[idx] = pool.back();
+        pool.pop_back();
+      }
+      netlist.nets.push_back(std::move(net));
+      accepted = true;
+      break;
+    }
+    if (!accepted) {
+      throw std::runtime_error(
+          "random_netlist: no mutually reachable pin set for net " +
+          std::to_string(net_idx) + " after " +
+          std::to_string(spec.max_attempts_per_net) +
+          " attempts (grid too fragmented)");
+    }
+  }
+  return netlist;
+}
+
+}  // namespace oar::gen

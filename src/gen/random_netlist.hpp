@@ -1,0 +1,46 @@
+#pragma once
+
+// Random netlist generation for full-chip routing tests and benchmarks.
+//
+// Pins are sampled without overlap: no vertex serves as a pin of two nets
+// (or twice within one net), and blocked vertices and the grid's own pins
+// are never used — so a generated netlist always passes
+// chip::Netlist::validate on its grid.  With ensure_routable, each net's
+// pins are additionally checked mutually reachable by a maze flood on the
+// bare grid and resampled otherwise, which (because congestion never
+// removes edges) guarantees the negotiated full-chip loop can route every
+// net.
+
+#include "chip/netlist.hpp"
+#include "util/rng.hpp"
+#include "util/validate.hpp"
+
+namespace oar::gen {
+
+struct RandomNetlistSpec {
+  std::int32_t min_pins = 2;
+  std::int32_t max_pins = 4;
+  /// Resample a net whose pins cannot all reach each other on the bare
+  /// grid (maze check).
+  bool ensure_routable = true;
+  /// Sampling attempts per net before giving up (throws std::runtime_error
+  /// — the grid is too full for the requested netlist).
+  std::int32_t max_attempts_per_net = 64;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const {
+    util::check_field(min_pins >= 2, "RandomNetlistSpec", "min_pins",
+                      "be >= 2", min_pins);
+    util::check_field(max_pins >= min_pins, "RandomNetlistSpec", "max_pins",
+                      "be >= min_pins", max_pins);
+    util::check_field(max_attempts_per_net >= 1, "RandomNetlistSpec",
+                      "max_attempts_per_net", "be >= 1", max_attempts_per_net);
+  }
+};
+
+/// `n_nets` random nets ("n0", "n1", ...) with non-overlapping pins on the
+/// unblocked vertices of `grid`.
+chip::Netlist random_netlist(const hanan::HananGrid& grid, std::int32_t n_nets,
+                             util::Rng& rng, RandomNetlistSpec spec = {});
+
+}  // namespace oar::gen

@@ -46,6 +46,13 @@ void HananGrid::add_pin(Vertex idx) {
   revision_ = next_revision();
 }
 
+void HananGrid::clear_pins() {
+  if (pins_.empty()) return;
+  for (Vertex p : pins_) pin_mask_[std::size_t(p)] = 0;
+  pins_.clear();
+  revision_ = next_revision();
+}
+
 void HananGrid::block_vertex(Vertex idx) {
   assert(idx >= 0 && idx < num_vertices());
   assert(!is_pin(idx));
@@ -82,31 +89,77 @@ bool HananGrid::edge_usable(Vertex idx, Dir dir) const {
   return (edge_block_[std::size_t(idx)] & (1u << std::uint8_t(dir))) == 0;
 }
 
-double HananGrid::edge_cost(Vertex idx, Dir dir) const {
-  const Cell c = cell(idx);
-  switch (dir) {
-    case Dir::kPosX: return x_step_[std::size_t(c.h)];
-    case Dir::kPosY: return y_step_[std::size_t(c.v)];
-    case Dir::kPosZ: return via_cost_;
+void HananGrid::set_edge_cost_bias(Vertex idx, Dir dir, double bias) {
+  assert(idx >= 0 && idx < num_vertices());
+  assert(bias >= 0.0);
+  if (edge_bias_.empty()) {
+    if (bias == 0.0) return;
+    edge_bias_.assign(std::size_t(num_vertices()) * 3, 0.0);
   }
-  return 0.0;
+  double& slot = edge_bias_[std::size_t(idx) * 3 + std::size_t(dir)];
+  if (slot == bias) return;
+  slot = bias;
+  revision_ = next_revision();
 }
 
-double HananGrid::cost_between(Vertex a, Vertex b) const {
+bool HananGrid::set_edge_cost_biases(std::vector<double> bias) {
+  assert(bias.empty() || bias.size() == std::size_t(num_vertices()) * 3);
+  if (bias == edge_bias_) return false;
+  // An all-zero overlay is the same cost function as no overlay at all;
+  // normalize to empty so the unbiased fast paths stay in effect.
+  if (!bias.empty() &&
+      std::all_of(bias.begin(), bias.end(), [](double b) { return b == 0.0; })) {
+    if (edge_bias_.empty()) return false;
+    bias.clear();
+  }
+  edge_bias_ = std::move(bias);
+  revision_ = next_revision();
+  return true;
+}
+
+void HananGrid::clear_edge_cost_biases() {
+  if (edge_bias_.empty()) return;
+  edge_bias_.clear();
+  revision_ = next_revision();
+}
+
+double HananGrid::edge_cost(Vertex idx, Dir dir) const {
+  const Cell c = cell(idx);
+  double cost = 0.0;
+  switch (dir) {
+    case Dir::kPosX: cost = x_step_[std::size_t(c.h)]; break;
+    case Dir::kPosY: cost = y_step_[std::size_t(c.v)]; break;
+    case Dir::kPosZ: cost = via_cost_; break;
+  }
+  return cost + edge_cost_bias(idx, dir);
+}
+
+double HananGrid::base_cost_between(Vertex a, Vertex b) const {
   if (a > b) std::swap(a, b);
   const Vertex diff = b - a;
   const Cell ca = cell(a);
-  if (diff == 1) {
+  if (diff == 1 && h_ > 1) {
     assert(ca.h + 1 < h_);
     return x_step_[std::size_t(ca.h)];
   }
-  if (diff == h_) {
+  if (diff == h_ && v_ > 1) {
     assert(ca.v + 1 < v_);
     return y_step_[std::size_t(ca.v)];
   }
   assert(diff == Vertex(h_) * v_);
   (void)ca;
   return via_cost_;
+}
+
+double HananGrid::cost_between(Vertex a, Vertex b) const {
+  if (a > b) std::swap(a, b);
+  const double base = base_cost_between(a, b);
+  if (edge_bias_.empty()) return base;
+  const Vertex diff = b - a;
+  Dir dir = Dir::kPosZ;
+  if (diff == 1 && h_ > 1) dir = Dir::kPosX;
+  else if (diff == h_ && v_ > 1) dir = Dir::kPosY;
+  return base + edge_cost_bias(a, dir);
 }
 
 double HananGrid::blocked_ratio() const {
@@ -126,6 +179,15 @@ std::string HananGrid::validate() const {
     if (s <= 0.0) problems << "non-positive y step; ";
   }
   if (via_cost_ < 0.0) problems << "negative via cost; ";
+  if (!edge_bias_.empty() && edge_bias_.size() != std::size_t(num_vertices()) * 3) {
+    problems << "edge bias overlay size mismatch; ";
+  }
+  for (double b : edge_bias_) {
+    if (!(b >= 0.0)) {  // also catches NaN
+      problems << "negative or NaN edge cost bias; ";
+      break;
+    }
+  }
   for (Vertex p : pins_) {
     if (p < 0 || p >= num_vertices()) problems << "pin index out of range; ";
     else if (is_blocked(p)) problems << "pin on blocked vertex; ";

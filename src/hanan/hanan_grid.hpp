@@ -85,8 +85,40 @@ class HananGrid {
   const std::vector<Vertex>& pins() const { return pins_; }
 
   void add_pin(Vertex idx);
+  /// Removes every pin (the mask and the ordered list).  Lets one shared
+  /// grid present a different net's pins per routing call (src/chip/)
+  /// without re-copying the whole grid.
+  void clear_pins();
   void block_vertex(Vertex idx);
   void block_edge(Vertex idx, Dir dir);
+
+  /// Per-edge additive cost overlay ("bias"), keyed like edge blocks by the
+  /// positive edge leaving a vertex.  The overlay is what makes committed
+  /// routes *soft* obstacles for full-chip negotiated routing: congestion
+  /// penalties raise an edge's cost without removing it from the graph.
+  /// Biases must be >= 0 (Dijkstra requires non-negative weights) and are
+  /// included in edge_cost()/cost_between()/for_each_neighbor(), so every
+  /// consumer — including MazeRouter's CSR adjacency cache — sees them.
+  /// Every overlay mutation bumps revision(), which is what keeps those
+  /// caches coherent.
+  bool has_edge_cost_bias() const { return !edge_bias_.empty(); }
+  double edge_cost_bias(Vertex idx, Dir dir) const {
+    return edge_bias_.empty()
+               ? 0.0
+               : edge_bias_[std::size_t(idx) * 3 + std::size_t(dir)];
+  }
+  void set_edge_cost_bias(Vertex idx, Dir dir, double bias);
+  /// Bulk overlay swap: `bias` is either empty (no overlay) or one value
+  /// per (vertex, dir) slot, laid out idx*3 + dir.  Returns true when the
+  /// overlay actually changed (and revision() was bumped); re-applying an
+  /// identical overlay is free and keeps downstream caches warm.
+  bool set_edge_cost_biases(std::vector<double> bias);
+  void clear_edge_cost_biases();
+
+  /// Cost of the edge between two adjacent vertices *excluding* any bias
+  /// overlay — the physical wirelength metric reported by the full-chip
+  /// router while searches run on the biased costs.
+  double base_cost_between(Vertex a, Vertex b) const;
 
   /// True when the positive edge leaving `idx` in `dir` exists in-bounds,
   /// is not explicitly blocked, and neither endpoint is a blocked vertex.
@@ -98,17 +130,34 @@ class HananGrid {
   /// Cost between two adjacent vertices (asserts adjacency).
   double cost_between(Vertex a, Vertex b) const;
 
-  /// Invoke fn(neighbor, cost) for every usable incident edge.
+  /// Invoke fn(neighbor, cost) for every usable incident edge.  Costs
+  /// include the bias overlay; a negative-direction edge carries the bias
+  /// of the neighbor's positive slot (one slot per physical edge).
   template <typename Fn>
   void for_each_neighbor(Vertex idx, Fn&& fn) const {
     const Cell c = cell(idx);
-    if (c.h + 1 < h_ && edge_usable(idx, Dir::kPosX)) fn(idx + 1, x_step_[std::size_t(c.h)]);
-    if (c.h > 0 && edge_usable(idx - 1, Dir::kPosX)) fn(idx - 1, x_step_[std::size_t(c.h - 1)]);
-    if (c.v + 1 < v_ && edge_usable(idx, Dir::kPosY)) fn(idx + h_, y_step_[std::size_t(c.v)]);
-    if (c.v > 0 && edge_usable(idx - h_, Dir::kPosY)) fn(idx - h_, y_step_[std::size_t(c.v - 1)]);
     const Vertex layer_stride = Vertex(h_) * v_;
-    if (c.m + 1 < m_ && edge_usable(idx, Dir::kPosZ)) fn(idx + layer_stride, via_cost_);
-    if (c.m > 0 && edge_usable(idx - layer_stride, Dir::kPosZ)) fn(idx - layer_stride, via_cost_);
+    if (edge_bias_.empty()) {
+      if (c.h + 1 < h_ && edge_usable(idx, Dir::kPosX)) fn(idx + 1, x_step_[std::size_t(c.h)]);
+      if (c.h > 0 && edge_usable(idx - 1, Dir::kPosX)) fn(idx - 1, x_step_[std::size_t(c.h - 1)]);
+      if (c.v + 1 < v_ && edge_usable(idx, Dir::kPosY)) fn(idx + h_, y_step_[std::size_t(c.v)]);
+      if (c.v > 0 && edge_usable(idx - h_, Dir::kPosY)) fn(idx - h_, y_step_[std::size_t(c.v - 1)]);
+      if (c.m + 1 < m_ && edge_usable(idx, Dir::kPosZ)) fn(idx + layer_stride, via_cost_);
+      if (c.m > 0 && edge_usable(idx - layer_stride, Dir::kPosZ)) fn(idx - layer_stride, via_cost_);
+      return;
+    }
+    if (c.h + 1 < h_ && edge_usable(idx, Dir::kPosX))
+      fn(idx + 1, x_step_[std::size_t(c.h)] + edge_cost_bias(idx, Dir::kPosX));
+    if (c.h > 0 && edge_usable(idx - 1, Dir::kPosX))
+      fn(idx - 1, x_step_[std::size_t(c.h - 1)] + edge_cost_bias(idx - 1, Dir::kPosX));
+    if (c.v + 1 < v_ && edge_usable(idx, Dir::kPosY))
+      fn(idx + h_, y_step_[std::size_t(c.v)] + edge_cost_bias(idx, Dir::kPosY));
+    if (c.v > 0 && edge_usable(idx - h_, Dir::kPosY))
+      fn(idx - h_, y_step_[std::size_t(c.v - 1)] + edge_cost_bias(idx - h_, Dir::kPosY));
+    if (c.m + 1 < m_ && edge_usable(idx, Dir::kPosZ))
+      fn(idx + layer_stride, via_cost_ + edge_cost_bias(idx, Dir::kPosZ));
+    if (c.m > 0 && edge_usable(idx - layer_stride, Dir::kPosZ))
+      fn(idx - layer_stride, via_cost_ + edge_cost_bias(idx - layer_stride, Dir::kPosZ));
   }
 
   /// Lexicographic (h, v, m) selection priority used by the combinatorial
@@ -150,6 +199,7 @@ class HananGrid {
   double via_cost_ = 1.0;
   std::vector<std::uint8_t> blocked_;     // per vertex
   std::vector<std::uint8_t> edge_block_;  // per vertex, bit per Dir
+  std::vector<double> edge_bias_;         // per vertex, 3 slots per Dir; empty = no overlay
   std::vector<std::uint8_t> pin_mask_;    // per vertex
   std::vector<Vertex> pins_;
   std::vector<double> x_cuts_, y_cuts_;

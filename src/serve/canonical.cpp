@@ -118,6 +118,15 @@ std::string serialize_grid(const HananGrid& grid) {
     if (edge_explicitly_blocked(grid, idx, hanan::Dir::kPosZ)) e |= 4;
     out.push_back(e);
   }
+  // Congestion cost-bias section, present only when an overlay is set (the
+  // extra length alone already separates biased from unbiased grids).
+  if (grid.has_edge_cost_bias()) {
+    for (Vertex idx = 0; idx < grid.num_vertices(); ++idx) {
+      append_f64(out, grid.edge_cost_bias(idx, hanan::Dir::kPosX));
+      append_f64(out, grid.edge_cost_bias(idx, hanan::Dir::kPosY));
+      append_f64(out, grid.edge_cost_bias(idx, hanan::Dir::kPosZ));
+    }
+  }
   return out;
 }
 
@@ -134,7 +143,7 @@ bool has_edge_blocks(const HananGrid& grid) {
 
 CanonicalForm canonicalize(const HananGrid& grid) {
   CanonicalForm form;
-  if (has_edge_blocks(grid)) {
+  if (has_edge_blocks(grid) || grid.has_edge_cost_bias()) {
     form.key = serialize_grid(grid);
     form.spec = rl::AugmentSpec{};
     form.symmetric = false;

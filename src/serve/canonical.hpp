@@ -13,7 +13,11 @@
 //
 // Grids with blocked *edges* (as opposed to blocked vertices) fall back to
 // an identity-only key: transform_grid does not carry edge blocks, so their
-// orbit cannot be enumerated faithfully.  Exact repeats still hit.
+// orbit cannot be enumerated faithfully.  Exact repeats still hit.  Grids
+// carrying a congestion cost overlay (HananGrid::has_edge_cost_bias, the
+// full-chip negotiation's per-edge bias) fall back the same way and for the
+// same reason; their key includes the bias bytes so two overlay states
+// never alias.
 
 #include <string>
 #include <vector>
@@ -36,7 +40,8 @@ struct CanonicalForm {
 };
 
 /// Byte serialization of a grid: dims, step costs, via cost, blocked map,
-/// pin mask, edge-block map.  Equal strings <=> routing-equivalent grids.
+/// pin mask, edge-block map, and — only when present — the edge cost-bias
+/// overlay.  Equal strings <=> routing-equivalent grids.
 std::string serialize_grid(const HananGrid& grid);
 
 /// True when some usable-looking edge is explicitly blocked (the geometric

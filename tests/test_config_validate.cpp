@@ -10,7 +10,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "chip/chip_router.hpp"
 #include "core/router.hpp"
+#include "gen/random_netlist.hpp"
 #include "mcts/comb_mcts.hpp"
 #include "nn/unet3d.hpp"
 #include "nn/value_net.hpp"
@@ -59,6 +61,36 @@ TEST(ConfigValidate, DefaultsAllPass) {
   EXPECT_NO_THROW(rl::PpoConfig{}.validate());
   EXPECT_NO_THROW(core::RlRouterConfig{}.validate());
   EXPECT_NO_THROW(core::RouterOptions{}.validate());
+  EXPECT_NO_THROW(chip::ChipConfig{}.validate());
+  EXPECT_NO_THROW(gen::RandomNetlistSpec{}.validate());
+}
+
+TEST(ConfigValidate, ChipConfig) {
+  using C = chip::ChipConfig;
+  expect_rejects<C>([](C& c) { c.max_iterations = 0; },
+                    "ChipConfig.max_iterations");
+  expect_rejects<C>([](C& c) { c.edge_capacity = 0; },
+                    "ChipConfig.edge_capacity");
+  expect_rejects<C>([](C& c) { c.present_factor = -0.5; },
+                    "ChipConfig.present_factor");
+  expect_rejects<C>([](C& c) { c.present_growth = 0.9; },
+                    "ChipConfig.present_growth");
+  expect_rejects<C>([](C& c) { c.history_increment = -1.0; },
+                    "ChipConfig.history_increment");
+}
+
+TEST(ConfigValidate, RandomNetlistSpec) {
+  using C = gen::RandomNetlistSpec;
+  expect_rejects<C>([](C& c) { c.min_pins = 1; },
+                    "RandomNetlistSpec.min_pins");
+  expect_rejects<C>(
+      [](C& c) {
+        c.min_pins = 4;
+        c.max_pins = 3;
+      },
+      "RandomNetlistSpec.max_pins");
+  expect_rejects<C>([](C& c) { c.max_attempts_per_net = 0; },
+                    "RandomNetlistSpec.max_attempts_per_net");
 }
 
 TEST(ConfigValidate, Liu14) {
@@ -218,6 +250,8 @@ TEST(ConfigValidate, RouterOptions) {
   // The nested service config is validated through the facade too.
   expect_rejects<C>([](C& c) { c.service.max_batch = 0; },
                     "RouterServiceConfig.max_batch");
+  expect_rejects<C>([](C& c) { c.chip.edge_capacity = 0; },
+                    "ChipConfig.edge_capacity");
 }
 
 TEST(ConfigValidate, ConstructorsEnforceValidation) {

@@ -1,0 +1,171 @@
+#include "chip/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oar::chip {
+namespace {
+
+HananGrid open_grid(std::int32_t h, std::int32_t v, std::int32_t m) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), 1.5);
+}
+
+TEST(Congestion, EdgeSlotAndDirCoverAllAxes) {
+  const auto grid = open_grid(3, 3, 2);
+  const Vertex o = grid.index(1, 1, 0);
+  EXPECT_EQ(edge_dir(grid, o, grid.index(2, 1, 0)), Dir::kPosX);
+  EXPECT_EQ(edge_dir(grid, o, grid.index(1, 2, 0)), Dir::kPosY);
+  EXPECT_EQ(edge_dir(grid, o, grid.index(1, 1, 1)), Dir::kPosZ);
+  // Argument order is irrelevant; the slot belongs to the min vertex.
+  EXPECT_EQ(edge_slot(grid, grid.index(2, 1, 0), o),
+            edge_slot(grid, o, grid.index(2, 1, 0)));
+  EXPECT_EQ(edge_slot(grid, o, grid.index(2, 1, 0)),
+            std::size_t(o) * 3 + std::size_t(Dir::kPosX));
+}
+
+TEST(Congestion, EdgeDirHandlesDegenerateDims) {
+  // h = 1: the h-stride collides with the v-stride; cell comparison must
+  // still classify the edge as a y edge.
+  const auto grid = HananGrid(1, 4, 2, {}, std::vector<double>(3, 1.0), 2.0);
+  EXPECT_EQ(edge_dir(grid, grid.index(0, 0, 0), grid.index(0, 1, 0)),
+            Dir::kPosY);
+  EXPECT_EQ(edge_dir(grid, grid.index(0, 3, 0), grid.index(0, 3, 1)),
+            Dir::kPosZ);
+}
+
+TEST(Congestion, CommitRipUpRoundTripsToExactlyZero) {
+  const auto grid = open_grid(4, 4, 2);
+  route::RouteTree tree(&grid);
+  tree.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0), grid.index(2, 0, 0),
+                 grid.index(2, 1, 0), grid.index(2, 1, 1)});
+
+  CongestionMap congestion(grid);
+  EXPECT_EQ(congestion.total_usage(), 0);
+  congestion.commit(tree);
+  EXPECT_EQ(congestion.total_usage(), std::int64_t(tree.num_edges()));
+  EXPECT_EQ(congestion.usage(grid.index(0, 0, 0), Dir::kPosX), 1);
+  EXPECT_EQ(congestion.usage(grid.index(2, 1, 0), Dir::kPosZ), 1);
+  EXPECT_EQ(congestion.overflow(), 0);
+  EXPECT_TRUE(congestion.matches({&tree}));
+
+  congestion.rip_up(tree);
+  EXPECT_EQ(congestion.total_usage(), 0);
+  EXPECT_TRUE(congestion.matches({}));
+  for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+    EXPECT_EQ(congestion.usage(v, Dir::kPosX), 0);
+    EXPECT_EQ(congestion.usage(v, Dir::kPosY), 0);
+    EXPECT_EQ(congestion.usage(v, Dir::kPosZ), 0);
+  }
+}
+
+TEST(Congestion, OverflowCountsSharedEdges) {
+  const auto grid = open_grid(4, 1, 1);
+  route::RouteTree a(&grid), b(&grid);
+  a.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0), grid.index(2, 0, 0)});
+  b.add_path({grid.index(1, 0, 0), grid.index(2, 0, 0), grid.index(3, 0, 0)});
+
+  CongestionMap congestion(grid, 1);
+  congestion.commit(a);
+  EXPECT_EQ(congestion.overflow(), 0);
+  EXPECT_FALSE(congestion.tree_overflows(a));
+
+  congestion.commit(b);  // edge (1,0,0)-(2,0,0) now carries both nets
+  EXPECT_EQ(congestion.overflow(), 1);
+  EXPECT_EQ(congestion.overflowed_edges(), 1);
+  EXPECT_TRUE(congestion.tree_overflows(a));
+  EXPECT_TRUE(congestion.tree_overflows(b));
+  EXPECT_TRUE(congestion.matches({&a, &b}));
+  EXPECT_FALSE(congestion.matches({&a}));
+
+  // Capacity 2 absorbs the sharing.
+  CongestionMap wide(grid, 2);
+  wide.commit(a);
+  wide.commit(b);
+  EXPECT_EQ(wide.overflow(), 0);
+}
+
+TEST(Congestion, HistoryIsMonotoneAndOnlyOnOverflowedEdges) {
+  const auto grid = open_grid(3, 1, 1);
+  route::RouteTree a(&grid), b(&grid);
+  a.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0)});
+  b.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0), grid.index(2, 0, 0)});
+
+  CongestionMap congestion(grid, 1);
+  congestion.commit(a);
+  congestion.commit(b);
+  congestion.add_history(0.5);
+  EXPECT_DOUBLE_EQ(congestion.history(grid.index(0, 0, 0), Dir::kPosX), 0.5);
+  EXPECT_DOUBLE_EQ(congestion.history(grid.index(1, 0, 0), Dir::kPosX), 0.0);
+
+  // History persists across rip-ups and only ever grows.
+  congestion.rip_up(a);
+  congestion.add_history(0.25);  // edge no longer over capacity: no growth
+  EXPECT_DOUBLE_EQ(congestion.history(grid.index(0, 0, 0), Dir::kPosX), 0.5);
+  congestion.commit(a);
+  congestion.add_history(0.25);
+  EXPECT_DOUBLE_EQ(congestion.history(grid.index(0, 0, 0), Dir::kPosX), 0.75);
+}
+
+TEST(Congestion, ApplyToWritesBiasAndBumpsRevisionOnce) {
+  auto grid = open_grid(3, 1, 1);
+  route::RouteTree a(&grid);
+  a.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0)});
+
+  CongestionMap congestion(grid, 1);
+  const auto rev0 = grid.revision();
+  // Nothing committed, no history: the overlay stays empty and the
+  // revision untouched.
+  EXPECT_FALSE(congestion.apply_to(grid, 0.5));
+  EXPECT_EQ(grid.revision(), rev0);
+  EXPECT_FALSE(grid.has_edge_cost_bias());
+
+  congestion.commit(a);
+  EXPECT_TRUE(congestion.apply_to(grid, 0.5));
+  EXPECT_GT(grid.revision(), rev0);
+  EXPECT_TRUE(grid.has_edge_cost_bias());
+  // usage 1, capacity 1: the next net would overflow by 1, so
+  // bias = base * present_factor = 1.0 * 0.5.
+  EXPECT_DOUBLE_EQ(grid.edge_cost_bias(grid.index(0, 0, 0), Dir::kPosX), 0.5);
+  EXPECT_DOUBLE_EQ(grid.edge_cost_bias(grid.index(1, 0, 0), Dir::kPosX), 0.0);
+  EXPECT_DOUBLE_EQ(
+      grid.cost_between(grid.index(0, 0, 0), grid.index(1, 0, 0)), 1.5);
+  EXPECT_DOUBLE_EQ(
+      grid.base_cost_between(grid.index(0, 0, 0), grid.index(1, 0, 0)), 1.0);
+
+  // Re-applying the identical overlay must NOT bump the revision (cache
+  // coherence: unchanged costs keep the maze adjacency cache valid).
+  const auto rev1 = grid.revision();
+  EXPECT_FALSE(congestion.apply_to(grid, 0.5));
+  EXPECT_EQ(grid.revision(), rev1);
+
+  // A different present factor is a different overlay.
+  EXPECT_TRUE(congestion.apply_to(grid, 1.0));
+  EXPECT_GT(grid.revision(), rev1);
+
+  // Ripping the tree back out clears the overlay.
+  congestion.rip_up(a);
+  EXPECT_TRUE(congestion.apply_to(grid, 1.0));
+  EXPECT_FALSE(grid.has_edge_cost_bias());
+}
+
+TEST(Congestion, HistoryAloneBiasesEvenWhenUncongested) {
+  auto grid = open_grid(3, 1, 1);
+  route::RouteTree a(&grid), b(&grid);
+  a.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0)});
+  b.add_path({grid.index(0, 0, 0), grid.index(1, 0, 0)});
+
+  CongestionMap congestion(grid, 1);
+  congestion.commit(a);
+  congestion.commit(b);
+  congestion.add_history(2.0);
+  congestion.rip_up(a);
+  congestion.rip_up(b);
+
+  // Present usage is zero but the history term keeps the chronically
+  // contested edge expensive: bias = base * history = 1.0 * 2.0.
+  EXPECT_TRUE(congestion.apply_to(grid, 0.5));
+  EXPECT_DOUBLE_EQ(grid.edge_cost_bias(grid.index(0, 0, 0), Dir::kPosX), 2.0);
+}
+
+}  // namespace
+}  // namespace oar::chip

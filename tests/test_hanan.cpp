@@ -147,6 +147,91 @@ TEST(FromLayout, ObstacleBlocksInteriorNotBoundary) {
   EXPECT_FALSE(grid.is_blocked(grid.index(3, 2, 0)));  // (60,40) boundary
 }
 
+TEST(EdgeCostBias, OverlayAddsToCostsAndBumpsRevision) {
+  HananGrid grid = unit_grid(3, 3, 2, 1.5);
+  const Vertex a = grid.index(0, 0, 0);
+  const Vertex bx = grid.index(1, 0, 0);
+  const Vertex bz = grid.index(0, 0, 1);
+  EXPECT_FALSE(grid.has_edge_cost_bias());
+  EXPECT_DOUBLE_EQ(grid.cost_between(a, bx), 1.0);
+
+  const auto rev0 = grid.revision();
+  grid.set_edge_cost_bias(a, Dir::kPosX, 2.0);
+  EXPECT_TRUE(grid.has_edge_cost_bias());
+  EXPECT_GT(grid.revision(), rev0);
+  EXPECT_DOUBLE_EQ(grid.edge_cost_bias(a, Dir::kPosX), 2.0);
+  // Both travel directions across the edge pay the bias; base stays.
+  EXPECT_DOUBLE_EQ(grid.cost_between(a, bx), 3.0);
+  EXPECT_DOUBLE_EQ(grid.cost_between(bx, a), 3.0);
+  EXPECT_DOUBLE_EQ(grid.base_cost_between(a, bx), 1.0);
+  EXPECT_DOUBLE_EQ(grid.cost_between(a, bz), 1.5);  // unbiased via
+  EXPECT_EQ(grid.validate(), "");
+
+  // for_each_neighbor reports the biased weight.
+  bool seen = false;
+  grid.for_each_neighbor(a, [&](Vertex nbr, double w) {
+    if (nbr == bx) {
+      EXPECT_DOUBLE_EQ(w, 3.0);
+      seen = true;
+    }
+  });
+  EXPECT_TRUE(seen);
+  // ... and the negative-direction traversal of the same edge too.
+  grid.for_each_neighbor(bx, [&](Vertex nbr, double w) {
+    if (nbr == a) EXPECT_DOUBLE_EQ(w, 3.0);
+  });
+
+  // Setting the same value again must not invalidate caches.
+  const auto rev1 = grid.revision();
+  grid.set_edge_cost_bias(a, Dir::kPosX, 2.0);
+  EXPECT_EQ(grid.revision(), rev1);
+
+  grid.clear_edge_cost_biases();
+  EXPECT_FALSE(grid.has_edge_cost_bias());
+  EXPECT_GT(grid.revision(), rev1);
+  EXPECT_DOUBLE_EQ(grid.cost_between(a, bx), 1.0);
+}
+
+TEST(EdgeCostBias, BulkSetterShortCircuitsOnEqualOverlay) {
+  HananGrid grid = unit_grid(2, 2, 1);
+  std::vector<double> bias(std::size_t(grid.num_vertices()) * 3, 0.0);
+  bias[std::size_t(grid.index(0, 0, 0)) * 3 + std::size_t(Dir::kPosY)] = 4.0;
+
+  EXPECT_TRUE(grid.set_edge_cost_biases(bias));
+  const auto rev = grid.revision();
+  EXPECT_FALSE(grid.set_edge_cost_biases(bias));  // identical: no-op
+  EXPECT_EQ(grid.revision(), rev);
+
+  // An all-zero overlay normalizes to "no overlay".
+  EXPECT_TRUE(grid.set_edge_cost_biases(
+      std::vector<double>(std::size_t(grid.num_vertices()) * 3, 0.0)));
+  EXPECT_FALSE(grid.has_edge_cost_bias());
+  EXPECT_FALSE(grid.set_edge_cost_biases({}));  // already empty: no-op
+}
+
+TEST(EdgeCostBias, ValidateCatchesBadOverlay) {
+  HananGrid grid = unit_grid(2, 2, 1);
+  std::vector<double> bias(std::size_t(grid.num_vertices()) * 3, 0.0);
+  bias[0] = -1.0;
+  grid.set_edge_cost_biases(bias);
+  EXPECT_NE(grid.validate(), "");
+}
+
+TEST(ClearPins, RemovesAllPinsAndBumpsRevision) {
+  HananGrid grid = unit_grid(3, 3, 1);
+  grid.add_pin(grid.index(0, 0, 0));
+  grid.add_pin(grid.index(2, 2, 0));
+  ASSERT_EQ(grid.pins().size(), 2u);
+  const auto rev = grid.revision();
+  grid.clear_pins();
+  EXPECT_TRUE(grid.pins().empty());
+  EXPECT_FALSE(grid.is_pin(grid.index(0, 0, 0)));
+  EXPECT_GT(grid.revision(), rev);
+  // Pins can be re-added afterwards.
+  grid.add_pin(grid.index(1, 1, 0));
+  EXPECT_EQ(grid.pins().size(), 1u);
+}
+
 TEST(FromLayout, EdgeAcrossObstacleInteriorIsBlocked) {
   geom::Layout layout(100, 100, 1, 1.0);
   layout.add_pin(0, 50, 0);

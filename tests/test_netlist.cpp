@@ -1,0 +1,177 @@
+#include "chip/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oar::chip {
+namespace {
+
+HananGrid open_grid(std::int32_t h, std::int32_t v, std::int32_t m) {
+  return HananGrid(h, v, m, std::vector<double>(std::size_t(h - 1), 1.0),
+                   std::vector<double>(std::size_t(v - 1), 1.0), 1.5);
+}
+
+Netlist two_net_list(const HananGrid& grid) {
+  Netlist netlist;
+  netlist.name = "demo";
+  netlist.nets.push_back(
+      {"a", {grid.index(0, 0, 0), grid.index(3, 0, 0), grid.index(3, 3, 1)}});
+  netlist.nets.push_back({"b", {grid.index(0, 3, 0), grid.index(1, 3, 0)}});
+  return netlist;
+}
+
+TEST(Netlist, CountsAndValidatesCleanList) {
+  const auto grid = open_grid(4, 4, 2);
+  const Netlist netlist = two_net_list(grid);
+  EXPECT_EQ(netlist.size(), 2u);
+  EXPECT_EQ(netlist.total_pins(), 5);
+  EXPECT_EQ(netlist.validate(grid), "");
+}
+
+TEST(Netlist, WriteReadRoundTrip) {
+  const auto grid = open_grid(4, 4, 2);
+  const Netlist netlist = two_net_list(grid);
+
+  std::ostringstream out;
+  ASSERT_TRUE(write_netlist(netlist, grid, out));
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto parsed = read_netlist(in, grid, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, "demo");
+  ASSERT_EQ(parsed->nets.size(), 2u);
+  EXPECT_EQ(parsed->nets[0].name, "a");
+  EXPECT_EQ(parsed->nets[0].pins, netlist.nets[0].pins);
+  EXPECT_EQ(parsed->nets[1].name, "b");
+  EXPECT_EQ(parsed->nets[1].pins, netlist.nets[1].pins);
+}
+
+TEST(Netlist, ParserSkipsCommentsAndBlankLines) {
+  const auto grid = open_grid(4, 4, 1);
+  std::istringstream in(
+      "# a netlist\n"
+      "oarnetlist 1\n"
+      "\n"
+      "net a  0 0 0  3 3 0\n"
+      "# trailing comment\n"
+      "end\n");
+  std::string error;
+  const auto parsed = read_netlist(in, grid, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->nets.size(), 1u);
+}
+
+struct RejectCase {
+  const char* label;
+  const char* text;
+  const char* needle;  // must appear in the error
+};
+
+TEST(Netlist, ParserRejectsMalformedInput) {
+  const auto grid = open_grid(4, 4, 2);
+  const RejectCase cases[] = {
+      {"bad version", "oarnetlist 2\nend\n", "version"},
+      {"net before header", "net a 0 0 0 1 0 0\nend\n", "before oarnetlist"},
+      {"missing end", "oarnetlist 1\nnet a 0 0 0 1 0 0\n", "end marker"},
+      {"missing header", "net a 0 0 0 1 0 0\n", "before oarnetlist"},
+      {"empty input", "", "header"},
+      {"unknown keyword", "oarnetlist 1\nwire a 0 0 0\nend\n", "unknown"},
+      {"nameless net", "oarnetlist 1\nnet\nend\n", "without a name"},
+      {"bad name line", "oarnetlist 1\nname\nend\n", "bad name"},
+      {"partial triple", "oarnetlist 1\nnet a 0 0 0  1 0\nend\n",
+       "malformed pin triples"},
+      {"non-numeric coord", "oarnetlist 1\nnet a 0 0 0  x 0 0\nend\n",
+       "malformed pin triples"},
+      {"one pin", "oarnetlist 1\nnet a 0 0 0\nend\n", "fewer than 2 pins"},
+      {"out of range", "oarnetlist 1\nnet a 0 0 0  9 0 0\nend\n",
+       "outside the 4x4x2 grid"},
+      {"duplicate net name",
+       "oarnetlist 1\nnet a 0 0 0 1 0 0\nnet a 2 0 0 3 0 0\nend\n",
+       "duplicate net name"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream in(c.text);
+    std::string error;
+    const auto parsed = read_netlist(in, grid, &error);
+    EXPECT_FALSE(parsed.has_value()) << c.label;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << c.label << ": " << error;
+  }
+}
+
+TEST(Netlist, ParserErrorsNameTheLine) {
+  const auto grid = open_grid(4, 4, 1);
+  std::istringstream in("oarnetlist 1\n# comment\nnet a 0 0 0\nend\n");
+  std::string error;
+  EXPECT_FALSE(read_netlist(in, grid, &error).has_value());
+  EXPECT_NE(error.find("(line 3)"), std::string::npos) << error;
+}
+
+TEST(Netlist, ValidateRejectsEmptyAndDuplicateNames) {
+  const auto grid = open_grid(4, 4, 1);
+  Netlist netlist;
+  netlist.nets.push_back({"", {grid.index(0, 0, 0), grid.index(1, 0, 0)}});
+  EXPECT_NE(netlist.validate(grid).find("be non-empty"), std::string::npos);
+
+  netlist.nets[0].name = "a";
+  netlist.nets.push_back({"a", {grid.index(0, 1, 0), grid.index(1, 1, 0)}});
+  EXPECT_NE(netlist.validate(grid).find("be unique"), std::string::npos);
+}
+
+TEST(Netlist, ValidateRejectsTooFewAndOutOfRangePins) {
+  const auto grid = open_grid(4, 4, 1);
+  Netlist netlist;
+  netlist.nets.push_back({"solo", {grid.index(0, 0, 0)}});
+  EXPECT_NE(netlist.validate(grid).find("at least 2 pins"), std::string::npos);
+
+  netlist.nets[0].pins = {grid.index(0, 0, 0), Vertex(999)};
+  EXPECT_NE(netlist.validate(grid).find("valid grid vertex"),
+            std::string::npos);
+}
+
+TEST(Netlist, ValidateRejectsBlockedPinNamingTheNet) {
+  auto grid = open_grid(4, 4, 1);
+  grid.block_vertex(grid.index(2, 2, 0));
+  Netlist netlist;
+  netlist.nets.push_back({"clk", {grid.index(0, 0, 0), grid.index(2, 2, 0)}});
+  const std::string problem = netlist.validate(grid);
+  EXPECT_NE(problem.find("nets[\"clk\"].pins[1]"), std::string::npos)
+      << problem;
+  EXPECT_NE(problem.find("blocked (obstacle) vertex"), std::string::npos);
+  EXPECT_NE(problem.find("(2, 2, 0)"), std::string::npos);
+}
+
+TEST(Netlist, ValidateRejectsDuplicatePinWithinNet) {
+  const auto grid = open_grid(4, 4, 1);
+  Netlist netlist;
+  netlist.nets.push_back(
+      {"a", {grid.index(0, 0, 0), grid.index(1, 0, 0), grid.index(0, 0, 0)}});
+  const std::string problem = netlist.validate(grid);
+  EXPECT_NE(problem.find("not duplicate a pin"), std::string::npos) << problem;
+  EXPECT_NE(problem.find("pins[2]"), std::string::npos);
+}
+
+TEST(Netlist, ValidateRejectsCrossNetShortNamingBothNets) {
+  const auto grid = open_grid(4, 4, 1);
+  Netlist netlist;
+  netlist.nets.push_back({"vdd", {grid.index(0, 0, 0), grid.index(3, 0, 0)}});
+  netlist.nets.push_back({"gnd", {grid.index(3, 0, 0), grid.index(3, 3, 0)}});
+  const std::string problem = netlist.validate(grid);
+  EXPECT_NE(problem.find("nets[\"gnd\"].pins[0]"), std::string::npos)
+      << problem;
+  EXPECT_NE(problem.find("net \"vdd\""), std::string::npos);
+  EXPECT_NE(problem.find("electrical short"), std::string::npos);
+}
+
+TEST(Netlist, LoadReportsMissingFile) {
+  const auto grid = open_grid(4, 4, 1);
+  std::string error;
+  EXPECT_FALSE(
+      load_netlist("/nonexistent/netlist.txt", grid, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oar::chip

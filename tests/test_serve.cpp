@@ -71,6 +71,29 @@ TEST(Canonical, DistinctLayoutsGetDistinctKeys) {
   EXPECT_NE(canonicalize(small_grid(4)).key, canonicalize(small_grid(5)).key);
 }
 
+TEST(Canonical, CostBiasOverlayForcesIdentityKey) {
+  // A congestion overlay (full-chip negotiation) breaks the symmetry
+  // orbit: canonicalize must fall back to the identity key, and two
+  // different overlay states must never alias one cache entry.
+  HananGrid grid = small_grid();
+  const CanonicalForm plain = canonicalize(grid);
+  ASSERT_TRUE(plain.symmetric);
+
+  grid.set_edge_cost_bias(0, hanan::Dir::kPosX, 2.5);
+  const CanonicalForm biased = canonicalize(grid);
+  EXPECT_FALSE(biased.symmetric);
+  EXPECT_NE(biased.key, plain.key);
+
+  grid.set_edge_cost_bias(0, hanan::Dir::kPosX, 3.5);
+  EXPECT_NE(canonicalize(grid).key, biased.key);
+
+  // Clearing the overlay restores the symmetric orbit key exactly.
+  grid.clear_edge_cost_biases();
+  const CanonicalForm restored = canonicalize(grid);
+  EXPECT_TRUE(restored.symmetric);
+  EXPECT_EQ(restored.key, plain.key);
+}
+
 TEST(Canonical, InverseVertexMapRoundTrips) {
   const HananGrid grid = small_grid();
   for (const rl::AugmentSpec& spec : rl::all_augmentations()) {
