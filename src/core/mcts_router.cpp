@@ -1,0 +1,51 @@
+#include "core/mcts_router.hpp"
+
+#include <algorithm>
+
+#include "mcts/parallel.hpp"
+#include "route/oarmst.hpp"
+
+namespace oar::core {
+
+MctsRouter::MctsRouter(std::shared_ptr<rl::SteinerSelector> selector,
+                       mcts::CombMctsConfig config)
+    : selector_(std::move(selector)), config_(config) {
+  config_.validate();
+}
+
+route::OarmstResult MctsRouter::route(const hanan::HananGrid& grid) {
+  mcts::CombMctsConfig cfg = config_;
+  cfg.iterations_per_move =
+      mcts::scaled_iterations(config_.iterations_per_move, grid);
+
+  mcts::CombMctsResult searched;
+  if (cfg.search_workers != 1) {
+    mcts::ParallelCombMcts search(*selector_, cfg);
+    searched = search.run(grid);
+  } else {
+    mcts::CombMcts search(*selector_, cfg);
+    searched = search.run(grid);
+  }
+  stats_ = searched.stats;
+
+  // Final construction (removal ON, mirroring RlRouter): the search's raw
+  // state costs keep redundant points visible, but the tree we hand back
+  // should not contain them.
+  route::OarmstRouter router(grid);
+  route::RouterScratch& scratch = route::local_router_scratch();
+  route::OarmstResult result =
+      router.build(grid.pins(), searched.selected, &scratch);
+
+  // The executed combination is terminal-rule greedy; the plain no-Steiner
+  // construction is free to compare against and keeps a degenerate search
+  // from ever losing to "route the pins directly".
+  if (!searched.selected.empty()) {
+    route::OarmstResult plain = router.build(grid.pins(), {}, &scratch);
+    if (plain.connected && (!result.connected || plain.cost < result.cost)) {
+      result = std::move(plain);
+    }
+  }
+  return result;
+}
+
+}  // namespace oar::core

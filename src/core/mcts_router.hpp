@@ -1,0 +1,43 @@
+#pragma once
+
+// Search-based single-net engine ("rl-mcts"): instead of committing to the
+// selector's one-shot top-(n-2) Steiner points like RlRouter, run the full
+// combinatorial MCTS over the layout and route the best combination the
+// search executed.  This is the paper's *training-time* search exposed as
+// an inference engine — orders of magnitude slower than "rl-ours", but the
+// strongest tree the repository can produce for a single net, and the
+// natural consumer of the tree-parallel search (CombMctsConfig's
+// search_workers / eval_batch / flush_us knobs, DESIGN.md §15).
+
+#include <memory>
+
+#include "mcts/comb_mcts.hpp"
+#include "steiner/router_base.hpp"
+
+namespace oar::core {
+
+class MctsRouter : public steiner::Router {
+ public:
+  /// `config.iterations_per_move` is the paper's alpha at the 16x16x4
+  /// reference size; route() rescales it to each layout via
+  /// mcts::scaled_iterations.  search_workers != 1 runs the tree-parallel
+  /// search (0 = hardware concurrency).
+  explicit MctsRouter(std::shared_ptr<rl::SteinerSelector> selector,
+                      mcts::CombMctsConfig config = {});
+
+  std::string name() const override { return "rl-mcts"; }
+
+  /// Search, then final OARMST construction (redundant-point removal on)
+  /// over pins + the searched combination — the same final flow as Fig. 2.
+  route::OarmstResult route(const hanan::HananGrid& grid) override;
+
+  /// Search statistics of the most recent route() call.
+  const mcts::CombMctsStats& last_stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<rl::SteinerSelector> selector_;
+  mcts::CombMctsConfig config_;
+  mcts::CombMctsStats stats_;
+};
+
+}  // namespace oar::core

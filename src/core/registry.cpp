@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/mcts_router.hpp"
 #include "core/pretrained.hpp"
 #include "core/rl_router.hpp"
 #include "steiner/lin08.hpp"
@@ -33,6 +34,10 @@ RouterRegistry& RouterRegistry::instance() {
     r.register_router("rl-ours+sweep", [] {
       return std::unique_ptr<steiner::Router>(
           new RlRouter(load_or_train_pretrained(), RlRouterConfig{true}));
+    });
+    r.register_router("rl-mcts", [] {
+      return std::unique_ptr<steiner::Router>(
+          new MctsRouter(load_or_train_pretrained()));
     });
     return r;
   }();

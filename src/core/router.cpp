@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/mcts_router.hpp"
 #include "core/pretrained.hpp"
 #include "core/registry.hpp"
 #include "util/timer.hpp"
@@ -20,6 +21,8 @@ void RouterOptions::validate() const {
         "RouterOptions.use_service requires engine 'rl-ours' (got '" + engine +
         "'); the serving layer batches through the RL selector");
   }
+  rl.validate();
+  mcts.validate();
   service.validate();
   chip.validate();
 }
@@ -40,6 +43,10 @@ void Router::ensure_engine() {
   if (options_.engine == "rl-ours") {
     // Constructed directly (not via the registry) so options_.rl applies.
     engine_ = std::make_unique<RlRouter>(shared_selector(), options_.rl);
+  } else if (options_.engine == "rl-mcts") {
+    // Constructed directly so options_.mcts (iterations, search_workers,
+    // eval_batch, flush_us) applies.
+    engine_ = std::make_unique<MctsRouter>(shared_selector(), options_.mcts);
   } else {
     engine_ = RouterRegistry::instance().create(options_.engine);
   }

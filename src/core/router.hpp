@@ -40,6 +40,7 @@
 #include "chip/netlist.hpp"
 #include "core/multi_net.hpp"
 #include "core/rl_router.hpp"
+#include "mcts/comb_mcts.hpp"
 #include "geom/layout.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
@@ -53,6 +54,10 @@ struct RouterOptions {
   std::string engine = "rl-ours";
   /// RL-engine knobs (prefix sweep); ignored by baseline engines.
   RlRouterConfig rl;
+  /// Search-engine knobs for "rl-mcts" (iterations, search_workers /
+  /// eval_batch / flush_us for the tree-parallel search); ignored by every
+  /// other engine.
+  mcts::CombMctsConfig mcts;
   /// Route through serve::RouterService (micro-batching + symmetry cache)
   /// instead of the direct single-shot path.  RL engine only.
   bool use_service = false;

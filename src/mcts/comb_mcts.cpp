@@ -82,6 +82,13 @@ void CombMctsConfig::validate() const {
   util::check_field(prior_uniform_mix >= 0.0 && prior_uniform_mix <= 1.0,
                     "CombMctsConfig", "prior_uniform_mix", "be in [0, 1]",
                     prior_uniform_mix);
+  util::check_field(search_workers >= 0, "CombMctsConfig", "search_workers",
+                    "be >= 0 (0 = hardware concurrency, 1 = serial)",
+                    search_workers);
+  util::check_field(eval_batch >= 1, "CombMctsConfig", "eval_batch", "be >= 1",
+                    eval_batch);
+  util::check_field(flush_us >= 0, "CombMctsConfig", "flush_us",
+                    "be non-negative", flush_us);
 }
 
 CombMcts::CombMcts(rl::SteinerSelector& selector, CombMctsConfig config)

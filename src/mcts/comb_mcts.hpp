@@ -49,6 +49,17 @@ struct CombMctsConfig {
   /// untrained selector and UCT never explores them.
   double prior_uniform_mix = 0.15;
 
+  // --- tree-parallel search (ParallelCombMcts, DESIGN.md §15) ---
+  /// Concurrent tree workers sharing one search tree under virtual loss.
+  /// 1 = serial semantics (ParallelCombMcts is then bitwise-identical to
+  /// CombMcts); 0 = hardware concurrency.  Ignored by the serial CombMcts.
+  std::int32_t search_workers = 1;
+  /// Max same-shape leaf inferences the EvalServer fuses into one
+  /// Module::forward_batch pass.
+  std::int32_t eval_batch = 8;
+  /// EvalServer straggler wait before flushing an undersized batch.
+  std::int64_t flush_us = 200;
+
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
 };
@@ -64,6 +75,14 @@ struct CombMctsStats {
   std::int64_t nodes = 0;
   std::int64_t executed_moves = 0;
   double seconds = 0.0;
+  // Tree-parallel accounting (always 0 for the serial CombMcts).  The
+  // applied/reverted pair must match after every episode — the virtual-loss
+  // invariant ParallelCombMcts also self-checks between root moves.
+  std::int64_t vloss_applied = 0;
+  std::int64_t vloss_reverted = 0;
+  /// Descents that reached a leaf another worker was already evaluating
+  /// and waited for its result instead of duplicating the evaluation.
+  std::int64_t eval_waits = 0;
 };
 
 struct CombMctsResult {

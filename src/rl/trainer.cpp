@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "mcts/parallel.hpp"
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
@@ -375,9 +376,18 @@ StageReport CombTrainer::run_stage() {
   }
 
   // One pool serves both phases: sample generation fans out over layouts,
-  // the fit phase over per-worker replicas.
+  // the fit phase over per-worker replicas.  With tree-parallel search
+  // (mcts.search_workers != 1) each episode already spawns its own worker
+  // threads, so the layout-level fan-out shrinks to keep the total thread
+  // footprint near config_.threads.
+  const std::size_t search_workers =
+      mcts_config.search_workers == 0
+          ? util::ThreadPool::resolve_thread_count(0)
+          : std::size_t(mcts_config.search_workers);
   const std::size_t gen_workers = std::min(
-      util::ThreadPool::resolve_thread_count(config_.threads),
+      std::max<std::size_t>(
+          1, util::ThreadPool::resolve_thread_count(config_.threads) /
+                 std::max<std::size_t>(1, search_workers)),
       jobs.empty() ? std::size_t(1) : jobs.size());
   const std::size_t fit_workers = util::ThreadPool::resolve_thread_count(
       config_.fit_workers > 0 ? config_.fit_workers : config_.threads);
@@ -415,8 +425,14 @@ StageReport CombTrainer::run_stage() {
     mcts::CombMctsConfig cfg = mcts_config;
     cfg.iterations_per_move =
         mcts::scaled_iterations(mcts_config.iterations_per_move, grid);
-    mcts::CombMcts search(*clone, cfg);
-    mcts::CombMctsResult result = search.run(grid);
+    mcts::CombMctsResult result;
+    if (cfg.search_workers != 1) {
+      mcts::ParallelCombMcts search(*clone, cfg);
+      result = search.run(grid);
+    } else {
+      mcts::CombMcts search(*clone, cfg);
+      result = search.run(grid);
+    }
     raw[i] = RawSample{std::move(grid), std::move(result)};
     checkin_clone(std::move(clone));
   });

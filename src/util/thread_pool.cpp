@@ -4,6 +4,17 @@
 
 namespace oar::util {
 
+namespace {
+// Which pool (if any) the current thread belongs to.  Set once per worker
+// at the top of worker_loop; gives current_thread_in_pool() a race-free
+// answer without touching any shared structure.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::current_thread_in_pool() const {
+  return t_current_pool == this;
+}
+
 std::size_t ThreadPool::resolve_thread_count(std::int64_t requested) {
   if (requested > 0) return std::size_t(requested);
   return std::max(1u, std::thread::hardware_concurrency());
@@ -29,6 +40,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> job;
     {
@@ -44,6 +56,14 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+
+  // Reentrant call from one of our own workers: run inline (see header).
+  // Enqueueing would park this worker on futures whose chunks may never be
+  // scheduled — with every worker blocked the same way, the pool deadlocks.
+  if (current_thread_in_pool()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
 
   // One contiguous index range per worker rather than one task per index:
   // a task has queue/future overhead that swamps small bodies, and the

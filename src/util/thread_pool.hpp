@@ -48,7 +48,23 @@ class ThreadPool {
   /// task per chunk.  If calls throw, every chunk still runs to its own
   /// first failure before the first exception (in chunk order) is rethrown;
   /// later indices of a throwing chunk are skipped.
+  ///
+  /// Reentrancy contract: calling parallel_for from INSIDE a task running on
+  /// this pool executes every index inline on the calling worker instead of
+  /// enqueueing chunks.  The naive alternative deadlocks: the outer task
+  /// occupies a worker while blocking on chunk futures that can only run on
+  /// the workers the outer level already holds (with pool size 1 the very
+  /// first nested call hangs forever).  Inline execution trades the lost
+  /// nested parallelism for a guarantee of forward progress, so layered
+  /// callers — a serve::RouterService routing fan-out whose engine itself
+  /// fans out, an EvalServer client running on a pool task — degrade to
+  /// serial instead of freezing.  Nested calls on a *different* pool are
+  /// unaffected.  submit() from a worker never blocks and stays safe.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// True iff the calling thread is one of this pool's workers (the
+  /// condition under which parallel_for runs inline).
+  bool current_thread_in_pool() const;
 
  private:
   void worker_loop();

@@ -14,6 +14,8 @@
 #include "core/router.hpp"
 #include "gen/random_netlist.hpp"
 #include "mcts/comb_mcts.hpp"
+#include "mcts/eval_server.hpp"
+#include "mcts/parallel.hpp"
 #include "nn/unet3d.hpp"
 #include "nn/value_net.hpp"
 #include "route/oarmst.hpp"
@@ -171,6 +173,20 @@ TEST(ConfigValidate, CombMcts) {
                     "CombMctsConfig.max_children");
   expect_rejects<C>([](C& c) { c.prior_uniform_mix = 1.5; },
                     "CombMctsConfig.prior_uniform_mix");
+  expect_rejects<C>([](C& c) { c.search_workers = -1; },
+                    "CombMctsConfig.search_workers");
+  expect_rejects<C>([](C& c) { c.eval_batch = 0; }, "CombMctsConfig.eval_batch");
+  expect_rejects<C>([](C& c) { c.flush_us = -1; }, "CombMctsConfig.flush_us");
+}
+
+TEST(ConfigValidate, EvalServer) {
+  using C = mcts::EvalServerConfig;
+  EXPECT_NO_THROW(C{}.validate());
+  expect_rejects<C>([](C& c) { c.eval_batch = 0; },
+                    "EvalServerConfig.eval_batch");
+  expect_rejects<C>([](C& c) { c.flush_us = -1; }, "EvalServerConfig.flush_us");
+  expect_rejects<C>([](C& c) { c.queue_capacity = 0; },
+                    "EvalServerConfig.queue_capacity");
 }
 
 TEST(ConfigValidate, Train) {
@@ -252,6 +268,11 @@ TEST(ConfigValidate, RouterOptions) {
                     "RouterServiceConfig.max_batch");
   expect_rejects<C>([](C& c) { c.chip.edge_capacity = 0; },
                     "ChipConfig.edge_capacity");
+  // The nested search config ("rl-mcts" engine knobs) as well.
+  expect_rejects<C>([](C& c) { c.mcts.search_workers = -2; },
+                    "CombMctsConfig.search_workers");
+  expect_rejects<C>([](C& c) { c.mcts.eval_batch = -1; },
+                    "CombMctsConfig.eval_batch");
 }
 
 TEST(ConfigValidate, ConstructorsEnforceValidation) {
@@ -272,6 +293,14 @@ TEST(ConfigValidate, ConstructorsEnforceValidation) {
     return c;
   }()};
   EXPECT_THROW(mcts::CombMcts(selector, mcts_cfg), std::invalid_argument);
+
+  mcts::CombMctsConfig par_cfg;
+  par_cfg.search_workers = -1;
+  EXPECT_THROW(mcts::ParallelCombMcts(selector, par_cfg), std::invalid_argument);
+
+  mcts::EvalServerConfig eval_cfg;
+  eval_cfg.queue_capacity = 0;
+  EXPECT_THROW(mcts::EvalServer(selector, eval_cfg), std::invalid_argument);
 
   core::RouterOptions opt;
   opt.engine = "no-such-engine";

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -84,6 +85,61 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
   }
   // Every chunk ran up to its own first failure; nothing deadlocked.
   EXPECT_GE(calls.load(), 4);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // The worker-reentrancy contract: parallel_for issued from inside a pool
+  // task executes inline on the calling worker.  Before this contract a
+  // nested call on a single-worker pool hung forever — the outer task held
+  // the only worker while waiting on chunks that could never be scheduled
+  // (the eval-server drain / RouterService layering hazard).
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(16);
+  std::atomic<int> outer_runs{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    outer_runs++;
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  });
+  EXPECT_EQ(outer_runs.load(), 2);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, NestedParallelForOnDifferentPoolStillFansOut) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  outer.parallel_for(2, [&](std::size_t) {
+    // A different pool is not reentrant: the call goes through the normal
+    // chunked dispatch (and must also not deadlock).
+    EXPECT_FALSE(inner.current_thread_in_pool());
+    inner.parallel_for(8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, CurrentThreadInPoolIdentifiesWorkers) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.current_thread_in_pool());
+  auto inside = pool.submit([&] { return pool.current_thread_in_pool(); });
+  EXPECT_TRUE(inside.get());
+}
+
+TEST(ThreadPool, SubmitFromWorkerDoesNotBlock) {
+  // submit() (unlike a naive nested parallel_for) never waits, so chaining
+  // work from inside a task is safe even on a one-worker pool as long as
+  // the outer task does not block on the inner future.
+  ThreadPool pool(1);
+  std::atomic<bool> inner_ran{false};
+  auto outer = pool.submit([&] {
+    pool.submit([&] { inner_ran = true; });
+  });
+  outer.get();
+  // The inner task runs after the outer returns; drain by destroying later.
+  // Wait briefly for the single worker to pick it up.
+  for (int i = 0; i < 1000 && !inner_ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(inner_ran.load());
 }
 
 TEST(ThreadPool, ManySmallTasks) {
