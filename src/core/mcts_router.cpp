@@ -14,6 +14,11 @@ MctsRouter::MctsRouter(std::shared_ptr<rl::SteinerSelector> selector,
 }
 
 route::OarmstResult MctsRouter::route(const hanan::HananGrid& grid) {
+  return route(grid, std::nullopt);
+}
+
+route::OarmstResult MctsRouter::route(const hanan::HananGrid& grid,
+                                      const mcts::SearchDeadline& deadline) {
   mcts::CombMctsConfig cfg = config_;
   cfg.iterations_per_move =
       mcts::scaled_iterations(config_.iterations_per_move, grid);
@@ -21,25 +26,29 @@ route::OarmstResult MctsRouter::route(const hanan::HananGrid& grid) {
   mcts::CombMctsResult searched;
   if (cfg.search_workers != 1) {
     mcts::ParallelCombMcts search(*selector_, cfg);
-    searched = search.run(grid);
+    searched = search.run(grid, deadline);
   } else {
     mcts::CombMcts search(*selector_, cfg);
-    searched = search.run(grid);
+    searched = search.run(grid, deadline);
   }
   stats_ = searched.stats;
 
   // Final construction (removal ON, mirroring RlRouter): the search's raw
   // state costs keep redundant points visible, but the tree we hand back
-  // should not contain them.
+  // should not contain them.  An expired deadline routes the best-so-far
+  // combination (every candidate was exact-evaluated, so this is always a
+  // valid routed state — the anytime invariant); a completed search keeps
+  // the executed combination, preserving the unbounded behaviour bitwise.
+  const std::vector<hanan::Vertex>& combination =
+      searched.stats.deadline_hit ? searched.best_selected : searched.selected;
   route::OarmstRouter router(grid);
   route::RouterScratch& scratch = route::local_router_scratch();
-  route::OarmstResult result =
-      router.build(grid.pins(), searched.selected, &scratch);
+  route::OarmstResult result = router.build(grid.pins(), combination, &scratch);
 
   // The executed combination is terminal-rule greedy; the plain no-Steiner
   // construction is free to compare against and keeps a degenerate search
   // from ever losing to "route the pins directly".
-  if (!searched.selected.empty()) {
+  if (!combination.empty()) {
     route::OarmstResult plain = router.build(grid.pins(), {}, &scratch);
     if (plain.connected && (!result.connected || plain.cost < result.cost)) {
       result = std::move(plain);

@@ -31,7 +31,15 @@ class MctsRouter : public steiner::Router {
   /// over pins + the searched combination — the same final flow as Fig. 2.
   route::OarmstResult route(const hanan::HananGrid& grid) override;
 
-  /// Search statistics of the most recent route() call.
+  /// Anytime entry (DESIGN.md §16): same as route() but the search runs
+  /// against `deadline`.  When it fires, the returned tree is built from
+  /// the best fully-evaluated combination so far (never an invalid
+  /// partial) and last_stats().deadline_hit is set.
+  route::OarmstResult route(const hanan::HananGrid& grid,
+                            const mcts::SearchDeadline& deadline);
+
+  /// Search statistics of the most recent route() call (including
+  /// deadline_hit for anytime calls).
   const mcts::CombMctsStats& last_stats() const { return stats_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "core/router.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -20,6 +21,12 @@ void RouterOptions::validate() const {
     throw std::invalid_argument(
         "RouterOptions.use_service requires engine 'rl-ours' (got '" + engine +
         "'); the serving layer batches through the RL selector");
+  }
+  if (!(deadline_ms >= 0.0) || !std::isfinite(deadline_ms)) {
+    throw std::invalid_argument(
+        "RouterOptions.deadline_ms must be finite and non-negative (0 "
+        "disables) (got " +
+        std::to_string(deadline_ms) + ")");
   }
   rl.validate();
   mcts.validate();
@@ -46,7 +53,10 @@ void Router::ensure_engine() {
   } else if (options_.engine == "rl-mcts") {
     // Constructed directly so options_.mcts (iterations, search_workers,
     // eval_batch, flush_us) applies.
-    engine_ = std::make_unique<MctsRouter>(shared_selector(), options_.mcts);
+    auto mcts_router =
+        std::make_unique<MctsRouter>(shared_selector(), options_.mcts);
+    mcts_engine_ = mcts_router.get();
+    engine_ = std::move(mcts_router);
   } else {
     engine_ = RouterRegistry::instance().create(options_.engine);
   }
@@ -96,17 +106,36 @@ RouteResult Router::route(std::shared_ptr<const hanan::HananGrid> grid) {
   RouteResult out;
   out.grid = grid;
 
+  mcts::SearchDeadline deadline;
+  if (options_.deadline_ms > 0.0) {
+    deadline = mcts::SearchClock::now() +
+               std::chrono::duration_cast<mcts::SearchClock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       options_.deadline_ms));
+  }
+
   if (options_.use_service) {
     ensure_service();
-    serve::RouteReply reply = service_->route(std::move(grid));
+    serve::RouteReply reply =
+        service_->submit(serve::RouteRequest{std::move(grid), deadline}).get();
     out.grid = std::move(reply.grid);
     out.result = std::move(reply.result);
     out.cache_hit = reply.cache_hit;
+    out.status = reply.status;
+    out.deadline_met = reply.deadline_met;
     out.engine = "rl-ours@service";
   } else {
     ensure_engine();
-    out.result = engine_->route(*out.grid);
+    if (deadline && mcts_engine_) {
+      out.result = mcts_engine_->route(*out.grid, deadline);
+      out.deadline_hit = mcts_engine_->last_stats().deadline_hit;
+    } else {
+      out.result = engine_->route(*out.grid);
+    }
     out.engine = engine_->name();
+    if (deadline && mcts::SearchClock::now() > *deadline) {
+      out.deadline_met = false;
+    }
   }
   return finish(std::move(out), timer.seconds());
 }

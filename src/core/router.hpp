@@ -64,6 +64,12 @@ struct RouterOptions {
   serve::RouterServiceConfig service;
   /// Full-chip negotiation knobs for route(grid, netlist).
   chip::ChipConfig chip;
+  /// Per-call latency target in ms for single-net route(); 0 disables
+  /// (DESIGN.md §16).  "rl-mcts" runs its search anytime against the
+  /// deadline (best-so-far tree, deadline_hit in the result); the serving
+  /// path stamps it on the request (urgency scheduling + admission
+  /// control); every other engine just gets the reply flagged late.
+  double deadline_ms = 0.0;
   /// Attach an obs::Snapshot of the global metrics registry to each result.
   bool collect_obs = true;
 
@@ -79,6 +85,15 @@ struct RouteResult {
   std::string engine;
   /// True when the serving path answered from the symmetry cache.
   bool cache_hit = false;
+  /// Typed admission outcome of the serving path; always kOk on the
+  /// direct paths.  An Overloaded value means result is empty.
+  serve::ReplyStatus status = serve::ReplyStatus::kOk;
+  /// False when the reply finished after the deadline_ms target (or was
+  /// rejected at admission).
+  bool deadline_met = true;
+  /// True when an anytime "rl-mcts" search was truncated by the deadline
+  /// (the tree is the best fully-evaluated combination so far).
+  bool deadline_hit = false;
   double total_seconds = 0.0;
   /// Point-in-time metrics (empty when collect_obs is off).
   obs::Snapshot obs;
@@ -100,6 +115,8 @@ struct ChipRouteResult {
   double wirelength() const { return result.wirelength; }
   std::int64_t overflow() const { return result.overflow; }
 };
+
+class MctsRouter;
 
 class Router {
  public:
@@ -145,6 +162,9 @@ class Router {
   RouterOptions options_;
   std::shared_ptr<rl::SteinerSelector> selector_;
   std::unique_ptr<steiner::Router> engine_;
+  /// Typed view of engine_ when it is the "rl-mcts" MctsRouter (the only
+  /// engine with an anytime deadline overload); nullptr otherwise.
+  MctsRouter* mcts_engine_ = nullptr;
   std::unique_ptr<serve::RouterService> service_;
 };
 

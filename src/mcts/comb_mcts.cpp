@@ -96,7 +96,8 @@ CombMcts::CombMcts(rl::SteinerSelector& selector, CombMctsConfig config)
   config_.validate();
 }
 
-CombMctsResult CombMcts::run(const HananGrid& grid) {
+CombMctsResult CombMcts::run(const HananGrid& grid,
+                             const SearchDeadline& deadline) {
   util::Timer timer;
   CombMctsResult result;
   const auto n_vertices = std::size_t(grid.num_vertices());
@@ -116,6 +117,9 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
   result.initial_cost = nodes[0].cost;
   result.final_cost = nodes[0].cost;
   result.best_cost = nodes[0].cost;
+  // Node achieving best_cost.  Every candidate has had its exact routing
+  // cost computed, so the state it denotes is always a valid routed answer.
+  std::int32_t best_node = 0;
 
   const double rc0 = std::max(nodes[0].cost, 1e-12);
   if (!std::isfinite(nodes[0].cost)) {
@@ -168,6 +172,14 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
   while (!nodes[std::size_t(root)].terminal) {
     // --- alpha UCT iterations from the current root ---
     for (std::int32_t iter = 0; iter < config_.iterations_per_move; ++iter) {
+      // Anytime control: checked at iteration granularity, but the very
+      // first iteration of the run always executes so a zero-slack request
+      // still gets one evaluated expansion (the one-iteration fallback).
+      if (deadline && result.stats.iterations > 0 &&
+          SearchClock::now() >= *deadline) {
+        result.stats.deadline_hit = true;
+        break;
+      }
       ++result.stats.iterations;
       std::int32_t cur = root;
 
@@ -229,7 +241,10 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
       if (leaf.cost < 0.0) {
         leaf.cost = ac.exact_cost(selected);
         mark_terminal_rules(leaf, nodes[std::size_t(leaf.parent)]);
-        result.best_cost = std::min(result.best_cost, leaf.cost);
+        if (leaf.cost < result.best_cost) {
+          result.best_cost = leaf.cost;
+          best_node = cur;
+        }
       }
 
       double value;
@@ -288,6 +303,11 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
       }
     }
 
+    // A hit deadline ends the whole search: best_selected already denotes
+    // the best fully-evaluated state, so executing further moves (and the
+    // exact_cost call that entails) would only spend budget we do not have.
+    if (result.stats.deadline_hit) break;
+
     // --- execute the most-visited root action ---
     Node& root_node = nodes[std::size_t(root)];
     if (!root_node.expanded || root_node.edges.empty()) break;
@@ -324,10 +344,14 @@ CombMctsResult CombMcts::run(const HananGrid& grid) {
       new_root.cost = ac.exact_cost(state_of(root));
       mark_terminal_rules(new_root, nodes[std::size_t(new_root.parent)]);
     }
-    result.best_cost = std::min(result.best_cost, new_root.cost);
+    if (new_root.cost < result.best_cost) {
+      result.best_cost = new_root.cost;
+      best_node = root;
+    }
   }
 
   result.selected = state_of(root);
+  result.best_selected = state_of(best_node);
   result.final_cost = nodes[std::size_t(root)].cost;
 
   // eq. (3): L_fsp(v) = n_sel / n_opp, in priority order.  The mask marks

@@ -16,11 +16,17 @@
 // action increased the routing cost, (3) cost flat for three consecutive
 // actions.
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 
 #include "mcts/actor_critic.hpp"
 
 namespace oar::mcts {
+
+/// Wall-clock basis for anytime search deadlines (matches serve::Clock).
+using SearchClock = std::chrono::steady_clock;
+using SearchDeadline = std::optional<SearchClock::time_point>;
 
 struct CombMctsConfig {
   /// UCT iterations per executed root move (the paper's alpha; 2000 for a
@@ -83,6 +89,10 @@ struct CombMctsStats {
   /// Descents that reached a leaf another worker was already evaluating
   /// and waited for its result instead of duplicating the evaluation.
   std::int64_t eval_waits = 0;
+  /// True when an anytime run stopped because its deadline expired (the
+  /// result is still the valid best-so-far state — see
+  /// CombMctsResult::best_selected).  Always false for unbounded runs.
+  bool deadline_hit = false;
 };
 
 struct CombMctsResult {
@@ -93,9 +103,15 @@ struct CombMctsResult {
   std::vector<float> label_mask;
   /// Steiner points actually executed by the search.
   std::vector<Vertex> selected;
+  /// The combination achieving `best_cost` — the anytime answer.  Every
+  /// entry was exact-evaluated during the search, so routing pins +
+  /// best_selected through OarmstRouter always yields a valid tree (the
+  /// critic-completion guarantee: the search never exposes a state it has
+  /// not routed).  Equals `selected` when the executed path ends best.
+  std::vector<Vertex> best_selected;
   double initial_cost = 0.0;  // rc_{s0}: cost with no Steiner points
   double final_cost = 0.0;    // exact cost of the executed terminal state
-  double best_cost = 0.0;     // best exact cost along the executed path
+  double best_cost = 0.0;     // best exact cost over all evaluated states
   CombMctsStats stats;
 };
 
@@ -105,7 +121,16 @@ class CombMcts {
 
   /// Builds one MC search tree on `grid` and returns the training label
   /// plus the executed combination (one sample per layout, Sec. 3.5).
-  CombMctsResult run(const HananGrid& grid);
+  ///
+  /// Anytime mode: with a `deadline`, the control loop checks the clock at
+  /// iteration granularity and stops as soon as it has passed, setting
+  /// stats.deadline_hit and leaving best_selected/best_cost at the best
+  /// fully-evaluated state so far — never an invalid partial.  One UCT
+  /// iteration is always run even when the deadline is already expired
+  /// (the zero-slack fallback), and a run whose deadline never fires is
+  /// bitwise identical to the unbounded run.
+  CombMctsResult run(const HananGrid& grid,
+                     const SearchDeadline& deadline = std::nullopt);
 
  private:
   rl::SteinerSelector& selector_;

@@ -19,6 +19,7 @@ struct EvalObs {
   obs::Counter& requests;
   obs::Counter& batches;
   obs::Counter& flush_timeouts;
+  obs::Counter& deadline_cancelled;
 };
 
 EvalObs& eval_obs() {
@@ -34,6 +35,8 @@ EvalObs& eval_obs() {
                   "Batched forwards run by the EvalServer drain thread"),
       reg.counter("oar_mcts_eval_flush_timeouts_total",
                   "Undersized EvalServer batches flushed on timeout"),
+      reg.counter("oar_mcts_eval_deadline_cancelled_total",
+                  "Leaf evaluations cancelled on an expired request deadline"),
   };
   return o;
 }
@@ -57,13 +60,15 @@ EvalServer::EvalServer(rl::SteinerSelector& selector, EvalServerConfig config)
 
 EvalServer::~EvalServer() { shutdown(/*cancel_pending=*/false); }
 
-std::future<void> EvalServer::submit(const hanan::HananGrid& grid,
-                                     const float* features,
-                                     std::vector<double>& out) {
+std::future<void> EvalServer::submit(
+    const hanan::HananGrid& grid, const float* features,
+    std::vector<double>& out,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   Request request;
   request.grid = &grid;
   request.features = features;
   request.out = &out;
+  request.deadline = deadline;
   std::future<void> fut = request.done.get_future();
   std::size_t depth = 0;
   {
@@ -107,6 +112,7 @@ void EvalServer::drain_loop() {
   using Clock = std::chrono::steady_clock;
   for (;;) {
     std::vector<Request> batch;
+    std::vector<Request> expired;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -122,6 +128,33 @@ void EvalServer::drain_loop() {
           r.done.set_exception(std::make_exception_ptr(EvalCancelled{}));
         }
         continue;  // next wait sees the empty queue and returns
+      }
+
+      // Deadline sweep at batch-formation granularity: a queued request
+      // whose deadline has already passed is cancelled, never evaluated —
+      // its submitter has stopped caring (anytime search past budget) and
+      // the forward would only delay live requests.
+      const Clock::time_point sweep_now = Clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline && sweep_now >= *it->deadline) {
+          expired.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      stats_.deadline_cancelled += expired.size();
+      if (queue_.empty()) {
+        eval_obs().queue_depth.set(0.0);
+        lock.unlock();
+        space_cv_.notify_all();  // the sweep freed queue slots
+        for (Request& r : expired) {
+          r.done.set_exception(std::make_exception_ptr(EvalCancelled{}));
+        }
+        if (!expired.empty()) {
+          eval_obs().deadline_cancelled.add(std::uint64_t(expired.size()));
+        }
+        continue;
       }
 
       // Collect same-shape requests in FIFO order; other shapes stay
@@ -169,6 +202,12 @@ void EvalServer::drain_loop() {
       eval_obs().queue_depth.set(double(queue_.size()));
     }
     space_cv_.notify_all();  // collect() freed queue slots
+    for (Request& r : expired) {
+      r.done.set_exception(std::make_exception_ptr(EvalCancelled{}));
+    }
+    if (!expired.empty()) {
+      eval_obs().deadline_cancelled.add(std::uint64_t(expired.size()));
+    }
     run_batch(std::move(batch));
   }
 }

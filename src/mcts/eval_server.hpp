@@ -27,6 +27,12 @@
 //     pending request to completion; shutdown(true) instead cancels
 //     pending requests by failing their futures with EvalCancelled.
 //     Either way no future is leaked and no worker hangs.
+//   * Deadline cancellation (SLO serving, DESIGN.md §16): a request
+//     submitted with a deadline that has expired by the time the drain
+//     thread would batch it is failed with EvalCancelled instead of
+//     evaluated — an anytime search past its budget stops paying for
+//     forwards nobody will use.  Requests without a deadline are never
+//     cancelled except by shutdown(true).
 //
 // Thread safety: submit() may be called from any number of threads.  The
 // selector is touched ONLY by the drain thread (the network forward caches
@@ -34,11 +40,13 @@
 // feature pointer and output vector must stay valid until its future
 // resolves; workers that block on get() right away satisfy this for free.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -83,9 +91,14 @@ class EvalServer {
   /// e.g. via hanan::FeatureCache::encode_into); `out` receives fsp in
   /// priority order when the future resolves.  Both must outlive the
   /// future.  Blocks while the queue is full; throws std::runtime_error
-  /// after shutdown.
-  std::future<void> submit(const hanan::HananGrid& grid, const float* features,
-                           std::vector<double>& out);
+  /// after shutdown.  With a `deadline`, the drain thread fails the future
+  /// with EvalCancelled instead of evaluating it once the deadline has
+  /// expired (anytime-search cancellation).
+  std::future<void> submit(
+      const hanan::HananGrid& grid, const float* features,
+      std::vector<double>& out,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
   /// Stop accepting requests; `cancel_pending` fails queued futures with
   /// EvalCancelled instead of evaluating them.  Idempotent, joins the
@@ -100,6 +113,7 @@ class EvalServer {
     std::uint64_t max_batch = 0;       // largest batch fused so far
     std::uint64_t flush_timeouts = 0;  // undersized batches run on timeout
     std::uint64_t cancelled = 0;       // futures failed by shutdown(true)
+    std::uint64_t deadline_cancelled = 0;  // failed on an expired deadline
     std::uint64_t peak_queue_depth = 0;
   };
   Stats stats() const;
@@ -111,6 +125,7 @@ class EvalServer {
     const hanan::HananGrid* grid = nullptr;
     const float* features = nullptr;
     std::vector<double>* out = nullptr;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
     std::promise<void> done;
   };
 

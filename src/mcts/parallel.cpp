@@ -129,7 +129,8 @@ ParallelCombMcts::ParallelCombMcts(rl::SteinerSelector& selector,
                                config_.flush_us,
                                std::max<std::int32_t>(256, 2 * workers_)}) {}
 
-CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
+CombMctsResult ParallelCombMcts::run(const HananGrid& grid,
+                                     const SearchDeadline& deadline) {
   util::Timer timer;
   CombMctsResult result;
   const auto n_vertices = std::size_t(grid.num_vertices());
@@ -173,6 +174,13 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
   std::atomic<std::int32_t> tickets{0};
   std::exception_ptr first_error;
   std::int32_t root = 0;
+  // Node achieving best_cost (tree lock).  Its exact cost was computed, so
+  // the state it denotes is always a valid routed answer.
+  std::int32_t best_node = 0;
+  // Anytime bookkeeping: iterations fully completed (any worker), and
+  // whether any worker observed the deadline as expired.
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<bool> deadline_expired{false};
 
   // State of a node (tree lock must be held): path actions root -> node.
   auto state_of_into = [&](std::int32_t node, std::vector<Vertex>& out) {
@@ -339,9 +347,15 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
       } else {
         // Expansion: fsp through the shared EvalServer (batch-of-one runs
         // the bitwise single-sample engine), then children from the actor
-        // policy — all on worker-private state.
+        // policy — all on worker-private state.  The run's guaranteed
+        // first iteration submits without a deadline so the zero-slack
+        // fallback can never be cancelled out from under it.
         ctx.fcache.encode_into(grid, ctx.selected, ctx.features.data());
-        server_.submit(grid, ctx.features.data(), ctx.fsp).get();
+        SearchDeadline eval_deadline;
+        if (deadline && completed.load(std::memory_order_relaxed) > 0) {
+          eval_deadline = deadline;
+        }
+        server_.submit(grid, ctx.features.data(), ctx.fsp, eval_deadline).get();
         auto policy = ctx.ac.policy(ctx.selected, leaf_action_priority, ctx.fsp);
         if (config_.max_children > 0 &&
             std::ssize(policy) > config_.max_children) {
@@ -400,7 +414,10 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
       if (need_cost) {
         leaf.cost = cost;
         leaf.flat_run = flat_run;
-        result.best_cost = std::min(result.best_cost, cost);
+        if (cost < result.best_cost) {
+          result.best_cost = cost;
+          best_node = cur;
+        }
       }
       if (terminal) leaf.terminal = true;
       if (expanded) {
@@ -418,9 +435,29 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
 
   auto worker_fn = [&](WorkerCtx& ctx) {
     try {
-      while (tickets.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      for (;;) {
+        // Anytime control at iteration granularity.  The completed > 0
+        // guard keeps the run's very first iteration alive even under an
+        // already-expired deadline (the zero-slack fallback); concurrent
+        // workers may each run one such iteration, which only strengthens
+        // the fallback.
+        if (deadline && completed.load(std::memory_order_relaxed) > 0 &&
+            SearchClock::now() >= *deadline) {
+          deadline_expired.store(true, std::memory_order_relaxed);
+          tickets.store(0, std::memory_order_relaxed);
+          break;
+        }
+        if (tickets.fetch_sub(1, std::memory_order_relaxed) <= 0) break;
         run_iteration(ctx);
+        completed.fetch_add(1, std::memory_order_relaxed);
       }
+    } catch (const EvalCancelled&) {
+      // The EvalServer cancelled this worker's in-flight leaf evaluation
+      // on the expired deadline.  run_iteration already reverted the
+      // iteration's virtual losses and released the leaf claim; the
+      // aborted iteration is simply not counted.
+      deadline_expired.store(true, std::memory_order_relaxed);
+      tickets.store(0, std::memory_order_relaxed);
     } catch (...) {
       std::lock_guard<std::mutex> lk(tree_mu);
       if (!first_error) first_error = std::current_exception();
@@ -457,8 +494,14 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
     worker_fn(ctxs[0]);  // the caller is worker 0 (K == 1 never spawns)
     for (std::thread& t : threads) t.join();
     if (first_error) std::rethrow_exception(first_error);
-    result.stats.iterations += config_.iterations_per_move;
+    result.stats.iterations = completed.load(std::memory_order_relaxed);
     check_vloss_clean();
+    if (deadline_expired.load(std::memory_order_relaxed)) {
+      // Best-so-far is already recorded in best_node/best_cost; executing
+      // further root moves would spend budget the caller no longer has.
+      result.stats.deadline_hit = true;
+      break;
+    }
 
     // --- execute the most-visited root action (single-threaded again) ---
     PNode& root_node = nodes[std::size_t(root)];
@@ -483,11 +526,16 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid) {
                      new_root.flat_run);
       if (terminal) new_root.terminal = true;
     }
-    result.best_cost = std::min(result.best_cost, new_root.cost);
+    if (new_root.cost < result.best_cost) {
+      result.best_cost = new_root.cost;
+      best_node = root;
+    }
   }
 
   state_of_into(root, ctxs[0].selected);
   result.selected = ctxs[0].selected;
+  state_of_into(best_node, ctxs[0].selected);
+  result.best_selected = ctxs[0].selected;
   result.final_cost = nodes[std::size_t(root)].cost;
 
   // eq. (3): L_fsp(v) = n_sel / n_opp, in priority order.

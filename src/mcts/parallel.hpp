@@ -50,9 +50,17 @@ class ParallelCombMcts {
   /// used exclusively by the EvalServer drain thread.
   ParallelCombMcts(rl::SteinerSelector& selector, CombMctsConfig config = {});
 
-  /// Same contract as CombMcts::run.  May be called repeatedly (the
-  /// EvalServer persists across episodes).
-  CombMctsResult run(const HananGrid& grid);
+  /// Same contract as CombMcts::run, including the anytime mode: with a
+  /// `deadline`, workers stop claiming iterations once it has passed (the
+  /// first iteration of the run is always executed — the zero-slack
+  /// fallback), in-flight leaf evaluations past the deadline are cancelled
+  /// through the EvalServer and their virtual losses reverted, and the
+  /// result's best_selected is the best fully-evaluated state.  A run
+  /// whose deadline never fires is bitwise identical to the unbounded run
+  /// at search_workers == 1.  May be called repeatedly (the EvalServer
+  /// persists across episodes).
+  CombMctsResult run(const HananGrid& grid,
+                     const SearchDeadline& deadline = std::nullopt);
 
   /// Resolved worker count (search_workers == 0 -> hardware concurrency).
   std::int32_t workers() const { return workers_; }

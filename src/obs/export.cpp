@@ -35,6 +35,27 @@ void append_header(std::string& out, const std::string& name,
 
 }  // namespace
 
+double histogram_quantile(const HistogramSample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * double(sample.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < sample.counts.size(); ++b) {
+    const std::uint64_t in_bucket = sample.counts[b];
+    if (in_bucket == 0) continue;
+    if (double(cumulative) + double(in_bucket) >= rank) {
+      const double lo = b == 0 ? 0.0 : sample.bounds[b - 1];
+      if (b >= sample.bounds.size()) return lo;  // open +Inf bucket
+      const double hi = sample.bounds[b];
+      const double frac = (rank - double(cumulative)) / double(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+}
+
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
   char buf[64];

@@ -21,6 +21,15 @@ namespace oar::obs {
 std::string to_prometheus(const Snapshot& snapshot);
 std::string to_json(const Snapshot& snapshot);
 
+/// Prometheus-style quantile estimate over a histogram sample: walks the
+/// cumulative bucket counts to the one containing the q-th observation and
+/// interpolates linearly inside it (each bucket's observations assumed
+/// uniform).  `q` is in [0, 1] and is clamped.  The open +Inf bucket has no
+/// upper bound, so a quantile landing there returns the last finite bound —
+/// a deliberate under-estimate, same as Prometheus' histogram_quantile.
+/// An empty histogram returns 0.
+double histogram_quantile(const HistogramSample& sample, double q);
+
 /// Convenience: exports of the process-global registry.
 std::string scrape_prometheus();
 std::string scrape_json();

@@ -47,6 +47,16 @@ void ServiceMetrics::add_deadline_miss() {
   deadline_misses_++;
 }
 
+void ServiceMetrics::add_rejected_queue_full() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rejected_queue_full_++;
+}
+
+void ServiceMetrics::add_rejected_hopeless() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rejected_hopeless_++;
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
@@ -54,6 +64,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   snap.cache_hits = cache_hits_;
   snap.batches = batches_;
   snap.deadline_misses = deadline_misses_;
+  snap.rejected_queue_full = rejected_queue_full_;
+  snap.rejected_hopeless = rejected_hopeless_;
   snap.mean_batch_size = batch_sizes_.count() == 0 ? 0.0 : batch_sizes_.mean();
   for (int s = 0; s < kNumStages; ++s) {
     const util::RunningStats& st = stats_[std::size_t(s)];
@@ -85,6 +97,9 @@ bool ServiceMetrics::dump_csv(const std::string& path) const {
   csv.row_values("batches", snap.batches, "", "", "", "", "");
   csv.row_values("mean_batch_size", snap.mean_batch_size, "", "", "", "", "");
   csv.row_values("deadline_misses", snap.deadline_misses, "", "", "", "", "");
+  csv.row_values("rejected_queue_full", snap.rejected_queue_full, "", "", "", "",
+                 "");
+  csv.row_values("rejected_hopeless", snap.rejected_hopeless, "", "", "", "", "");
   return true;
 }
 

@@ -42,6 +42,8 @@ struct MetricsSnapshot {
   std::uint64_t cache_hits = 0;
   std::uint64_t batches = 0;
   std::uint64_t deadline_misses = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_hopeless = 0;
   double mean_batch_size = 0.0;
   std::array<StageSummary, kNumStages> stages;
 
@@ -57,6 +59,8 @@ class ServiceMetrics {
   void add_cache_hit();
   void add_batch(std::size_t batch_size);
   void add_deadline_miss();
+  void add_rejected_queue_full();
+  void add_rejected_hopeless();
 
   MetricsSnapshot snapshot() const;
 
@@ -73,6 +77,8 @@ class ServiceMetrics {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t deadline_misses_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_hopeless_ = 0;
 };
 
 }  // namespace oar::serve

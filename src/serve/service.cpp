@@ -22,12 +22,21 @@ struct ServeObs {
   obs::Counter& cache_misses;
   obs::Counter& batches;
   obs::Counter& deadline_misses;
+  // SLO family (DESIGN.md §16).  slo_deadline_misses counts together with
+  // the legacy oar_serve_deadline_misses_total (kept for dashboards that
+  // pinned it before the family existed).
+  obs::Counter& slo_deadline_misses;
+  obs::Counter& slo_rejected_queue_full;
+  obs::Counter& slo_rejected_hopeless;
   obs::Gauge& queue_depth;
   obs::Gauge& cache_entries;
+  obs::Gauge& slo_p50_latency;
+  obs::Gauge& slo_p99_latency;
   obs::Histogram& batch_occupancy;
   obs::Histogram& request_latency;
   obs::Histogram& inference_latency;
   obs::Histogram& routing_latency;
+  obs::Histogram& slo_slack;
 };
 
 ServeObs& serve_obs() {
@@ -41,8 +50,18 @@ ServeObs& serve_obs() {
       reg.counter("oar_serve_batches_total", "Micro-batches processed"),
       reg.counter("oar_serve_deadline_misses_total",
                   "Replies that finished after the request deadline"),
+      reg.counter("oar_serve_slo_deadline_misses_total",
+                  "Served replies that finished after their effective deadline"),
+      reg.counter("oar_serve_slo_rejected_queue_full_total",
+                  "Requests rejected at admission: queue at max_queue_depth"),
+      reg.counter("oar_serve_slo_rejected_hopeless_total",
+                  "Requests rejected at admission: deadline slack below floor"),
       reg.gauge("oar_serve_queue_depth", "Requests waiting in the batcher queue"),
       reg.gauge("oar_serve_cache_entries", "Entries resident in the result cache"),
+      reg.gauge("oar_serve_slo_p50_latency_seconds",
+                "Median end-to-end latency, refreshed at each scrape"),
+      reg.gauge("oar_serve_slo_p99_latency_seconds",
+                "p99 end-to-end latency, refreshed at each scrape"),
       reg.histogram("oar_serve_batch_occupancy", obs::pow2_buckets(8),
                     "Requests per processed micro-batch"),
       reg.histogram("oar_serve_request_latency_seconds", obs::latency_buckets(),
@@ -51,11 +70,36 @@ ServeObs& serve_obs() {
                     "Batched U-Net pass latency per micro-batch"),
       reg.histogram("oar_serve_routing_seconds", obs::latency_buckets(),
                     "OARMST fan-out latency per micro-batch"),
+      reg.histogram("oar_serve_slo_slack_seconds", obs::latency_buckets(),
+                    "Deadline slack remaining at reply (misses land in the "
+                    "zero bucket)"),
   };
   return o;
 }
 
 }  // namespace
+
+const char* reply_status_name(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk:
+      return "ok";
+    case ReplyStatus::kOverloadedQueueFull:
+      return "overloaded_queue_full";
+    case ReplyStatus::kOverloadedHopelessDeadline:
+      return "overloaded_hopeless_deadline";
+  }
+  return "unknown";
+}
+
+void SloConfig::validate() const {
+  util::check_field(default_deadline_ms >= 0.0 && std::isfinite(default_deadline_ms),
+                    "SloConfig", "default_deadline_ms",
+                    "be finite and non-negative (0 disables)",
+                    default_deadline_ms);
+  util::check_field(min_slack_ms >= 0.0 && std::isfinite(min_slack_ms),
+                    "SloConfig", "min_slack_ms", "be finite and non-negative",
+                    min_slack_ms);
+}
 
 void RouterServiceConfig::validate() const {
   util::check_field(max_batch >= 1, "RouterServiceConfig", "max_batch",
@@ -63,6 +107,17 @@ void RouterServiceConfig::validate() const {
   util::check_field(batch_wait_ms >= 0.0 && std::isfinite(batch_wait_ms),
                     "RouterServiceConfig", "batch_wait_ms",
                     "be finite and non-negative", batch_wait_ms);
+  slo.validate();
+}
+
+std::size_t most_urgent_index(
+    const std::vector<std::optional<Clock::time_point>>& deadlines) {
+  if (deadlines.empty()) return 0;
+  const auto it = detail::most_urgent(
+      deadlines.begin(), deadlines.end(),
+      [](const std::optional<Clock::time_point>& d)
+          -> const std::optional<Clock::time_point>& { return d; });
+  return std::size_t(it - deadlines.begin());
 }
 
 namespace {
@@ -106,19 +161,34 @@ std::future<RouteReply> RouterService::submit(RouteRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = now;
+  pending.deadline = pending.request.deadline;
+  if (!pending.deadline && config_.slo.default_deadline_ms > 0.0) {
+    pending.deadline =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      config_.slo.default_deadline_ms));
+  }
   std::future<RouteReply> fut = pending.promise.get_future();
 
+  // A symmetry-cache hit is answered even when the deadline is hopeless —
+  // the reply is free, so rejecting it would only discard useful work.
   if (cache_.capacity() > 0) {
     pending.canon = canonicalize(*pending.request.grid);
     if (std::optional<CachedRoute> hit = cache_.get(pending.canon.key)) {
       metrics_.add_cache_hit();
       serve_obs().cache_hits.inc();
       RouteReply reply = replay_cached(pending.request, pending.canon, *hit);
-      reply.total_seconds = seconds_between(now, Clock::now());
-      if (pending.request.deadline && Clock::now() > *pending.request.deadline) {
-        reply.deadline_met = false;
-        metrics_.add_deadline_miss();
-        serve_obs().deadline_misses.inc();
+      const Clock::time_point done = Clock::now();
+      reply.total_seconds = seconds_between(now, done);
+      if (pending.deadline) {
+        serve_obs().slo_slack.observe(
+            std::max(0.0, seconds_between(done, *pending.deadline)));
+        if (done > *pending.deadline) {
+          reply.deadline_met = false;
+          metrics_.add_deadline_miss();
+          serve_obs().deadline_misses.inc();
+          serve_obs().slo_deadline_misses.inc();
+        }
       }
       metrics_.record_stage(Stage::kTotal, reply.total_seconds);
       serve_obs().request_latency.observe(reply.total_seconds);
@@ -128,8 +198,37 @@ std::future<RouteReply> RouterService::submit(RouteRequest request) {
   }
 
   serve_obs().cache_misses.inc();
+
+  // Admission control: resolve hopeless or over-capacity requests here,
+  // synchronously and typed — never by blocking the caller.
+  const auto reject = [&](ReplyStatus status) {
+    RouteReply reply;
+    reply.grid = pending.request.grid;
+    reply.status = status;
+    reply.deadline_met = false;
+    reply.total_seconds = seconds_between(now, Clock::now());
+    pending.promise.set_value(std::move(reply));
+  };
+
+  if (config_.slo.reject_hopeless && pending.deadline) {
+    const double slack_ms = seconds_between(now, *pending.deadline) * 1e3;
+    if (slack_ms < config_.slo.min_slack_ms) {
+      metrics_.add_rejected_hopeless();
+      serve_obs().slo_rejected_hopeless.inc();
+      reject(ReplyStatus::kOverloadedHopelessDeadline);
+      return fut;
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.slo.max_queue_depth > 0 &&
+        queue_.size() >= config_.slo.max_queue_depth) {
+      metrics_.add_rejected_queue_full();
+      serve_obs().slo_rejected_queue_full.inc();
+      reject(ReplyStatus::kOverloadedQueueFull);
+      return fut;
+    }
     queue_.push_back(std::move(pending));
     serve_obs().queue_depth.set(double(queue_.size()));
   }
@@ -143,27 +242,40 @@ RouteReply RouterService::route(std::shared_ptr<const HananGrid> grid) {
 
 void RouterService::batcher_loop() {
   for (;;) {
-    std::vector<Pending> batch = take_batch();
-    if (batch.empty()) return;
+    Batch batch = take_batch();
+    if (batch.items.empty()) return;
     process_batch(std::move(batch));
   }
 }
 
-std::vector<RouterService::Pending> RouterService::take_batch() {
+RouterService::Batch RouterService::take_batch() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-  if (queue_.empty()) return {};  // stopping and drained
+  if (queue_.empty()) {
+    // Stopping and drained: leave the liveness gauge at its true value
+    // instead of whatever the last scrape saw.
+    serve_obs().queue_depth.set(0.0);
+    return {};
+  }
 
-  std::vector<Pending> batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  const HananGrid& shape = *batch.front().request.grid;
+  // Leader = the most urgent request (earliest effective deadline, FIFO
+  // among the deadline-less); its shape defines the micro-batch.
+  Batch batch;
+  const auto leader = detail::most_urgent(
+      queue_.begin(), queue_.end(),
+      [](const Pending& p) -> const std::optional<Clock::time_point>& {
+        return p.deadline;
+      });
+  batch.items.push_back(std::move(*leader));
+  queue_.erase(leader);
+  batch.popped = Clock::now();
+  const HananGrid& shape = *batch.items.front().request.grid;
 
   const auto harvest = [&] {
     for (auto it = queue_.begin();
-         it != queue_.end() && batch.size() < config_.max_batch;) {
+         it != queue_.end() && batch.items.size() < config_.max_batch;) {
       if (same_shape(*it->request.grid, shape)) {
-        batch.push_back(std::move(*it));
+        batch.items.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
         ++it;
@@ -171,26 +283,44 @@ std::vector<RouterService::Pending> RouterService::take_batch() {
     }
   };
 
-  const Clock::time_point wait_until =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double, std::milli>(
-                             config_.batch_wait_ms));
   harvest();
-  while (batch.size() < config_.max_batch && !stopping_) {
-    if (cv_.wait_until(lock, wait_until) == std::cv_status::timeout) {
-      harvest();
-      break;
+  // Straggler wait, capped at the leader's deadline so a zero-slack
+  // request never waits for company.  batch_wait_ms == 0 (or a leader
+  // already at/past its deadline) short-circuits: no timed wait at all.
+  if (config_.batch_wait_ms > 0.0 && batch.items.size() < config_.max_batch &&
+      !stopping_) {
+    Clock::time_point wait_until =
+        batch.popped + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config_.batch_wait_ms));
+    const std::optional<Clock::time_point>& leader_deadline =
+        batch.items.front().deadline;
+    if (leader_deadline && *leader_deadline < wait_until) {
+      wait_until = *leader_deadline;
     }
-    harvest();
+    if (wait_until > Clock::now()) {
+      timed_waits_.fetch_add(1, std::memory_order_relaxed);
+      while (batch.items.size() < config_.max_batch && !stopping_) {
+        if (cv_.wait_until(lock, wait_until) == std::cv_status::timeout) {
+          harvest();
+          break;
+        }
+        harvest();
+      }
+    }
   }
   serve_obs().queue_depth.set(double(queue_.size()));
   return batch;
 }
 
-void RouterService::process_batch(std::vector<Pending> batch) {
-  const Clock::time_point popped = Clock::now();
+void RouterService::process_batch(Batch batch_in) {
+  std::vector<Pending>& batch = batch_in.items;
+  const Clock::time_point popped = batch_in.popped;
   for (const Pending& p : batch) {
-    metrics_.record_stage(Stage::kQueueWait, seconds_between(p.enqueued, popped));
+    // Stragglers harvested during the wait can be enqueued after the
+    // leader popped; their queue wait is effectively zero.
+    metrics_.record_stage(Stage::kQueueWait,
+                          std::max(0.0, seconds_between(p.enqueued, popped)));
   }
   metrics_.add_batch(batch.size());
   serve_obs().batches.inc();
@@ -200,12 +330,16 @@ void RouterService::process_batch(std::vector<Pending> batch) {
   grids.reserve(batch.size());
   for (const Pending& p : batch) grids.push_back(p.request.grid.get());
 
+  // Assembly = leader popped -> inference dispatch: the straggler wait
+  // plus the harvesting/feature gathering above.
+  const double assembly_seconds = seconds_between(popped, Clock::now());
+  metrics_.record_stage(Stage::kBatchAssembly, assembly_seconds);
+
   // Stage 1: one batched U-Net pass for the whole micro-batch.
   util::Timer infer_timer;
   const std::vector<std::vector<double>> fsp =
       batched_fsp(*selector_, grids, &pool_);
   const double infer_seconds = infer_timer.seconds();
-  metrics_.record_stage(Stage::kBatchAssembly, 0.0);
   metrics_.record_stage(Stage::kInference, infer_seconds);
   serve_obs().inference_latency.observe(infer_seconds);
 
@@ -257,14 +391,19 @@ void RouterService::process_batch(std::vector<Pending> batch) {
     reply.result = std::move(res);
     reply.result.tree.rebind_grid(reply.grid.get());
     reply.cache_hit = false;
-    reply.queue_seconds = seconds_between(p.enqueued, popped);
+    reply.queue_seconds = std::max(0.0, seconds_between(p.enqueued, popped));
     reply.inference_seconds = infer_seconds;
     reply.routing_seconds = route_seconds;
     reply.total_seconds = seconds_between(p.enqueued, done);
-    if (p.request.deadline && done > *p.request.deadline) {
-      reply.deadline_met = false;
-      metrics_.add_deadline_miss();
-      serve_obs().deadline_misses.inc();
+    if (p.deadline) {
+      serve_obs().slo_slack.observe(
+          std::max(0.0, seconds_between(done, *p.deadline)));
+      if (done > *p.deadline) {
+        reply.deadline_met = false;
+        metrics_.add_deadline_miss();
+        serve_obs().deadline_misses.inc();
+        serve_obs().slo_deadline_misses.inc();
+      }
     }
     metrics_.record_stage(Stage::kTotal, reply.total_seconds);
     serve_obs().request_latency.observe(reply.total_seconds);
@@ -272,23 +411,28 @@ void RouterService::process_batch(std::vector<Pending> batch) {
   }
 }
 
-std::string RouterService::scrape_prometheus() {
+void RouterService::refresh_gauges() {
   ServeObs& o = serve_obs();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     o.queue_depth.set(double(queue_.size()));
   }
   o.cache_entries.set(double(cache_.size()));
+  // Percentile gauges are point-in-time views over the retained samples —
+  // recomputed at every scrape, like the liveness gauges above.
+  const MetricsSnapshot snap = metrics_.snapshot();
+  const StageSummary& total = snap.stages[std::size_t(Stage::kTotal)];
+  o.slo_p50_latency.set(total.p50_ms * 1e-3);
+  o.slo_p99_latency.set(total.p99_ms * 1e-3);
+}
+
+std::string RouterService::scrape_prometheus() {
+  refresh_gauges();
   return obs::scrape_prometheus();
 }
 
 std::string RouterService::scrape_json() {
-  ServeObs& o = serve_obs();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    o.queue_depth.set(double(queue_.size()));
-  }
-  o.cache_entries.set(double(cache_.size()));
+  refresh_gauges();
   return obs::scrape_json();
 }
 

@@ -23,15 +23,28 @@
 // With max_batch == 1 the service degrades to the legacy single-sample
 // router path — that configuration is the baseline the serve bench compares
 // micro-batching against.
+//
+// SLO-aware serving (DESIGN.md §16): every request carries an *effective
+// deadline* — its own, or submit-time + SloConfig::default_deadline_ms.
+// The batcher pops the most-urgent shape group first (earliest effective
+// deadline; FIFO among deadline-less requests) instead of strict FIFO, and
+// caps the straggler wait at the leader's deadline so a zero-slack request
+// never waits for company.  Admission control turns the queue from
+// unbounded to bounded: a full queue or a hopeless deadline resolves the
+// future *immediately* with a typed Overloaded reply (ReplyStatus) instead
+// of blocking forever or serving a result nobody will use.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "route/oarmst.hpp"
 #include "serve/canonical.hpp"
@@ -48,35 +61,109 @@ struct RouteRequest {
   /// Layout + pins.  Shared ownership: the reply's tree stays bound to it.
   std::shared_ptr<const HananGrid> grid;
   /// Optional completion deadline; a reply finishing later is flagged.
+  /// Requests without one inherit SloConfig::default_deadline_ms.
   std::optional<Clock::time_point> deadline;
 };
+
+/// Typed admission outcome.  kOk replies carry a routed result; the
+/// Overloaded rejections carry an empty result and resolve synchronously
+/// inside submit() — admission control never blocks the caller.
+enum class ReplyStatus : int {
+  kOk = 0,
+  /// Rejected: the admission queue held SloConfig::max_queue_depth
+  /// requests already.
+  kOverloadedQueueFull,
+  /// Rejected: the request's effective deadline was hopeless at submit
+  /// (slack below SloConfig::min_slack_ms with reject_hopeless on).
+  kOverloadedHopelessDeadline,
+};
+
+const char* reply_status_name(ReplyStatus status);
 
 struct RouteReply {
   /// The grid the result's tree is bound to (same object as the request's).
   std::shared_ptr<const HananGrid> grid;
   route::OarmstResult result;
+  /// kOk for served replies; an Overloaded value for admission rejections
+  /// (result is then empty and deadline_met is false).
+  ReplyStatus status = ReplyStatus::kOk;
   bool cache_hit = false;
-  /// False when the reply finished after the request's deadline.
+  /// False when the reply finished after the request's effective deadline
+  /// (or was rejected at admission).
   bool deadline_met = true;
   double queue_seconds = 0.0;
   double inference_seconds = 0.0;
   double routing_seconds = 0.0;
   double total_seconds = 0.0;
+
+  bool overloaded() const { return status != ReplyStatus::kOk; }
+};
+
+/// Latency-SLO policy (DESIGN.md §16).  Defaults preserve the legacy
+/// behaviour exactly: no default deadline, unbounded queue, late requests
+/// served and flagged rather than rejected.
+struct SloConfig {
+  /// Default per-request latency target in ms, applied at submit() to
+  /// requests that carry no explicit deadline.  0 disables (no deadline).
+  double default_deadline_ms = 0.0;
+  /// Admission bound on queued requests; a submit() finding this many
+  /// waiting resolves immediately with kOverloadedQueueFull.  0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// When true, a request whose effective deadline leaves less than
+  /// min_slack_ms of slack at submit() is rejected with
+  /// kOverloadedHopelessDeadline instead of queued (it cannot be served in
+  /// time; serving it anyway would also delay feasible requests).
+  bool reject_hopeless = false;
+  /// Slack floor for reject_hopeless, in ms.  0 rejects only requests
+  /// whose deadline has already passed.
+  double min_slack_ms = 0.0;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 struct RouterServiceConfig {
   /// Maximum micro-batch size; 1 disables batching (legacy path).
   std::size_t max_batch = 8;
-  /// How long the batcher waits for same-shape stragglers.
+  /// How long the batcher waits for same-shape stragglers.  0 means zero
+  /// waiting: the batcher harvests what is queued and dispatches without
+  /// ever entering a timed wait.
   double batch_wait_ms = 2.0;
   /// LRU entries; 0 disables the cache.
   std::size_t cache_capacity = 256;
   /// Worker threads for encode/routing fan-out; 0 = hardware concurrency.
   std::size_t worker_threads = 0;
+  /// Latency-SLO policy (deadlines, admission control).
+  SloConfig slo;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
 };
+
+namespace detail {
+
+/// The urgency rule shared by the batcher and its tests: earliest
+/// effective deadline first; requests without a deadline are least urgent;
+/// ties (including the all-deadline-less case) resolve FIFO, i.e. to the
+/// lowest index.  `deadline_of(*it)` must yield a
+/// std::optional<Clock::time_point>.
+template <typename It, typename DeadlineOf>
+It most_urgent(It first, It last, DeadlineOf&& deadline_of) {
+  It best = first;
+  for (It it = first; it != last; ++it) {
+    const std::optional<Clock::time_point>& cand = deadline_of(*it);
+    const std::optional<Clock::time_point>& cur = deadline_of(*best);
+    if (cand && (!cur || *cand < *cur)) best = it;
+  }
+  return best;
+}
+
+}  // namespace detail
+
+/// Index of the most urgent entry under the batcher's scheduling rule
+/// (exposed so scheduling is deterministically testable).
+std::size_t most_urgent_index(
+    const std::vector<std::optional<Clock::time_point>>& deadlines);
 
 class RouterService {
  public:
@@ -98,6 +185,13 @@ class RouterService {
   ServiceMetrics& metrics() { return metrics_; }
   std::size_t cache_size() const { return cache_.size(); }
 
+  /// Times the batcher entered a timed straggler wait (cv wait_until).
+  /// With batch_wait_ms == 0 this stays at zero — the regression hook for
+  /// the zero-wait short-circuit.
+  std::uint64_t timed_waits() const {
+    return timed_waits_.load(std::memory_order_relaxed);
+  }
+
   /// Point-in-time export of the process-global obs::MetricsRegistry in
   /// Prometheus exposition format / JSON.  Contains this service's
   /// families (request latency, batch occupancy, symmetry-cache hits) and
@@ -112,12 +206,23 @@ class RouterService {
     std::promise<RouteReply> promise;
     CanonicalForm canon;
     Clock::time_point enqueued;
+    /// Effective deadline: the request's own, else submit-time +
+    /// SloConfig::default_deadline_ms (nullopt when neither applies).
+    std::optional<Clock::time_point> deadline;
+  };
+
+  struct Batch {
+    std::vector<Pending> items;
+    /// When the leader left the queue — the start of batch assembly.
+    Clock::time_point popped;
   };
 
   void batcher_loop();
-  /// Blocks for work; empty result means "stopping and drained".
-  std::vector<Pending> take_batch();
-  void process_batch(std::vector<Pending> batch);
+  /// Blocks for work; an empty batch means "stopping and drained".
+  Batch take_batch();
+  void process_batch(Batch batch);
+  /// Refreshes the liveness + percentile gauges ahead of a scrape.
+  void refresh_gauges();
   /// Builds a reply from a cache entry (maps canonical -> request space).
   RouteReply replay_cached(const RouteRequest& request, const CanonicalForm& canon,
                            const CachedRoute& cached) const;
@@ -132,6 +237,7 @@ class RouterService {
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> timed_waits_{0};
   std::thread batcher_;
 };
 

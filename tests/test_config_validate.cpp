@@ -158,6 +158,24 @@ TEST(ConfigValidate, RouterService) {
                     "RouterServiceConfig.batch_wait_ms");
   expect_rejects<C>([](C& c) { c.batch_wait_ms = kNan; },
                     "RouterServiceConfig.batch_wait_ms");
+  // The nested SLO policy is validated through the service config.
+  expect_rejects<C>([](C& c) { c.slo.default_deadline_ms = -1.0; },
+                    "SloConfig.default_deadline_ms");
+  expect_rejects<C>([](C& c) { c.slo.min_slack_ms = kNan; },
+                    "SloConfig.min_slack_ms");
+}
+
+TEST(ConfigValidate, SloConfig) {
+  using C = serve::SloConfig;
+  EXPECT_NO_THROW(C{}.validate());
+  expect_rejects<C>([](C& c) { c.default_deadline_ms = kNan; },
+                    "SloConfig.default_deadline_ms");
+  expect_rejects<C>([](C& c) { c.default_deadline_ms = -5.0; },
+                    "SloConfig.default_deadline_ms");
+  expect_rejects<C>([](C& c) { c.min_slack_ms = -1.0; },
+                    "SloConfig.min_slack_ms");
+  expect_rejects<C>([](C& c) { c.min_slack_ms = kInf; },
+                    "SloConfig.min_slack_ms");
 }
 
 TEST(ConfigValidate, CombMcts) {
@@ -273,6 +291,13 @@ TEST(ConfigValidate, RouterOptions) {
                     "CombMctsConfig.search_workers");
   expect_rejects<C>([](C& c) { c.mcts.eval_batch = -1; },
                     "CombMctsConfig.eval_batch");
+  // The anytime deadline knob (DESIGN.md Â§16).
+  expect_rejects<C>([](C& c) { c.deadline_ms = -10.0; },
+                    "RouterOptions.deadline_ms");
+  expect_rejects<C>([](C& c) { c.deadline_ms = kNan; },
+                    "RouterOptions.deadline_ms");
+  expect_rejects<C>([](C& c) { c.service.slo.default_deadline_ms = kInf; },
+                    "SloConfig.default_deadline_ms");
 }
 
 TEST(ConfigValidate, ConstructorsEnforceValidation) {

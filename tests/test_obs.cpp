@@ -306,5 +306,70 @@ TEST(NoMetrics, ApiSurfaceIsCallableInEitherBuild) {
   }
 }
 
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  HistogramSample h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 0, 0};
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, InterpolatesInsideTheBucket) {
+  // 10 observations, all in (1, 2]: the median sits linearly at 1.5.
+  HistogramSample h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {0, 10, 0, 0};
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.1), 1.1);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 2.0);
+}
+
+TEST(HistogramQuantile, WalksCumulativeCounts) {
+  // 4 in [0,1], 4 in (1,2], 2 in (2,4]: p75 is halfway into bucket 2.
+  HistogramSample h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {4, 4, 2, 0};
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.4), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.8), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.9), 3.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketReturnsLastFiniteBound) {
+  // Observations beyond every bound: the +Inf bucket has no upper edge,
+  // so the estimate saturates at the last finite bound (Prometheus
+  // behaviour).
+  HistogramSample h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {1, 0, 9};
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST(HistogramQuantile, ClampsQOutsideUnitRange) {
+  HistogramSample h;
+  h.bounds = {1.0};
+  h.counts = {10, 0};
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, -0.5), histogram_quantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 7.0), histogram_quantile(h, 1.0));
+}
+
+TEST(HistogramQuantile, MatchesLiveHistogramObservations) {
+  SKIP_WITHOUT_METRICS();
+  Histogram& h = reg().histogram("test_quantile_live_seconds",
+                                 {0.1, 1.0, 10.0}, "help");
+  for (int i = 0; i < 8; ++i) h.observe(0.5);  // all in (0.1, 1]
+  const Snapshot snap = reg().snapshot();
+  for (const HistogramSample& sample : snap.histograms) {
+    if (sample.name != "test_quantile_live_seconds") continue;
+    const double p50 = histogram_quantile(sample, 0.5);
+    EXPECT_GT(p50, 0.1);
+    EXPECT_LE(p50, 1.0);
+    return;
+  }
+  FAIL() << "histogram not found in snapshot";
+}
+
 }  // namespace
 }  // namespace oar::obs
