@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "chip/chip_router.hpp"
 #include "chip/congestion.hpp"
 #include "gen/random_layout.hpp"
@@ -213,7 +214,7 @@ int main(int argc, char** argv) {
       }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n}\n");
+    std::fprintf(f, ",\n  %s\n}\n", bench::machine_json().c_str());
     std::fclose(f);
     std::printf("  wrote BENCH_chip.json\n");
   } else {

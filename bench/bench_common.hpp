@@ -9,17 +9,35 @@
 //   OARSMTRL_MODEL        — selector checkpoint path (default models/pretrained.bin)
 //   OARSMTRL_BENCH_SCALE  — extra workload multiplier (default 1; >1 = more layouts)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/oarsmtrl.hpp"
+#include "nn/quant/simd.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace oar::bench {
+
+/// `"machine": {...}` JSON fragment (no trailing comma) identifying the
+/// host every BENCH_*.json was produced on: the SIMD level the runtime
+/// dispatcher picked (so int8 numbers are comparable across machines),
+/// hardware threads, and whether OARSMTRL_FORCE_SCALAR pinned the run.
+inline std::string machine_json() {
+  std::string s = "\"machine\": {\"isa\": \"";
+  s += nn::simd::level_name(nn::simd::dispatch_level());
+  s += "\", \"cores\": ";
+  s += std::to_string(std::max(1u, std::thread::hardware_concurrency()));
+  s += ", \"forced_scalar\": ";
+  s += nn::simd::force_scalar_active() ? "true" : "false";
+  s += "}";
+  return s;
+}
 
 inline double env_scale() {
   if (const char* s = std::getenv("OARSMTRL_BENCH_SCALE"); s != nullptr) {

@@ -24,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "gen/random_layout.hpp"
 #include "mcts/comb_mcts.hpp"
+#include "nn/quant/simd.hpp"
 #include "obs/metrics.hpp"
+#include "rl/evaluate.hpp"
 #include "rl/selector.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -215,6 +218,76 @@ ObsOverhead measure_obs_overhead(int state_count, int reps, int rounds) {
   return o;
 }
 
+struct Int8Report {
+  double fp32_ips = 0.0;    // inference-engine fp32 path
+  double int8_ips = 0.0;    // quantized engine, incremental accumulator
+  double speedup = 0.0;
+  double agreement = 0.0;   // accuracy-gate top-k agreement
+  double cost_ratio = 0.0;  // accuracy-gate routed-cost ratio
+  bool gate_passed = false;
+};
+
+/// int8 engine vs the fp32 inference engine on the paper's largest size
+/// (32x32x8), same MCTS-hot-loop replay as bench_size.  The accuracy gate
+/// runs first on small layouts (routing 32x32x8 both ways would dominate
+/// the budget) and a failure is FATAL: a quantized path that changes
+/// selections is a broken artifact, not a slow one.
+Int8Report bench_int8(int state_count, int reps, bool smoke) {
+  Int8Report rep;
+
+  rl::SteinerSelector selector;  // default UNet: base 8, depth 2
+  selector.net().set_training(false);
+
+  std::vector<hanan::HananGrid> gate_grids;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    gate_grids.push_back(make_grid(10, 2, 5, 0x900 + s));
+  }
+  const HananGrid big = make_grid(32, 8, /*pins=*/6, /*seed=*/17);
+  {
+    std::vector<const HananGrid*> cal;
+    for (const auto& g : gate_grids) cal.push_back(&g);
+    cal.push_back(&big);
+    selector.calibrate_int8(cal);
+  }
+  const rl::Int8GateReport gate = rl::evaluate_int8_gate(selector, gate_grids);
+  rep.agreement = gate.mean_agreement;
+  rep.cost_ratio = gate.mean_cost_ratio;
+  rep.gate_passed = gate.passed;
+  if (!gate.passed) {
+    std::fprintf(stderr,
+                 "FATAL: int8 accuracy gate failed (agreement %.3f, cost "
+                 "ratio %.4f over %d layouts)\n",
+                 gate.mean_agreement, gate.mean_cost_ratio, gate.count);
+    std::exit(1);
+  }
+
+  util::Rng rng(41);
+  const auto states = make_states(big, state_count, rng);
+
+  selector.set_precision(nn::InferConfig::Precision::kFp32);
+  (void)run_fsp(selector, big, {states.front()}, 1);  // warm fp32 path
+  const FspRun fp32 = run_fsp(selector, big, states, reps);
+
+  selector.set_precision(nn::InferConfig::Precision::kInt8);
+  (void)run_fsp(selector, big, {states.front()}, 1);  // warm accumulator
+  const FspRun int8 = run_fsp(selector, big, states, reps);
+
+  rep.fp32_ips = double(states.size()) * reps / std::max(fp32.seconds, 1e-12);
+  rep.int8_ips = double(states.size()) * reps / std::max(int8.seconds, 1e-12);
+  rep.speedup = rep.int8_ips / std::max(rep.fp32_ips, 1e-12);
+
+  // The ISSUE's >= 3x acceptance bound is armed in full mode only (smoke
+  // runs too few reps for a stable ratio) and only when a vector level is
+  // live — the scalar lane checks correctness, not throughput.
+  if (!smoke && nn::simd::dispatch_level() != nn::simd::Level::kScalar &&
+      rep.speedup < 3.0) {
+    std::fprintf(stderr, "FATAL: int8 speedup %.2fx below the 3x bound\n",
+                 rep.speedup);
+    std::exit(1);
+  }
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,6 +321,13 @@ int main(int argc, char** argv) {
               "%6.2f episodes/s | %5.2fx\n",
               mcts_rep.ref_eps, mcts_rep.engine_eps, mcts_rep.speedup);
 
+  const Int8Report int8 = bench_int8(states, reps_engine, smoke);
+  std::printf("  int8 32x32x8    : fp32 %9.1f inf/s | int8 %9.1f inf/s | "
+              "%5.2fx (%s) | gate: agreement %.3f, cost ratio %.4f\n",
+              int8.fp32_ips, int8.int8_ips, int8.speedup,
+              nn::simd::level_name(nn::simd::dispatch_level()),
+              int8.agreement, int8.cost_ratio);
+
   const ObsOverhead obs_tax =
       measure_obs_overhead(states, reps_engine, /*rounds=*/5);
   std::printf("  obs overhead    : %6.2f%% (metrics on %.1f vs off %.1f "
@@ -274,14 +354,35 @@ int main(int argc, char** argv) {
         "  \"comb_mcts\": {\"h\": 16, \"v\": 16, \"m\": 4,\n"
         "    \"reference_eps\": %.3f, \"engine_eps\": %.3f, \"speedup\": %.3f},\n"
         "  \"obs_overhead_fraction\": %.6f,\n"
+        "  %s,\n"
         "  \"smoke\": %s\n"
         "}\n",
         small.ref_ips, small.engine_ips, small.speedup, small.max_rel,
         large.ref_ips, large.engine_ips, large.speedup, large.max_rel,
         mcts_rep.ref_eps, mcts_rep.engine_eps, mcts_rep.speedup,
-        obs_tax.overhead, smoke ? "true" : "false");
+        obs_tax.overhead, bench::machine_json().c_str(),
+        smoke ? "true" : "false");
     std::fclose(f);
     std::printf("  wrote BENCH_infer.json\n");
+  }
+  if (std::FILE* f = std::fopen("BENCH_infer_int8.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"size\": {\"h\": 32, \"v\": 32, \"m\": 8},\n"
+        "  \"fp32_ips\": %.1f,\n"
+        "  \"int8_ips\": %.1f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"gate\": {\"agreement\": %.4f, \"cost_ratio\": %.5f, "
+        "\"passed\": %s},\n"
+        "  %s,\n"
+        "  \"smoke\": %s\n"
+        "}\n",
+        int8.fp32_ips, int8.int8_ips, int8.speedup, int8.agreement,
+        int8.cost_ratio, int8.gate_passed ? "true" : "false",
+        bench::machine_json().c_str(), smoke ? "true" : "false");
+    std::fclose(f);
+    std::printf("  wrote BENCH_infer_int8.json\n");
   }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "gen/random_layout.hpp"
 #include "mcts/comb_mcts.hpp"
 #include "mcts/parallel.hpp"
@@ -200,10 +201,11 @@ int main(int argc, char** argv) {
                  "  ],\n"
                  "  \"speedup_4w\": %.3f,\n"
                  "  \"gate\": {\"threshold\": 2.5, \"enforced\": %s},\n"
+                 "  %s,\n"
                  "  \"smoke\": %s\n"
                  "}\n",
                  speedup4, gate_enforced ? "true" : "false",
-                 smoke ? "true" : "false");
+                 bench::machine_json().c_str(), smoke ? "true" : "false");
     std::fclose(f);
     std::printf("  wrote BENCH_mcts_parallel.json\n");
   }

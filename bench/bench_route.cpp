@@ -31,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "gen/random_layout.hpp"
 #include "obs/metrics.hpp"
 #include "route/oarmst.hpp"
@@ -377,11 +378,13 @@ int main(int argc, char** argv) {
                  "  \"incremental_builds_per_sec\": %.3f,\n"
                  "  \"speedup_vs_legacy\": %.4f,\n"
                  "  \"max_legacy_cost_rel_diff\": %.6f,\n"
-                 "  \"obs_overhead_fraction\": %.6f\n"
+                 "  \"obs_overhead_fraction\": %.6f,\n"
+                 "  %s\n"
                  "}\n",
                  dim, dim, layers, pins, selections.size(), reps,
                  smoke ? "true" : "false", legacy_bps, scratch_bps, inc_bps,
-                 speedup, max_legacy_rel, obs_tax.overhead);
+                 speedup, max_legacy_rel, obs_tax.overhead,
+                 bench::machine_json().c_str());
     std::fclose(f);
     std::printf("  wrote BENCH_route.json\n");
   } else {

@@ -142,7 +142,7 @@ bool write_slo_json(const char* path, bool smoke, double unbounded_cost,
                sus.deadline_met, sus.compliance);
   std::fprintf(f, "    \"p50_ms\": %.3f,\n    \"p99_ms\": %.3f\n", sus.p50_ms,
                sus.p99_ms);
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n  %s\n}\n", bench::machine_json().c_str());
   std::fclose(f);
   return true;
 }

@@ -224,6 +224,20 @@ void EvalServer::run_batch(std::vector<Request> batch) {
         std::int64_t(kC) * g.h_dim() * g.v_dim() * g.m_dim();
     nn::UNet3d& net = selector_.net();
 
+    if (selector_.int8_active()) {
+      // The quantized engine is single-sample; serve the batch as a loop
+      // of int8 forwards.  Each runs the same quantize + integer kernels
+      // as SteinerSelector::infer_fsp_into on identical feature bits, so
+      // the 1-worker ≡ serial anchor is preserved.
+      for (Request& r : batch) {
+        const hanan::HananGrid& rg = *r.grid;
+        selector_.infer_fsp_from_features(r.features, rg.h_dim(), rg.v_dim(),
+                                          rg.m_dim(), *r.out);
+      }
+      for (Request& r : batch) r.done.set_value();
+      return;
+    }
+
     if (batch.size() == 1) {
       // Bitwise single-sample path: identical arithmetic to
       // SteinerSelector::infer_fsp_into on the same feature bits.

@@ -40,17 +40,15 @@ class Conv3d : public Module {
   void infer_into(const float* in, std::int32_t D0, std::int32_t D1,
                   std::int32_t D2, InferenceScratch& scratch, float* out) const;
 
-  [[deprecated("use infer_into(in, D0, D1, D2, scratch, out) — output last")]]
-  void infer_into(const float* in, std::int32_t D0, std::int32_t D1,
-                  std::int32_t D2, float* out, InferenceScratch& scratch) const {
-    infer_into(in, D0, D1, D2, scratch, out);
-  }
-
   std::int32_t in_channels() const { return in_channels_; }
   std::int32_t out_channels() const { return out_channels_; }
+  std::int32_t kernel() const { return kernel_; }
+  std::int32_t padding() const { return padding_; }
 
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
 
  private:
   std::int32_t in_channels_, out_channels_, kernel_, padding_;

@@ -30,15 +30,17 @@ class GroupNorm : public Module {
   /// the repo-wide *_into convention (DESIGN.md §13): output buffer last.
   void infer_into(const float* in, std::int64_t spatial, float* out) const;
 
-  [[deprecated("use infer_into(in, spatial, out) — output last")]]
-  void infer_into(const float* in, float* out, std::int64_t spatial) const {
-    infer_into(in, spatial, out);
-  }
   /// x = relu(gn(x)) in place — the norm1 position of a residual block.
   void infer_relu_inplace(float* x, std::int64_t spatial) const;
   /// x = relu(gn(x) + skip) in place — norm2 + skip-add + output ReLU.
   void infer_add_relu_inplace(float* x, const float* skip,
                               std::int64_t spatial) const;
+
+  std::int32_t num_channels() const { return channels_; }
+  std::int32_t num_groups() const { return groups_; }
+  float eps() const { return eps_; }
+  const Parameter& gamma() const { return gamma_; }
+  const Parameter& beta() const { return beta_; }
 
  private:
   std::int32_t channels_, groups_;

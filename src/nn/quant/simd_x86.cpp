@@ -1,0 +1,148 @@
+// AVX2 and AVX-512VL+VNNI kernels for the int8 NHWC convolution primitives
+// (contract in simd.hpp).  Compiled WITHOUT -march=native: each kernel
+// carries a per-function target attribute and is only reachable through the
+// runtime __builtin_cpu_supports dispatch below, so the binary stays
+// portable to any x86-64.
+//
+// Both levels share one body (simd_x86_conv.inc) parameterized on the
+// 4-wide u8*s8 dot product: dpbusd directly on VNNI; maddubs (u8*s8 pair
+// sums, saturation-free because activations are <= 127) + madd(1) + add on
+// plain AVX2.  All arithmetic is exact integer, so the accumulators match
+// the scalar reference bit for bit.
+
+#include "nn/quant/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace oar::nn::simd {
+namespace {
+
+// Scalar odd-OC tail for one voxel, shared by both vector levels (plain
+// C++, identical sums to the scalar reference kernel).
+inline void conv3_voxel_tail(const std::uint8_t* act, std::int32_t D1,
+                             std::int32_t D2, std::int32_t ICp,
+                             const std::int8_t* wp, std::int32_t OC,
+                             std::int32_t o0, std::int32_t o1, std::int32_t o2,
+                             std::int32_t k0_lo, std::int32_t k0_hi,
+                             std::int32_t k1_lo, std::int32_t k1_hi,
+                             std::int32_t k2_lo, std::int32_t k2_hi,
+                             std::int32_t oc_begin, std::int32_t* out) {
+  const std::int32_t G = ICp / 4;
+  for (std::int32_t oc = oc_begin; oc < OC; ++oc) out[oc] = 0;
+  for (std::int32_t k0 = k0_lo; k0 <= k0_hi; ++k0) {
+    for (std::int32_t k1 = k1_lo; k1 <= k1_hi; ++k1) {
+      const std::uint8_t* arow =
+          act + ((std::int64_t(o0 + k0 - 1) * D1 + (o1 + k1 - 1)) * D2 +
+                 (o2 - 1)) *
+                    ICp;
+      for (std::int32_t k2 = k2_lo; k2 <= k2_hi; ++k2) {
+        const std::uint8_t* a = arow + std::int64_t(k2) * ICp;
+        const std::int8_t* w =
+            wp + std::int64_t((k0 * 3 + k1) * 3 + k2) * G * OC * 4;
+        for (std::int32_t g = 0; g < G; ++g) {
+          const std::uint8_t* ag = a + 4 * g;
+          const std::int8_t* wg = w + std::int64_t(g) * OC * 4;
+          for (std::int32_t oc = oc_begin; oc < OC; ++oc) {
+            const std::int8_t* wo = wg + oc * 4;
+            out[oc] += std::int32_t(ag[0]) * wo[0] + std::int32_t(ag[1]) * wo[1] +
+                       std::int32_t(ag[2]) * wo[2] + std::int32_t(ag[3]) * wo[3];
+          }
+        }
+      }
+    }
+  }
+}
+
+inline void conv1_voxel_tail(const std::uint8_t* a, std::int32_t ICp,
+                             const std::int8_t* wp, std::int32_t OC,
+                             std::int32_t oc_begin, std::int32_t* out) {
+  const std::int32_t G = ICp / 4;
+  for (std::int32_t oc = oc_begin; oc < OC; ++oc) out[oc] = 0;
+  for (std::int32_t g = 0; g < G; ++g) {
+    const std::uint8_t* ag = a + 4 * g;
+    const std::int8_t* wg = wp + std::int64_t(g) * OC * 4;
+    for (std::int32_t oc = oc_begin; oc < OC; ++oc) {
+      const std::int8_t* wo = wg + oc * 4;
+      out[oc] += std::int32_t(ag[0]) * wo[0] + std::int32_t(ag[1]) * wo[1] +
+                 std::int32_t(ag[2]) * wo[2] + std::int32_t(ag[3]) * wo[3];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: maddubs (u8 * s8 -> saturating i16 pair sums; never saturates for
+// act <= 127) + madd(ones) to widen + add.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+broadcast_group_avx2(const std::uint8_t* p) {
+  std::uint32_t bits;
+  std::memcpy(&bits, p, 4);
+  return _mm256_set1_epi32(std::int32_t(bits));
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+dp_avx2(__m256i acc, __m256i a, __m256i w) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(_mm256_maddubs_epi16(a, w), ones));
+}
+
+#define OAR_KFN(name) __attribute__((target("avx2"))) name
+#define OAR_DP(acc, a, w) dp_avx2((acc), (a), (w))
+#define OAR_BCAST(p) broadcast_group_avx2(p)
+#define OAR_SUFFIX _avx2
+#include "nn/quant/simd_x86_conv.inc"
+
+// ---------------------------------------------------------------------------
+// AVX-512VL + VNNI: one dpbusd per (group, 8 output channels).
+// ---------------------------------------------------------------------------
+
+#define OAR_TARGET_VNNI "avx2,avx512f,avx512vl,avx512vnni"
+
+__attribute__((target(OAR_TARGET_VNNI), always_inline)) inline __m256i
+broadcast_group_vnni(const std::uint8_t* p) {
+  std::uint32_t bits;
+  std::memcpy(&bits, p, 4);
+  return _mm256_set1_epi32(std::int32_t(bits));
+}
+
+#define OAR_KFN(name) __attribute__((target(OAR_TARGET_VNNI))) name
+#define OAR_DP(acc, a, w) _mm256_dpbusd_epi32((acc), (a), (w))
+#define OAR_BCAST(p) broadcast_group_vnni(p)
+#define OAR_SUFFIX _vnni
+#include "nn/quant/simd_x86_conv.inc"
+
+constexpr Kernels kAvx2Kernels{conv3_nhwc_avx2, conv1_nhwc_avx2};
+constexpr Kernels kVnniKernels{conv3_nhwc_vnni, conv1_nhwc_vnni};
+
+}  // namespace
+
+namespace detail {
+
+const Kernels* avx2_kernels() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok ? &kAvx2Kernels : nullptr;
+}
+
+const Kernels* avx2_vnni_kernels() {
+  static const bool ok = __builtin_cpu_supports("avx2") &&
+                         __builtin_cpu_supports("avx512vl") &&
+                         __builtin_cpu_supports("avx512vnni");
+  return ok ? &kVnniKernels : nullptr;
+}
+
+}  // namespace detail
+}  // namespace oar::nn::simd
+
+#else  // !x86
+
+namespace oar::nn::simd::detail {
+const Kernels* avx2_kernels() { return nullptr; }
+const Kernels* avx2_vnni_kernels() { return nullptr; }
+}  // namespace oar::nn::simd::detail
+
+#endif

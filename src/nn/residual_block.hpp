@@ -34,6 +34,15 @@ class ResidualBlock3d : public Module {
 
   std::int32_t out_channels() const { return out_channels_; }
 
+  // Read-only submodule access (quant calibration replays the fp32 path
+  // and folds/quantizes the weights — nn/quant/quantize.cpp).
+  const Conv3d& conv1() const { return conv1_; }
+  const GroupNorm& norm1() const { return norm1_; }
+  const Conv3d& conv2() const { return conv2_; }
+  const GroupNorm& norm2() const { return norm2_; }
+  /// Null for identity skips (in_channels == out_channels).
+  const Conv3d* projection() const { return projection_.get(); }
+
   /// Largest group count <= 4 dividing `channels` (GroupNorm constraint).
   static std::int32_t pick_groups(std::int32_t channels);
 

@@ -71,6 +71,16 @@ class UNet3d : public Module {
 
   const UNet3dConfig& config() const { return config_; }
 
+  // Read-only structure access for the int8 calibrator (nn/quant).
+  std::int32_t depth() const { return std::int32_t(encoders_.size()); }
+  const ResidualBlock3d& encoder(std::int32_t i) const { return *encoders_[i]; }
+  const ResidualBlock3d& bottleneck_block() const { return *bottleneck_; }
+  /// Deepest-first, matching the decode order.
+  const ResidualBlock3d& decoder_block(std::int32_t i) const {
+    return *decoders_[i];
+  }
+  const Conv3d& head_conv() const { return *head_; }
+
  private:
   UNet3dConfig config_;
   std::vector<std::unique_ptr<ResidualBlock3d>> encoders_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "mcts/seq_mcts.hpp"
 #include "route/oarmst.hpp"
@@ -54,6 +56,63 @@ EvalStats evaluate_st_to_mst(SteinerSelector& selector,
     stats.mean_inferences *= inv;
   }
   return stats;
+}
+
+Int8GateReport evaluate_int8_gate(SteinerSelector& selector,
+                                  const std::vector<hanan::HananGrid>& grids) {
+  if (selector.int8_engine() == nullptr) {
+    throw std::logic_error(
+        "evaluate_int8_gate: selector has no calibrated int8 engine");
+  }
+  const nn::InferConfig& cfg = selector.config().infer;
+  route::RouterScratch& scratch = route::local_router_scratch();
+
+  Int8GateReport report;
+  for (const hanan::HananGrid& grid : grids) {
+    const std::int32_t budget =
+        std::max<std::int32_t>(0, std::int32_t(grid.pins().size()) - 2);
+    if (budget <= 0) continue;
+
+    selector.set_precision(nn::InferConfig::Precision::kFp32);
+    const std::vector<hanan::Vertex> sel_fp32 =
+        selector.select_steiner_points(grid, budget);
+    selector.set_precision(nn::InferConfig::Precision::kInt8);
+    const std::vector<hanan::Vertex> sel_int8 =
+        selector.select_steiner_points(grid, budget);
+
+    route::OarmstRouter router(grid);
+    const route::OarmstResult st_fp32 =
+        router.build(grid.pins(), sel_fp32, &scratch);
+    const route::OarmstResult st_int8 =
+        router.build(grid.pins(), sel_int8, &scratch);
+    if (!st_fp32.connected || !st_int8.connected || st_fp32.cost <= 0.0) {
+      continue;
+    }
+
+    const std::unordered_set<hanan::Vertex> ref(sel_fp32.begin(),
+                                                sel_fp32.end());
+    std::int32_t hits = 0;
+    for (const hanan::Vertex v : sel_int8) hits += ref.count(v) ? 1 : 0;
+    report.mean_agreement +=
+        double(hits) / double(std::max<std::size_t>(1, sel_fp32.size()));
+    report.mean_cost_ratio += st_int8.cost / st_fp32.cost;
+    ++report.count;
+  }
+  if (report.count > 0) {
+    report.mean_agreement /= double(report.count);
+    report.mean_cost_ratio /= double(report.count);
+  }
+  report.passed = report.count > 0 &&
+                  report.mean_agreement >= cfg.int8_min_agreement &&
+                  report.mean_cost_ratio <= cfg.int8_max_cost_ratio;
+  if (!report.passed) {
+    nn::quant::note_int8_gate_failure();
+    if (cfg.int8_fallback_to_fp32) {
+      selector.set_precision(nn::InferConfig::Precision::kFp32);
+      report.fell_back = true;
+    }
+  }
+  return report;
 }
 
 }  // namespace oar::rl

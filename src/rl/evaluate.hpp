@@ -28,4 +28,23 @@ EvalStats evaluate_st_to_mst(SteinerSelector& selector,
                              const std::vector<hanan::HananGrid>& grids,
                              EvalOptions options = {});
 
+/// Result of the int8 accuracy gate (DESIGN.md §17): the quantized engine
+/// must agree with fp32 on the selected Steiner points and not inflate the
+/// routed cost beyond tolerance, or the selector falls back to fp32.
+struct Int8GateReport {
+  double mean_agreement = 0.0;   // |top-k(int8) ∩ top-k(fp32)| / k
+  double mean_cost_ratio = 0.0;  // routed cost int8 / fp32
+  std::int32_t count = 0;        // layouts that contributed
+  bool passed = false;
+  bool fell_back = false;  // gate failed and precision dropped to fp32
+};
+
+/// Runs both precisions over `grids` and applies the thresholds from the
+/// selector's InferConfig.  Requires a calibrated int8 engine (throws
+/// std::logic_error otherwise).  On failure the selector is switched back
+/// to fp32 when `infer.int8_fallback_to_fp32` is set; on success it is
+/// left on int8.
+Int8GateReport evaluate_int8_gate(SteinerSelector& selector,
+                                  const std::vector<hanan::HananGrid>& grids);
+
 }  // namespace oar::rl

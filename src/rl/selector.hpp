@@ -10,10 +10,12 @@
 // lexicographic (h, v, m) order the combinatorial MCTS uses — so
 // fsp[grid.priority_of(vertex)] is the probability of `vertex`.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hanan/features.hpp"
+#include "nn/quant/quantize.hpp"
 #include "nn/unet3d.hpp"
 
 namespace oar::rl {
@@ -23,9 +25,14 @@ using hanan::Vertex;
 
 struct SelectorConfig {
   nn::UNet3dConfig unet;
+  /// Inference-path settings (precision + int8 accuracy-gate thresholds).
+  nn::InferConfig infer;
 
   /// Throws std::invalid_argument naming the offending field.
-  void validate() const { unet.validate(); }
+  void validate() const {
+    unet.validate();
+    infer.validate();
+  }
 };
 
 class SteinerSelector {
@@ -36,6 +43,9 @@ class SteinerSelector {
   /// Gradient consumers (fit_dataset, PPO updates, gradcheck) switch the
   /// net to training mode for the duration of the pass and restore it.
   explicit SteinerSelector(SelectorConfig config = {});
+  ~SteinerSelector();
+  SteinerSelector(SteinerSelector&&) = default;
+  SteinerSelector& operator=(SteinerSelector&&) = default;
 
   /// Encode a layout (with optional extra pins) as the network input.
   static nn::Tensor encode(const HananGrid& grid,
@@ -70,14 +80,45 @@ class SteinerSelector {
   const SelectorConfig& config() const { return config_; }
   hanan::FeatureCache& feature_cache() { return features_; }
 
+  // --- int8 inference path (DESIGN.md §17) ------------------------------
+  /// Calibrate the quantized engine on representative layouts (encoded
+  /// without extra pins) and switch the precision to kInt8.  Throws
+  /// std::invalid_argument on an empty sample set.
+  void calibrate_int8(const std::vector<const HananGrid*>& grids);
+  /// The quantized engine, or nullptr before calibration / after a weight
+  /// reload invalidated the pack.
+  nn::quant::QuantizedUNet3d* int8_engine() { return int8_.get(); }
+  /// True when fsp queries are served by the int8 engine (pack present,
+  /// precision kInt8, net in inference mode).
+  bool int8_active() const;
+  /// Flip the precision without touching the pack (the accuracy gate's
+  /// fallback calls this with kFp32).
+  void set_precision(nn::InferConfig::Precision p);
+  /// int8 forward straight from a channel-major feature volume — the
+  /// EvalServer / BatchedSelector entry point (they encode features
+  /// themselves).  Requires int8_engine() != nullptr.
+  void infer_fsp_from_features(const float* features, std::int32_t H,
+                               std::int32_t V, std::int32_t M,
+                               std::vector<double>& out);
+
   bool save(const std::string& path);
+  /// load / copy_weights_from drop the int8 pack (weights changed); the
+  /// engine silently serves fp32 until the next calibrate_int8().
   bool load(const std::string& path);
   void copy_weights_from(SteinerSelector& other);
 
  private:
+  struct Int8Accum;  // grid-keyed first-layer accumulator cache
+
+  void infer_fsp_int8(const HananGrid& grid,
+                      const std::vector<Vertex>& extra_pins,
+                      std::vector<double>& out);
+
   SelectorConfig config_;
   nn::UNet3d net_;
   hanan::FeatureCache features_;  // single-entry (grid, revision) base cache
+  std::unique_ptr<nn::quant::QuantizedUNet3d> int8_;
+  std::unique_ptr<Int8Accum> accum_;
 };
 
 }  // namespace oar::rl

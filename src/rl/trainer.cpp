@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rl/augment.hpp"
+#include "rl/evaluate.hpp"
 #include "steiner/router_base.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -88,6 +89,9 @@ void TrainConfig::validate() const {
                     "be >= 0 (0 = hardware)", threads);
   util::check_field(fit_workers >= 0, "TrainConfig", "fit_workers",
                     "be >= 0 (0 = inherit threads)", fit_workers);
+  util::check_field(int8_calibration_layouts >= 1, "TrainConfig",
+                    "int8_calibration_layouts", "be >= 1",
+                    int8_calibration_layouts);
   mcts.validate();
 }
 
@@ -503,6 +507,29 @@ std::vector<StageReport> CombTrainer::train() {
         !save_checkpoint(config_.checkpoint_path)) {
       util::log_error("failed to write checkpoint ", config_.checkpoint_path);
     }
+  }
+  if (config_.calibrate_int8) {
+    // Post-training: calibrate the int8 engine on fresh layouts from the
+    // training distribution, then gate it against fp32 (falls back on
+    // failure — the trained artifact never serves a degraded quantization).
+    std::vector<hanan::HananGrid> grids;
+    for (const LayoutSizeSpec& size : config_.sizes) {
+      const gen::RandomGridSpec spec = training_spec(
+          size, config_.obstacle_density, config_.min_pins, config_.max_pins);
+      for (std::int32_t i = 0; i < config_.int8_calibration_layouts; ++i) {
+        grids.push_back(gen::random_grid(spec, rng_));
+      }
+    }
+    std::vector<const hanan::HananGrid*> ptrs;
+    ptrs.reserve(grids.size());
+    for (const hanan::HananGrid& g : grids) ptrs.push_back(&g);
+    selector_.calibrate_int8(ptrs);
+    const Int8GateReport gate = evaluate_int8_gate(selector_, grids);
+    util::log_info("int8 gate: agreement ", gate.mean_agreement,
+                   ", cost ratio ", gate.mean_cost_ratio,
+                   gate.passed        ? " (passed)"
+                   : gate.fell_back   ? " (failed; serving fp32)"
+                                      : " (failed)");
   }
   return reports;
 }

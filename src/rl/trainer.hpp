@@ -65,6 +65,12 @@ struct TrainConfig {
   /// (see nn/serialize), and load_checkpoint()/try_resume() continue a
   /// killed run mid-schedule.
   std::string checkpoint_path;
+  /// After the last stage, calibrate the int8 engine on freshly generated
+  /// layouts and run the accuracy gate (the selector falls back to fp32 if
+  /// it fails) — the trained artifact then serves quantized by default.
+  bool calibrate_int8 = false;
+  /// Calibration layouts generated per configured size.
+  std::int32_t int8_calibration_layouts = 4;
 
   /// Throws std::invalid_argument naming the offending field (also
   /// validates the nested `mcts` config).

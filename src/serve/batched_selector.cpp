@@ -13,6 +13,17 @@ std::vector<std::vector<double>> batched_fsp(rl::SteinerSelector& selector,
   if (grids.empty()) return {};
   if (grids.size() == 1) return {selector.infer_fsp(*grids[0])};
 
+  if (selector.int8_active()) {
+    // The int8 engine is single-sample: loop instead of stacking.  Each
+    // grid rebuilds the first-layer accumulator once (different grids
+    // can't share a base), which the integer forward still amortizes.
+    std::vector<std::vector<double>> fsp(grids.size());
+    for (std::size_t i = 0; i < grids.size(); ++i) {
+      fsp[i] = selector.infer_fsp(*grids[i]);
+    }
+    return fsp;
+  }
+
   const std::int32_t N = std::int32_t(grids.size());
   const std::int32_t H = grids[0]->h_dim();
   const std::int32_t V = grids[0]->v_dim();

@@ -16,6 +16,7 @@
 #include "mcts/comb_mcts.hpp"
 #include "mcts/eval_server.hpp"
 #include "mcts/parallel.hpp"
+#include "nn/quant/quantize.hpp"
 #include "nn/unet3d.hpp"
 #include "nn/value_net.hpp"
 #include "route/oarmst.hpp"
@@ -54,6 +55,7 @@ TEST(ConfigValidate, DefaultsAllPass) {
   EXPECT_NO_THROW(steiner::OracleConfig{}.validate());
   EXPECT_NO_THROW(nn::UNet3dConfig{}.validate());
   EXPECT_NO_THROW(nn::ValueNetConfig{}.validate());
+  EXPECT_NO_THROW(nn::InferConfig{}.validate());
   EXPECT_NO_THROW(route::OarmstConfig{}.validate());
   EXPECT_NO_THROW(serve::RouterServiceConfig{}.validate());
   EXPECT_NO_THROW(mcts::CombMctsConfig{}.validate());
@@ -234,9 +236,27 @@ TEST(ConfigValidate, Train) {
   expect_rejects<C>([](C& c) { c.threads = -1; }, "TrainConfig.threads");
   expect_rejects<C>([](C& c) { c.fit_workers = -2; },
                     "TrainConfig.fit_workers");
+  expect_rejects<C>([](C& c) { c.int8_calibration_layouts = 0; },
+                    "TrainConfig.int8_calibration_layouts");
   // Nested MCTS config is validated too.
   expect_rejects<C>([](C& c) { c.mcts.iterations_per_move = 0; },
                     "CombMctsConfig.iterations_per_move");
+}
+
+TEST(ConfigValidate, InferConfig) {
+  using C = nn::InferConfig;
+  expect_rejects<C>([](C& c) { c.int8_min_agreement = -0.1; },
+                    "InferConfig.int8_min_agreement");
+  expect_rejects<C>([](C& c) { c.int8_min_agreement = 1.5; },
+                    "InferConfig.int8_min_agreement");
+  expect_rejects<C>([](C& c) { c.int8_max_cost_ratio = 0.9; },
+                    "InferConfig.int8_max_cost_ratio");
+  expect_rejects<C>([](C& c) { c.precision = C::Precision(7); },
+                    "InferConfig.precision");
+  // SelectorConfig validates the nested InferConfig too.
+  rl::SelectorConfig sel;
+  sel.infer.int8_max_cost_ratio = 0.5;
+  EXPECT_THROW(sel.validate(), std::invalid_argument);
 }
 
 TEST(ConfigValidate, FitOptions) {
