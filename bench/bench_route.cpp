@@ -263,20 +263,27 @@ struct ObsOverhead {
 
 /// Minimum-of-N alternating A/B rounds: the min filters out scheduler and
 /// frequency-scaling noise, alternation keeps cache/allocator state fair.
+/// The side measured first swaps every round — a monotone frequency drift
+/// (e.g. the CPU throttling down after a long test-suite run) otherwise
+/// biases whichever side consistently samples later, and the min cannot
+/// filter a drift that touches every round the same way.
 ObsOverhead measure_obs_overhead(
     const hanan::HananGrid& grid,
     const std::vector<std::vector<hanan::Vertex>>& selections, int reps,
     int rounds) {
   const double total_builds = double(selections.size()) * reps;
+  run_builds(grid, Mode::kIncremental, selections, reps);  // warmup, unmeasured
   double best_off = 1e300, best_on = 1e300;
   for (int round = 0; round < rounds; ++round) {
-    oar::obs::set_enabled(false);
-    best_off = std::min(
-        best_off,
-        run_builds(grid, Mode::kIncremental, selections, reps).seconds);
-    oar::obs::set_enabled(true);
-    best_on = std::min(
-        best_on, run_builds(grid, Mode::kIncremental, selections, reps).seconds);
+    const bool off_first = (round % 2) == 0;
+    for (int side = 0; side < 2; ++side) {
+      const bool measure_off = off_first == (side == 0);
+      oar::obs::set_enabled(!measure_off);
+      const double s =
+          run_builds(grid, Mode::kIncremental, selections, reps).seconds;
+      (measure_off ? best_off : best_on) =
+          std::min(measure_off ? best_off : best_on, s);
+    }
   }
   oar::obs::set_enabled(true);
   ObsOverhead o;

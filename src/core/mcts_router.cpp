@@ -8,8 +8,11 @@
 namespace oar::core {
 
 MctsRouter::MctsRouter(std::shared_ptr<rl::SteinerSelector> selector,
-                       mcts::CombMctsConfig config)
-    : selector_(std::move(selector)), config_(config) {
+                       mcts::CombMctsConfig config,
+                       std::shared_ptr<experience::Store> experience)
+    : selector_(std::move(selector)),
+      config_(config),
+      experience_(std::move(experience)) {
   config_.validate();
 }
 
@@ -25,10 +28,10 @@ route::OarmstResult MctsRouter::route(const hanan::HananGrid& grid,
 
   mcts::CombMctsResult searched;
   if (cfg.search_workers != 1) {
-    mcts::ParallelCombMcts search(*selector_, cfg);
+    mcts::ParallelCombMcts search(*selector_, cfg, experience_.get());
     searched = search.run(grid, deadline);
   } else {
-    mcts::CombMcts search(*selector_, cfg);
+    mcts::CombMcts search(*selector_, cfg, experience_.get());
     searched = search.run(grid, deadline);
   }
   stats_ = searched.stats;
@@ -53,6 +56,14 @@ route::OarmstResult MctsRouter::route(const hanan::HananGrid& grid,
     if (plain.connected && (!result.connected || plain.cost < result.cost)) {
       result = std::move(plain);
     }
+  }
+
+  // Feed the episode back: the routed tree plus the search's fsp labels
+  // and best combination become a warm-start record for future searches on
+  // this (or a near-miss) layout.
+  if (experience_ && !experience_->config().read_only && result.connected) {
+    experience_->put(experience::build_record(grid, result, searched.label,
+                                              searched.best_selected));
   }
   return result;
 }

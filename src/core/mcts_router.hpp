@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "experience/store.hpp"
 #include "mcts/comb_mcts.hpp"
 #include "steiner/router_base.hpp"
 
@@ -22,8 +23,15 @@ class MctsRouter : public steiner::Router {
   /// reference size; route() rescales it to each layout via
   /// mcts::scaled_iterations.  search_workers != 1 runs the tree-parallel
   /// search (0 = hardware concurrency).
+  ///
+  /// `experience` (optional) attaches a tiered experience store: the
+  /// search warm-starts its root from it when config.warm_start is on
+  /// (DESIGN.md §18), and every connected routed episode is appended back
+  /// (unless the store is read-only), so searches keep getting warmer
+  /// across calls — and, with a disk tier, across process restarts.
   explicit MctsRouter(std::shared_ptr<rl::SteinerSelector> selector,
-                      mcts::CombMctsConfig config = {});
+                      mcts::CombMctsConfig config = {},
+                      std::shared_ptr<experience::Store> experience = nullptr);
 
   std::string name() const override { return "rl-mcts"; }
 
@@ -45,6 +53,7 @@ class MctsRouter : public steiner::Router {
  private:
   std::shared_ptr<rl::SteinerSelector> selector_;
   mcts::CombMctsConfig config_;
+  std::shared_ptr<experience::Store> experience_;
   mcts::CombMctsStats stats_;
 };
 

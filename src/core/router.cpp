@@ -28,6 +28,11 @@ void RouterOptions::validate() const {
         "disables) (got " +
         std::to_string(deadline_ms) + ")");
   }
+  if (experience_read_only && experience_path.empty()) {
+    throw std::invalid_argument(
+        "RouterOptions.experience_read_only requires experience_path to "
+        "name an existing experience file");
+  }
   rl.validate();
   mcts.validate();
   service.validate();
@@ -45,6 +50,19 @@ std::shared_ptr<rl::SteinerSelector> Router::shared_selector() {
   return selector_;
 }
 
+std::shared_ptr<experience::Store> Router::shared_experience() {
+  if (options_.experience_path.empty()) return nullptr;
+  if (!experience_) {
+    experience::StoreConfig sc;
+    sc.memory_capacity = options_.service.cache_capacity;
+    sc.path = options_.experience_path;
+    sc.read_only = options_.experience_read_only;
+    sc.flush_batch = options_.service.experience_flush_batch;
+    experience_ = std::make_shared<experience::Store>(sc);
+  }
+  return experience_;
+}
+
 void Router::ensure_engine() {
   if (engine_) return;
   if (options_.engine == "rl-ours") {
@@ -52,9 +70,10 @@ void Router::ensure_engine() {
     engine_ = std::make_unique<RlRouter>(shared_selector(), options_.rl);
   } else if (options_.engine == "rl-mcts") {
     // Constructed directly so options_.mcts (iterations, search_workers,
-    // eval_batch, flush_us) applies.
-    auto mcts_router =
-        std::make_unique<MctsRouter>(shared_selector(), options_.mcts);
+    // eval_batch, flush_us, warm_start) applies; the shared experience
+    // store (when configured) feeds warm starts and collects episodes.
+    auto mcts_router = std::make_unique<MctsRouter>(
+        shared_selector(), options_.mcts, shared_experience());
     mcts_engine_ = mcts_router.get();
     engine_ = std::move(mcts_router);
   } else {
@@ -68,8 +87,13 @@ void Router::ensure_engine() {
 
 void Router::ensure_service() {
   if (!service_) {
-    service_ = std::make_unique<serve::RouterService>(shared_selector(),
-                                                      options_.service);
+    if (std::shared_ptr<experience::Store> store = shared_experience()) {
+      service_ = std::make_unique<serve::RouterService>(
+          shared_selector(), options_.service, std::move(store));
+    } else {
+      service_ = std::make_unique<serve::RouterService>(shared_selector(),
+                                                        options_.service);
+    }
   }
 }
 
@@ -121,6 +145,7 @@ RouteResult Router::route(std::shared_ptr<const hanan::HananGrid> grid) {
     out.grid = std::move(reply.grid);
     out.result = std::move(reply.result);
     out.cache_hit = reply.cache_hit;
+    out.hit_tier = reply.hit_tier;
     out.status = reply.status;
     out.deadline_met = reply.deadline_met;
     out.engine = "rl-ours@service";

@@ -40,6 +40,7 @@
 #include "chip/netlist.hpp"
 #include "core/multi_net.hpp"
 #include "core/rl_router.hpp"
+#include "experience/store.hpp"
 #include "mcts/comb_mcts.hpp"
 #include "geom/layout.hpp"
 #include "obs/metrics.hpp"
@@ -62,6 +63,16 @@ struct RouterOptions {
   /// instead of the direct single-shot path.  RL engine only.
   bool use_service = false;
   serve::RouterServiceConfig service;
+  /// Persistent experience file (experience::Store disk tier) shared
+  /// across the facade's paths.  The serving path uses it to back the
+  /// symmetry cache, so exact hits survive process restarts; "rl-mcts"
+  /// warm-starts its root from it when `mcts.warm_start` is on and appends
+  /// every connected routed episode back (DESIGN.md §18).  Empty = no
+  /// persistence — memory-only caching, the legacy behaviour.
+  std::string experience_path;
+  /// Open the experience file read-only: serve and warm-start from it,
+  /// never append (e.g. sharing a golden store across replicas).
+  bool experience_read_only = false;
   /// Full-chip negotiation knobs for route(grid, netlist).
   chip::ChipConfig chip;
   /// Per-call latency target in ms for single-net route(); 0 disables
@@ -85,6 +96,11 @@ struct RouteResult {
   std::string engine;
   /// True when the serving path answered from the symmetry cache.
   bool cache_hit = false;
+  /// Which experience tier answered on the serving path: kMemory (LRU),
+  /// kDisk (persistent file — a hit surviving a restart or deploy), or
+  /// kMiss (freshly routed; always kMiss on the direct paths).
+  /// cache_hit == (hit_tier != kMiss).
+  experience::HitTier hit_tier = experience::HitTier::kMiss;
   /// Typed admission outcome of the serving path; always kOk on the
   /// direct paths.  An Overloaded value means result is empty.
   serve::ReplyStatus status = serve::ReplyStatus::kOk;
@@ -153,14 +169,23 @@ class Router {
   /// service-path route().  Exposed for metrics scrapes.
   serve::RouterService* service() { return service_.get(); }
 
+  /// The lazily-opened experience store; nullptr until a route() needed it
+  /// (and always when options().experience_path is empty).
+  const std::shared_ptr<experience::Store>& experience() const {
+    return experience_;
+  }
+
  private:
   void ensure_engine();
   void ensure_service();
   std::shared_ptr<rl::SteinerSelector> shared_selector();
+  /// Opens options_.experience_path on first use; nullptr when unset.
+  std::shared_ptr<experience::Store> shared_experience();
   RouteResult finish(RouteResult out, double seconds);
 
   RouterOptions options_;
   std::shared_ptr<rl::SteinerSelector> selector_;
+  std::shared_ptr<experience::Store> experience_;
   std::unique_ptr<steiner::Router> engine_;
   /// Typed view of engine_ when it is the "rl-mcts" MctsRouter (the only
   /// engine with an anytime deadline overload); nullptr otherwise.

@@ -1,8 +1,8 @@
-#include "serve/canonical.hpp"
+#include "experience/canonical.hpp"
 
 #include <cstring>
 
-namespace oar::serve {
+namespace oar::experience {
 
 namespace {
 
@@ -176,4 +176,4 @@ std::vector<Vertex> inverse_vertex_map(const HananGrid& grid,
   return inv;
 }
 
-}  // namespace oar::serve
+}  // namespace oar::experience

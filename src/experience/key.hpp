@@ -1,0 +1,56 @@
+#pragma once
+
+// Typed experience key.  A CanonicalKey wraps the canonical grid
+// serialization (canonical.hpp) together with its fnv1a64 digest so hash
+// containers never re-scan the bytes, and so API signatures distinguish
+// "canonical symmetry key" from any other std::string.  Construct through
+// CanonicalKey::of() / from_bytes(); the digest is always derived from the
+// bytes, never caller-supplied.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "experience/canonical.hpp"
+#include "util/hash.hpp"
+
+namespace oar::experience {
+
+class CanonicalKey {
+ public:
+  CanonicalKey() = default;
+
+  /// Key of a layout: canonicalizes `grid` over the 16-way symmetry orbit.
+  static CanonicalKey of(const HananGrid& grid) {
+    return CanonicalKey(canonicalize(grid).key);
+  }
+
+  /// Key from an already-canonical byte string (e.g. CanonicalForm::key).
+  static CanonicalKey from_bytes(std::string bytes) {
+    return CanonicalKey(std::move(bytes));
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  std::uint64_t hash() const { return hash_; }
+  bool empty() const { return bytes_.empty(); }
+
+  friend bool operator==(const CanonicalKey& a, const CanonicalKey& b) {
+    return a.hash_ == b.hash_ && a.bytes_ == b.bytes_;
+  }
+
+ private:
+  explicit CanonicalKey(std::string bytes)
+      : bytes_(std::move(bytes)), hash_(util::fnv1a64(bytes_)) {}
+
+  std::string bytes_;
+  std::uint64_t hash_ = util::fnv1a64(std::string_view{});
+};
+
+struct KeyHash {
+  std::size_t operator()(const CanonicalKey& k) const {
+    return std::size_t(k.hash());
+  }
+};
+
+}  // namespace oar::experience

@@ -1,0 +1,221 @@
+#include "experience/record.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace oar::experience {
+
+namespace {
+
+// Serialization element-count ceiling: a corrupt length field must never
+// trigger a giant allocation.  The largest grids in the repo are a few
+// hundred thousand vertices; 1<<26 leaves two orders of headroom.
+constexpr std::uint32_t kMaxElems = 1u << 26;
+
+constexpr std::uint32_t kRecordVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_f64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked little-endian cursor over an untrusted byte range.
+struct Reader {
+  const char* p;
+  std::size_t left;
+  bool ok = true;
+
+  template <typename T>
+  T pod() {
+    T v{};
+    if (left < sizeof(T)) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return v;
+  }
+
+  /// Element count with the sanity ceiling applied.
+  std::uint32_t count() {
+    const std::uint32_t n = pod<std::uint32_t>();
+    if (n > kMaxElems) ok = false;
+    return ok ? n : 0;
+  }
+
+  bool bytes(std::string& out, std::size_t n) {
+    if (left < n) {
+      ok = false;
+      return false;
+    }
+    out.assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string serialize_record(const ExperienceRecord& rec) {
+  std::string out;
+  out.reserve(64 + rec.edges.size() * 8 + rec.steiner.size() * 4 +
+              rec.base_key.size() + rec.pins_base.size() * 4 +
+              rec.best_base.size() * 4 + rec.fsp_base.size() * 4);
+  put_u32(out, kRecordVersion);
+  put_i32(out, rec.h);
+  put_i32(out, rec.v);
+  put_i32(out, rec.m);
+  out.push_back(rec.connected ? 1 : 0);
+  out.push_back(rec.has_warm_start() ? 1 : 0);
+  put_f64(out, rec.cost);
+  put_u32(out, std::uint32_t(rec.edges.size()));
+  for (const route::GridEdge& e : rec.edges) {
+    put_i32(out, e.a);
+    put_i32(out, e.b);
+  }
+  put_u32(out, std::uint32_t(rec.steiner.size()));
+  for (const Vertex v : rec.steiner) put_i32(out, v);
+  if (rec.has_warm_start()) {
+    put_u32(out, std::uint32_t(rec.base_key.size()));
+    out.append(rec.base_key);
+    put_u32(out, std::uint32_t(rec.pins_base.size()));
+    for (const Vertex v : rec.pins_base) put_i32(out, v);
+    put_u32(out, std::uint32_t(rec.best_base.size()));
+    for (const Vertex v : rec.best_base) put_i32(out, v);
+    put_u32(out, std::uint32_t(rec.fsp_base.size()));
+    for (const float f : rec.fsp_base) {
+      out.append(reinterpret_cast<const char*>(&f), sizeof(f));
+    }
+  }
+  return out;
+}
+
+bool deserialize_record(const char* data, std::size_t n,
+                        ExperienceRecord& out) {
+  Reader r{data, n};
+  const std::uint32_t version = r.pod<std::uint32_t>();
+  if (!r.ok || version != kRecordVersion) return false;
+  out = ExperienceRecord{};
+  out.h = r.pod<std::int32_t>();
+  out.v = r.pod<std::int32_t>();
+  out.m = r.pod<std::int32_t>();
+  const char connected = r.pod<char>();
+  const char has_warm = r.pod<char>();
+  if (!r.ok || (connected & ~1) || (has_warm & ~1)) return false;
+  out.connected = connected != 0;
+  out.cost = r.pod<double>();
+
+  std::uint32_t cnt = r.count();
+  out.edges.resize(cnt);
+  for (std::uint32_t i = 0; i < cnt && r.ok; ++i) {
+    out.edges[i].a = r.pod<std::int32_t>();
+    out.edges[i].b = r.pod<std::int32_t>();
+  }
+  cnt = r.count();
+  out.steiner.resize(r.ok ? cnt : 0);
+  for (std::uint32_t i = 0; i < cnt && r.ok; ++i) {
+    out.steiner[i] = r.pod<std::int32_t>();
+  }
+
+  if (has_warm) {
+    const std::uint32_t key_len = r.count();
+    if (!r.ok || key_len == 0 || !r.bytes(out.base_key, key_len)) return false;
+    cnt = r.count();
+    out.pins_base.resize(r.ok ? cnt : 0);
+    for (std::uint32_t i = 0; i < cnt && r.ok; ++i) {
+      out.pins_base[i] = r.pod<std::int32_t>();
+    }
+    cnt = r.count();
+    out.best_base.resize(r.ok ? cnt : 0);
+    for (std::uint32_t i = 0; i < cnt && r.ok; ++i) {
+      out.best_base[i] = r.pod<std::int32_t>();
+    }
+    cnt = r.count();
+    out.fsp_base.resize(r.ok ? cnt : 0);
+    for (std::uint32_t i = 0; i < cnt && r.ok; ++i) {
+      out.fsp_base[i] = r.pod<float>();
+    }
+  }
+  return r.ok && r.left == 0;
+}
+
+CanonicalForm base_canonical(const HananGrid& grid) {
+  HananGrid base = grid;
+  base.clear_pins();
+  return canonicalize(base);
+}
+
+KeyedRecord build_record(const HananGrid& grid, const CanonicalForm& canon,
+                         const route::OarmstResult& result,
+                         const std::vector<float>& fsp_priority,
+                         const std::vector<Vertex>& best) {
+  KeyedRecord kr;
+  kr.key = CanonicalKey::from_bytes(canon.key);
+
+  ExperienceRecord& rec = kr.record;
+  const bool swapped = (canon.spec.rotation % 2) != 0;
+  rec.h = swapped ? grid.v_dim() : grid.h_dim();
+  rec.v = swapped ? grid.h_dim() : grid.v_dim();
+  rec.m = grid.m_dim();
+  rec.cost = result.cost;
+  rec.connected = result.connected;
+  rec.edges.reserve(result.tree.edges().size());
+  for (const route::GridEdge& e : result.tree.edges()) {
+    rec.edges.push_back(
+        route::GridEdge{rl::transform_vertex(grid, e.a, canon.spec),
+                        rl::transform_vertex(grid, e.b, canon.spec)});
+  }
+  rec.steiner.reserve(result.kept_steiner.size());
+  for (const Vertex v : result.kept_steiner) {
+    rec.steiner.push_back(rl::transform_vertex(grid, v, canon.spec));
+  }
+
+  // Warm-start payload: sound only when the full key really ranged over the
+  // symmetry orbit (otherwise base-space matching would alias distinct
+  // edge-block / bias states).
+  if (canon.symmetric && !grid.pins().empty()) {
+    HananGrid base = grid;
+    base.clear_pins();
+    const CanonicalForm bf = canonicalize(base);
+    rec.base_key = bf.key;
+    rec.pins_base.reserve(grid.pins().size());
+    for (const Vertex p : grid.pins()) {
+      rec.pins_base.push_back(rl::transform_vertex(base, p, bf.spec));
+    }
+    std::sort(rec.pins_base.begin(), rec.pins_base.end());
+    rec.best_base.reserve(best.size());
+    for (const Vertex v : best) {
+      rec.best_base.push_back(rl::transform_vertex(base, v, bf.spec));
+    }
+    std::sort(rec.best_base.begin(), rec.best_base.end());
+    if (!fsp_priority.empty() &&
+        fsp_priority.size() == std::size_t(grid.num_vertices())) {
+      rec.fsp_base.assign(std::size_t(grid.num_vertices()), 0.0f);
+      for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+        rec.fsp_base[std::size_t(rl::transform_vertex(base, v, bf.spec))] =
+            fsp_priority[std::size_t(grid.priority_of(v))];
+      }
+    }
+  }
+  return kr;
+}
+
+KeyedRecord build_record(const HananGrid& grid,
+                         const route::OarmstResult& result,
+                         const std::vector<float>& fsp_priority,
+                         const std::vector<Vertex>& best) {
+  return build_record(grid, canonicalize(grid), result, fsp_priority, best);
+}
+
+}  // namespace oar::experience

@@ -1,0 +1,91 @@
+#pragma once
+
+// One unit of persisted routing experience.  A record carries two payloads:
+//
+//  * A *serving* payload — the routed tree in canonical vertex space
+//    (edges, kept Steiner points, cost, connectivity), exactly what the
+//    symmetry-aware result cache held in memory.  Replay maps it back
+//    through the request's inverse vertex permutation.
+//
+//  * An optional *warm-start* payload expressed in the layout's
+//    pin-stripped ("base") canonical space: the pins of the episode, the
+//    best Steiner combination the search found, and the per-vertex fsp
+//    summary (CombMcts selection frequencies, eq.(3) labels).  Stripping
+//    the pins before canonicalizing lets a new request with a different
+//    pin set on the *same obstacle field* find near-miss experience —
+//    the subset/superset matches CombMcts seeds its root from.
+//
+// Records are value types serialized to a flat little-endian byte string
+// (serialize_record / deserialize_record); the file store frames and
+// checksums those bytes but never interprets them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experience/canonical.hpp"
+#include "experience/key.hpp"
+#include "route/oarmst.hpp"
+
+namespace oar::experience {
+
+struct ExperienceRecord {
+  // --- Serving payload, canonical (full-key) vertex space. ---
+  std::vector<route::GridEdge> edges;
+  std::vector<Vertex> steiner;
+  double cost = 0.0;
+  bool connected = false;
+  /// Canonical grid dims, a replay sanity check against key collisions.
+  std::int32_t h = 0, v = 0, m = 0;
+
+  // --- Warm-start payload, base-canonical (pin-stripped) vertex space.
+  // --- An empty base_key means the record carries no priors.
+  std::string base_key;
+  std::vector<Vertex> pins_base;    // episode pins, sorted
+  std::vector<Vertex> best_base;    // best search combination (may be empty)
+  std::vector<float> fsp_base;      // per-vertex fsp summary (may be empty)
+
+  bool has_warm_start() const { return !base_key.empty(); }
+};
+
+/// Flat byte serialization of a record.
+std::string serialize_record(const ExperienceRecord& rec);
+
+/// Parses `serialize_record` output.  Returns false (and leaves `out`
+/// unspecified) on any malformed input: short buffer, trailing bytes,
+/// negative counts, or an absurd element count.  Never throws, never reads
+/// out of bounds — this is the fail-closed boundary for mmap'd bytes whose
+/// checksum already passed but whose writer may predate this reader.
+bool deserialize_record(const char* data, std::size_t n, ExperienceRecord& out);
+
+/// A record paired with the key it is stored under.
+struct KeyedRecord {
+  CanonicalKey key;
+  ExperienceRecord record;
+};
+
+/// Builds a keyed record from a routed episode on `grid`, reusing an
+/// already-computed canonical form (the serving path has one in hand).
+///
+/// `fsp_priority` is the per-vertex fsp summary in *request priority
+/// order* (grid.priority_of), `best` the best Steiner combination in
+/// request vertex ids; both may be empty.  The warm-start payload is
+/// emitted only for symmetric layouts (edge-blocked / biased grids fall
+/// back to identity-only keys, where pin-stripped matching is unsound
+/// because the overlay bytes differ per request).
+KeyedRecord build_record(const HananGrid& grid, const CanonicalForm& canon,
+                         const route::OarmstResult& result,
+                         const std::vector<float>& fsp_priority = {},
+                         const std::vector<Vertex>& best = {});
+
+/// Convenience overload: canonicalizes `grid` itself.
+KeyedRecord build_record(const HananGrid& grid,
+                         const route::OarmstResult& result,
+                         const std::vector<float>& fsp_priority = {},
+                         const std::vector<Vertex>& best = {});
+
+/// Base-canonical form of `grid` with pins stripped: the near-miss lookup
+/// key shared by every pin set on one obstacle field.
+CanonicalForm base_canonical(const HananGrid& grid);
+
+}  // namespace oar::experience

@@ -1,0 +1,123 @@
+#include "experience/warm_start.hpp"
+
+#include <algorithm>
+
+namespace oar::experience {
+
+namespace {
+
+/// |a ∩ b| for two sorted vertex sets.
+std::size_t intersection_size(const std::vector<Vertex>& a,
+                              const std::vector<Vertex>& b) {
+  std::size_t n = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+WarmStart lookup_warm_start(const Store& store, const HananGrid& grid) {
+  WarmStart out;
+  if (!store.has_disk_tier() || grid.pins().empty()) return out;
+
+  HananGrid base = grid;
+  base.clear_pins();
+  const CanonicalForm bf = canonicalize(base);
+  if (!bf.symmetric) return out;  // records never carry warm payloads here
+
+  const auto n = std::size_t(grid.num_vertices());
+  std::vector<Vertex> pins_req;
+  pins_req.reserve(grid.pins().size());
+  for (const Vertex p : grid.pins()) {
+    pins_req.push_back(rl::transform_vertex(base, p, bf.spec));
+  }
+  std::sort(pins_req.begin(), pins_req.end());
+
+  const std::vector<ExperienceRecord> candidates = store.match_base(bf.key);
+  if (candidates.empty()) return out;
+
+  // Blend fsp summaries in base-vertex space, Jaccard-weighted; keep the
+  // newest exact pin match's best combination (candidates arrive newest
+  // first).
+  std::vector<double> acc(n, 0.0);
+  double weight_sum = 0.0;
+  const ExperienceRecord* exact_rec = nullptr;
+
+  for (const ExperienceRecord& rec : candidates) {
+    if (rec.pins_base.empty()) continue;
+    const std::size_t inter = intersection_size(rec.pins_base, pins_req);
+    // Applicable experience = same field with a pin subset or superset;
+    // partially-overlapping pin sets route fundamentally different nets.
+    if (inter != rec.pins_base.size() && inter != pins_req.size()) continue;
+    const std::size_t uni = rec.pins_base.size() + pins_req.size() - inter;
+    const double w = uni == 0 ? 0.0 : double(inter) / double(uni);
+    if (w <= 0.0) continue;
+
+    bool contributed = false;
+    if (rec.fsp_base.size() == n) {
+      for (std::size_t v = 0; v < n; ++v) {
+        acc[v] += w * double(rec.fsp_base[v]);
+      }
+      weight_sum += w;
+      contributed = true;
+    }
+    if (exact_rec == nullptr && inter == rec.pins_base.size() &&
+        inter == pins_req.size() && !rec.best_base.empty()) {
+      exact_rec = &rec;
+      contributed = true;
+    }
+    if (contributed) ++out.matches;
+  }
+
+  if (out.matches == 0) return out;
+
+  const std::vector<Vertex> inv = inverse_vertex_map(base, bf.spec);
+  if (weight_sum > 0.0) {
+    out.prior.assign(n, 0.0f);
+    for (std::size_t vb = 0; vb < n; ++vb) {
+      out.prior[std::size_t(grid.priority_of(inv[vb]))] =
+          float(acc[vb] / weight_sum);
+    }
+  }
+  if (exact_rec != nullptr) {
+    out.exact = true;
+    out.best_cost = exact_rec->cost;
+    out.best.reserve(exact_rec->best_base.size());
+    bool valid = true;
+    for (const Vertex vb : exact_rec->best_base) {
+      if (vb < 0 || std::size_t(vb) >= n) {
+        valid = false;
+        break;
+      }
+      const Vertex v = inv[std::size_t(vb)];
+      if (grid.is_blocked(v) || grid.is_pin(v)) {
+        valid = false;  // key collision or stale record: fail closed
+        break;
+      }
+      out.best.push_back(v);
+    }
+    if (!valid) {
+      out.best.clear();
+      out.exact = false;
+      out.best_cost = 0.0;
+    } else {
+      std::sort(out.best.begin(), out.best.end(),
+                [&](Vertex a, Vertex b) {
+                  return grid.priority_of(a) < grid.priority_of(b);
+                });
+    }
+  }
+  return out;
+}
+
+}  // namespace oar::experience

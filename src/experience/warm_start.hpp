@@ -1,0 +1,46 @@
+#pragma once
+
+// Warm-start priors for CombMcts root expansion (DESIGN.md §18).
+//
+// The lookup strips the request's pins, canonicalizes the remaining
+// obstacle field (record.hpp's base key), and mines the disk tier for
+// episodes routed on the *same field* — the exact pin set, a subset, or a
+// superset of it.  Candidates are blended into one per-vertex prior in
+// request priority order:
+//
+//   P_exp(v) = sum_e w_e * fsp_e(v) / sum_e w_e,
+//   w_e      = |pins_e ∩ pins_req| / |pins_e ∪ pins_req|   (Jaccard)
+//
+// so an exact repeat dominates loosely-related pin sets.  When an exact
+// match exists, its recorded best Steiner combination is returned too; the
+// search re-evaluates it with its own exact cost model and uses it as a
+// best-so-far floor, which is what guarantees warm best cost <= cold best
+// cost on replayed layouts.
+
+#include <vector>
+
+#include "experience/store.hpp"
+
+namespace oar::experience {
+
+struct WarmStart {
+  /// Blended experience prior, request priority order (empty on no match).
+  std::vector<float> prior;
+  /// Best recorded combination of an exact pin match, request vertex ids,
+  /// priority-sorted.  Empty unless `exact`.
+  std::vector<Vertex> best;
+  /// Recorded cost of `best` (advisory; the search re-evaluates).
+  double best_cost = 0.0;
+  bool exact = false;
+  /// Candidates blended in (0 == cold start).
+  std::int32_t matches = 0;
+
+  bool empty() const { return matches == 0; }
+};
+
+/// Mines `store` for experience applicable to `grid`.  Returns an empty
+/// WarmStart (never throws) when the store has no disk tier, the layout is
+/// asymmetric-keyed, or nothing matches.
+WarmStart lookup_warm_start(const Store& store, const HananGrid& grid);
+
+}  // namespace oar::experience

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "experience/warm_start.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
 #include "util/validate.hpp"
@@ -89,10 +90,16 @@ void CombMctsConfig::validate() const {
                     eval_batch);
   util::check_field(flush_us >= 0, "CombMctsConfig", "flush_us",
                     "be non-negative", flush_us);
+  util::check_field(warm_start_weight >= 0.0 && warm_start_weight <= 1.0,
+                    "CombMctsConfig", "warm_start_weight", "be in [0, 1]",
+                    warm_start_weight);
+  util::check_field(warm_start_visits >= 0, "CombMctsConfig",
+                    "warm_start_visits", "be >= 0", warm_start_visits);
 }
 
-CombMcts::CombMcts(rl::SteinerSelector& selector, CombMctsConfig config)
-    : selector_(selector), config_(config) {
+CombMcts::CombMcts(rl::SteinerSelector& selector, CombMctsConfig config,
+                   const experience::Store* experience)
+    : selector_(selector), config_(config), experience_(experience) {
   config_.validate();
 }
 
@@ -163,6 +170,36 @@ CombMctsResult CombMcts::run(const HananGrid& grid,
   };
 
   if (budget == 0) nodes[0].terminal = true;
+
+  // --- persistent-experience warm start (DESIGN.md §18) ---
+  // Resolved once, before the first iteration.  With warm_start off, no
+  // store attached, or no applicable experience, `warm` stays empty and
+  // every warm branch below is dead — the search is bitwise the cold
+  // search.
+  experience::WarmStart warm;
+  std::vector<Vertex> warm_best;  // floor combination, request space
+  bool best_is_warm = false;      // the floor currently holds best_cost
+  Vertex warm_first = hanan::kInvalidVertex;  // root edge to visit-seed
+  double warm_seed_value = 0.0;
+  if (config_.warm_start && experience_ != nullptr && !nodes[0].terminal) {
+    warm = experience::lookup_warm_start(*experience_, grid);
+    result.stats.warm_matches = warm.matches;
+    result.stats.warm_started = !warm.empty();
+    if (warm.exact && !warm.best.empty() && std::ssize(warm.best) <= budget) {
+      // Re-evaluate the recorded combination under THIS search's exact
+      // cost model and adopt it as the best-so-far floor: a replayed
+      // layout can then never finish worse than its recorded episode.
+      const double floor_cost = ac.exact_cost(warm.best);
+      ++result.stats.simulations;
+      warm_first = warm.best.front();  // priority-sorted: the first action
+      warm_seed_value = value_of(floor_cost);
+      if (floor_cost < result.best_cost) {
+        result.best_cost = floor_cost;
+        warm_best = warm.best;
+        best_is_warm = true;
+      }
+    }
+  }
 
   // fsp buffer reused across every expansion: with the selector in
   // inference mode the whole evaluate step is then allocation-free.
@@ -244,6 +281,7 @@ CombMctsResult CombMcts::run(const HananGrid& grid,
         if (leaf.cost < result.best_cost) {
           result.best_cost = leaf.cost;
           best_node = cur;
+          best_is_warm = false;
         }
       }
 
@@ -279,6 +317,40 @@ CombMctsResult CombMcts::run(const HananGrid& grid,
             e.action = v;
             e.prior = (1.0 - mix) * p + mix * uniform;
             leaf.edges.push_back(e);
+          }
+          if (cur == 0 && !warm.empty()) {
+            // Warm start at the initial root: blend the experience prior
+            // (renormalized over the actual child set) into the expansion
+            // priors, P' = (1-λ)·P_search + λ·P_exp, then seed synthetic
+            // visits on the recorded first action of an exact match so UCT
+            // resumes from the recorded trajectory's statistics.
+            if (!warm.prior.empty()) {
+              double mass = 0.0;
+              for (const Edge& e : leaf.edges) {
+                mass +=
+                    double(warm.prior[std::size_t(grid.priority_of(e.action))]);
+              }
+              if (mass > 0.0) {
+                const double lam = config_.warm_start_weight;
+                for (Edge& e : leaf.edges) {
+                  const double p_exp =
+                      double(warm.prior[std::size_t(grid.priority_of(e.action))]) /
+                      mass;
+                  e.prior = (1.0 - lam) * e.prior + lam * p_exp;
+                }
+              }
+            }
+            if (warm_first != hanan::kInvalidVertex &&
+                config_.warm_start_visits > 0) {
+              for (Edge& e : leaf.edges) {
+                if (e.action == warm_first) {
+                  e.visits += config_.warm_start_visits;
+                  e.total_value +=
+                      double(config_.warm_start_visits) * warm_seed_value;
+                  break;
+                }
+              }
+            }
           }
           leaf.expanded = true;
           ++result.stats.expansions;
@@ -347,11 +419,12 @@ CombMctsResult CombMcts::run(const HananGrid& grid,
     if (new_root.cost < result.best_cost) {
       result.best_cost = new_root.cost;
       best_node = root;
+      best_is_warm = false;
     }
   }
 
   result.selected = state_of(root);
-  result.best_selected = state_of(best_node);
+  result.best_selected = best_is_warm ? warm_best : state_of(best_node);
   result.final_cost = nodes[std::size_t(root)].cost;
 
   // eq. (3): L_fsp(v) = n_sel / n_opp, in priority order.  The mask marks

@@ -22,6 +22,10 @@
 
 #include "mcts/actor_critic.hpp"
 
+namespace oar::experience {
+class Store;
+}
+
 namespace oar::mcts {
 
 /// Wall-clock basis for anytime search deadlines (matches serve::Clock).
@@ -66,6 +70,20 @@ struct CombMctsConfig {
   /// EvalServer straggler wait before flushing an undersized batch.
   std::int64_t flush_us = 200;
 
+  // --- persistent-experience warm start (DESIGN.md §18) ---
+  /// Seed the root from the experience store (exact or pin-subset/superset
+  /// matches on the same canonical obstacle field).  Off by default; with
+  /// warm_start == false — or no store attached, or no applicable
+  /// experience — the search is bitwise identical to the cold search.
+  bool warm_start = false;
+  /// Blend weight λ of the experience prior into the root expansion
+  /// priors: P' = (1-λ)·P_search + λ·P_exp.
+  double warm_start_weight = 0.25;
+  /// Synthetic visits seeded on the recorded first action of an exact
+  /// match (Q initialized to the recorded combination's re-evaluated
+  /// value).  0 disables visit seeding, leaving only the prior blend.
+  std::int32_t warm_start_visits = 8;
+
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
 };
@@ -93,6 +111,10 @@ struct CombMctsStats {
   /// result is still the valid best-so-far state — see
   /// CombMctsResult::best_selected).  Always false for unbounded runs.
   bool deadline_hit = false;
+  /// Experience candidates blended into the root (0 == cold start).
+  std::int32_t warm_matches = 0;
+  /// True when warm-start data actually touched this search.
+  bool warm_started = false;
 };
 
 struct CombMctsResult {
@@ -117,7 +139,10 @@ struct CombMctsResult {
 
 class CombMcts {
  public:
-  CombMcts(rl::SteinerSelector& selector, CombMctsConfig config = {});
+  /// `experience` (optional, must outlive the search) feeds the
+  /// warm-start lookup; it is only consulted when config.warm_start is on.
+  CombMcts(rl::SteinerSelector& selector, CombMctsConfig config = {},
+           const experience::Store* experience = nullptr);
 
   /// Builds one MC search tree on `grid` and returns the training label
   /// plus the executed combination (one sample per layout, Sec. 3.5).
@@ -135,6 +160,7 @@ class CombMcts {
  private:
   rl::SteinerSelector& selector_;
   CombMctsConfig config_;
+  const experience::Store* experience_;
 };
 
 }  // namespace oar::mcts

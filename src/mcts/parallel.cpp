@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "experience/warm_start.hpp"
 #include "hanan/features.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
@@ -111,12 +112,14 @@ struct WorkerCtx {
 }  // namespace
 
 ParallelCombMcts::ParallelCombMcts(rl::SteinerSelector& selector,
-                                   CombMctsConfig config)
+                                   CombMctsConfig config,
+                                   const experience::Store* experience)
     : selector_(selector),
       config_([](CombMctsConfig c) {
         c.validate();
         return c;
       }(std::move(config))),
+      experience_(experience),
       workers_(config_.search_workers == 0
                    ? std::max<std::int32_t>(
                          1, std::int32_t(std::thread::hardware_concurrency()))
@@ -168,6 +171,33 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid,
   auto value_of = [&](double cost) {
     return std::isfinite(cost) ? (rc0 - cost) / rc0 : -2.0;
   };
+
+  // --- persistent-experience warm start (DESIGN.md §18) ---
+  // Resolved single-threaded before any worker starts; applied at the
+  // initial root's expansion commit under the tree lock.  Identical math
+  // to the serial CombMcts, so the 1-worker bitwise anchor extends to
+  // warm-started runs.
+  experience::WarmStart warm;
+  std::vector<Vertex> warm_best;  // floor combination, request space
+  bool best_is_warm = false;      // the floor currently holds best_cost
+  Vertex warm_first = hanan::kInvalidVertex;  // root edge to visit-seed
+  double warm_seed_value = 0.0;
+  if (config_.warm_start && experience_ != nullptr && !nodes[0].terminal) {
+    warm = experience::lookup_warm_start(*experience_, grid);
+    result.stats.warm_matches = warm.matches;
+    result.stats.warm_started = !warm.empty();
+    if (warm.exact && !warm.best.empty() && std::ssize(warm.best) <= budget) {
+      const double floor_cost = ctxs[0].ac.exact_cost(warm.best);
+      ++result.stats.simulations;
+      warm_first = warm.best.front();
+      warm_seed_value = value_of(floor_cost);
+      if (floor_cost < result.best_cost) {
+        result.best_cost = floor_cost;
+        warm_best = warm.best;
+        best_is_warm = true;
+      }
+    }
+  }
 
   std::mutex tree_mu;
   std::condition_variable eval_cv;
@@ -417,11 +447,44 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid,
         if (cost < result.best_cost) {
           result.best_cost = cost;
           best_node = cur;
+          best_is_warm = false;
         }
       }
       if (terminal) leaf.terminal = true;
       if (expanded) {
         leaf.edges = std::move(new_edges);
+        if (cur == 0 && !warm.empty()) {
+          // Warm start at the initial root (expanded exactly once, by the
+          // worker that claimed it): blend the experience prior and seed
+          // the recorded first action — the serial CombMcts math verbatim.
+          if (!warm.prior.empty()) {
+            double mass = 0.0;
+            for (const PEdge& e : leaf.edges) {
+              mass +=
+                  double(warm.prior[std::size_t(grid.priority_of(e.action))]);
+            }
+            if (mass > 0.0) {
+              const double lam = config_.warm_start_weight;
+              for (PEdge& e : leaf.edges) {
+                const double p_exp =
+                    double(warm.prior[std::size_t(grid.priority_of(e.action))]) /
+                    mass;
+                e.prior = (1.0 - lam) * e.prior + lam * p_exp;
+              }
+            }
+          }
+          if (warm_first != hanan::kInvalidVertex &&
+              config_.warm_start_visits > 0) {
+            for (PEdge& e : leaf.edges) {
+              if (e.action == warm_first) {
+                e.visits += config_.warm_start_visits;
+                e.total_value +=
+                    double(config_.warm_start_visits) * warm_seed_value;
+                break;
+              }
+            }
+          }
+        }
         leaf.expanded = true;
         ++result.stats.expansions;
         ++result.stats.simulations;
@@ -529,13 +592,18 @@ CombMctsResult ParallelCombMcts::run(const HananGrid& grid,
     if (new_root.cost < result.best_cost) {
       result.best_cost = new_root.cost;
       best_node = root;
+      best_is_warm = false;
     }
   }
 
   state_of_into(root, ctxs[0].selected);
   result.selected = ctxs[0].selected;
-  state_of_into(best_node, ctxs[0].selected);
-  result.best_selected = ctxs[0].selected;
+  if (best_is_warm) {
+    result.best_selected = warm_best;
+  } else {
+    state_of_into(best_node, ctxs[0].selected);
+    result.best_selected = ctxs[0].selected;
+  }
   result.final_cost = nodes[std::size_t(root)].cost;
 
   // eq. (3): L_fsp(v) = n_sel / n_opp, in priority order.

@@ -47,8 +47,13 @@ class ParallelCombMcts {
  public:
   /// Uses CombMctsConfig's search_workers / eval_batch / flush_us knobs.
   /// The selector must outlive the search and, while run() executes, is
-  /// used exclusively by the EvalServer drain thread.
-  ParallelCombMcts(rl::SteinerSelector& selector, CombMctsConfig config = {});
+  /// used exclusively by the EvalServer drain thread.  `experience`
+  /// (optional, must outlive the search) feeds the warm-start lookup,
+  /// consulted only when config.warm_start is on — the same root seeding
+  /// as the serial CombMcts, applied under the tree lock at the initial
+  /// root's expansion commit.
+  ParallelCombMcts(rl::SteinerSelector& selector, CombMctsConfig config = {},
+                   const experience::Store* experience = nullptr);
 
   /// Same contract as CombMcts::run, including the anytime mode: with a
   /// `deadline`, workers stop claiming iterations once it has passed (the
@@ -71,6 +76,7 @@ class ParallelCombMcts {
  private:
   rl::SteinerSelector& selector_;
   CombMctsConfig config_;
+  const experience::Store* experience_;
   std::int32_t workers_;
   EvalServer server_;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace oar::nn {
@@ -28,14 +29,7 @@ bool read_pod(std::istream& in, T& v) {
   return bool(in);
 }
 
-std::uint64_t fnv1a64(const char* data, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+using util::fnv1a64;
 
 /// One parameter as staged on load: nothing is committed to the module
 /// until every record of the file has validated.

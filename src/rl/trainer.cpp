@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "experience/record.hpp"
 #include "mcts/parallel.hpp"
 #include "nn/loss.hpp"
+#include "route/oarmst.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -340,6 +342,12 @@ CombTrainer::CombTrainer(SteinerSelector& selector, TrainConfig config)
       optimizer_(selector.net().parameters(), config.lr),
       rng_(config.seed) {
   config_.validate();
+  if (!config_.experience_path.empty()) {
+    experience::StoreConfig sc;
+    sc.memory_capacity = 0;  // the trainer only writes; no LRU needed
+    sc.path = config_.experience_path;
+    experience_ = std::make_unique<experience::Store>(sc);
+  }
 }
 
 StageReport CombTrainer::run_stage() {
@@ -454,6 +462,26 @@ StageReport CombTrainer::run_stage() {
     }
   }
   report.mean_mcts_st_mst = ratio_count == 0 ? 0.0 : ratio_sum / double(ratio_count);
+
+  // ---- persist episodes (DESIGN.md §18) ----
+  // Serial single-writer appends in job order (deterministic file bytes
+  // for a fixed seed).  Each record routes pins + the search's best
+  // combination once more — one exact construction against the thousands
+  // the search already ran — so the stored tree matches what replay and
+  // warm-start consumers expect.
+  if (experience_) {
+    route::RouterScratch scratch;
+    for (const RawSample& r : raw) {
+      route::OarmstRouter router(r.grid);
+      route::OarmstResult routed =
+          router.build(r.grid.pins(), r.mcts.best_selected, &scratch);
+      if (!routed.connected) continue;
+      experience_->put(experience::build_record(r.grid, routed, r.mcts.label,
+                                                r.mcts.best_selected));
+      ++report.experience_appends;
+    }
+    experience_->flush();
+  }
 
   // ---- augmentation + dataset ----
   Dataset dataset;

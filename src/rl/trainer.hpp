@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "experience/store.hpp"
 #include "gen/random_layout.hpp"
 #include "mcts/comb_mcts.hpp"
 #include "nn/optim.hpp"
@@ -65,6 +66,11 @@ struct TrainConfig {
   /// (see nn/serialize), and load_checkpoint()/try_resume() continue a
   /// killed run mid-schedule.
   std::string checkpoint_path;
+  /// Non-empty: every MCTS-labelled episode is appended to this persistent
+  /// experience file (experience::Store, DESIGN.md §18) — routed tree, fsp
+  /// labels, best combination — so later searches and the serving layer
+  /// can warm-start from the training run's accumulated experience.
+  std::string experience_path;
   /// After the last stage, calibrate the int8 engine on freshly generated
   /// layouts and run the accuracy gate (the selector falls back to fp32 if
   /// it fails) — the trained artifact then serves quantized by default.
@@ -81,6 +87,7 @@ struct StageReport {
   std::int32_t stage = 0;
   std::int32_t raw_samples = 0;      // MCTS-labeled layouts
   std::int32_t train_samples = 0;    // after augmentation
+  std::int32_t experience_appends = 0;  // episodes persisted to the store
   double mean_loss = 0.0;            // BCE over the stage's last epoch
   double mean_mcts_st_mst = 0.0;     // search-tree quality during generation
   double sample_gen_seconds = 0.0;
@@ -213,6 +220,9 @@ class CombTrainer {
   nn::Adam optimizer_;
   util::Rng rng_;
   std::int32_t stage_index_ = 0;
+  /// Open when config_.experience_path is set; episodes append after each
+  /// stage's sample generation (single writer, batched flushes).
+  std::unique_ptr<experience::Store> experience_;
 };
 
 }  // namespace oar::rl

@@ -1,59 +1,21 @@
 #pragma once
 
-// Canonical layout hashing for the serving result cache.
-//
-// Two routing requests should share one cache entry whenever their layouts
-// are equal *up to the paper's 16 augmentation symmetries* (4 H-V rotations
-// x V reflection x layer reflection, rl/augment.hpp): the OARSMT problem is
-// equivariant under those transforms, so the optimal tree of one variant is
-// the transformed tree of another.  The canonical key is the
-// lexicographically smallest byte serialization over the orbit of the 16
-// transformed grids; because the specs form a group, every member of an
-// orbit reduces to the same key.
-//
-// Grids with blocked *edges* (as opposed to blocked vertices) fall back to
-// an identity-only key: transform_grid does not carry edge blocks, so their
-// orbit cannot be enumerated faithfully.  Exact repeats still hit.  Grids
-// carrying a congestion cost overlay (HananGrid::has_edge_cost_bias, the
-// full-chip negotiation's per-edge bias) fall back the same way and for the
-// same reason; their key includes the bias bytes so two overlay states
-// never alias.
+// Compatibility aliases: canonical layout hashing moved to
+// experience/canonical.hpp when the experience store took ownership of the
+// symmetry key (DESIGN.md §18).  Serving code keeps its historical
+// serve:: spellings; new code should include the experience header.
 
-#include <string>
-#include <vector>
-
-#include "hanan/hanan_grid.hpp"
-#include "rl/augment.hpp"
+#include "experience/canonical.hpp"
 
 namespace oar::serve {
 
 using hanan::HananGrid;
 using hanan::Vertex;
 
-struct CanonicalForm {
-  /// Cache key: serialized bytes of the canonical (transformed) grid.
-  std::string key;
-  /// Transform mapping the request grid onto the canonical grid.
-  rl::AugmentSpec spec;
-  /// False when edge blocks forced the identity-only fallback.
-  bool symmetric = true;
-};
-
-/// Byte serialization of a grid: dims, step costs, via cost, blocked map,
-/// pin mask, edge-block map, and — only when present — the edge cost-bias
-/// overlay.  Equal strings <=> routing-equivalent grids.
-std::string serialize_grid(const HananGrid& grid);
-
-/// True when some usable-looking edge is explicitly blocked (the geometric
-/// construction's obstacle-interior case).
-bool has_edge_blocks(const HananGrid& grid);
-
-/// Canonical form of `grid` (see file comment).
-CanonicalForm canonicalize(const HananGrid& grid);
-
-/// Permutation taking canonical-grid vertices back to request-grid
-/// vertices: inverse_map[transform_vertex(grid, v, form.spec)] == v.
-std::vector<Vertex> inverse_vertex_map(const HananGrid& grid,
-                                       const rl::AugmentSpec& spec);
+using experience::CanonicalForm;
+using experience::canonicalize;
+using experience::has_edge_blocks;
+using experience::inverse_vertex_map;
+using experience::serialize_grid;
 
 }  // namespace oar::serve

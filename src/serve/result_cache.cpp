@@ -1,41 +1,77 @@
 #include "serve/result_cache.hpp"
 
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+// This file implements the deprecated shim itself; silence the self-use
+// warnings so builds stay clean while external callers still see them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace oar::serve {
 
+namespace {
+
+obs::Gauge& cache_entries_gauge() {
+  // Same family RouterService scrapes (get-or-create registry): the shim
+  // refreshes it at every mutation so it can never go stale between
+  // scrapes — the fix for the old clear() staleness bug.
+  static obs::Gauge& g = obs::MetricsRegistry::instance().gauge(
+      "oar_serve_cache_entries", "Entries resident in the result cache");
+  return g;
+}
+
+experience::StoreConfig memory_only(std::size_t capacity) {
+  experience::StoreConfig config;
+  config.memory_capacity = capacity;
+  return config;
+}
+
+experience::ExperienceRecord to_record(CachedRoute value) {
+  experience::ExperienceRecord rec;
+  rec.edges = std::move(value.edges);
+  rec.steiner = std::move(value.steiner);
+  rec.cost = value.cost;
+  rec.connected = value.connected;
+  return rec;
+}
+
+CachedRoute to_route(experience::ExperienceRecord rec) {
+  CachedRoute value;
+  value.edges = std::move(rec.edges);
+  value.steiner = std::move(rec.steiner);
+  value.cost = rec.cost;
+  value.connected = rec.connected;
+  return value;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity), store_(memory_only(capacity)) {}
+
 std::optional<CachedRoute> ResultCache::get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  std::optional<experience::ExperienceRecord> rec =
+      store_.get(experience::CanonicalKey::from_bytes(key));
+  if (!rec) return std::nullopt;
+  return to_route(std::move(*rec));
 }
 
 void ResultCache::put(const std::string& key, CachedRoute value) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->second = std::move(value);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.emplace_front(key, std::move(value));
-  index_.emplace(key, lru_.begin());
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
+  store_.put(experience::CanonicalKey::from_bytes(key),
+             to_record(std::move(value)));
+  cache_entries_gauge().set(double(store_.memory_entries()));
 }
 
-std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
-}
+std::size_t ResultCache::size() const { return store_.memory_entries(); }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
+  store_.clear_memory();
+  cache_entries_gauge().set(0.0);
 }
 
 }  // namespace oar::serve
+
+#pragma GCC diagnostic pop

@@ -1,19 +1,24 @@
 #pragma once
 
-// Thread-safe LRU cache of routing results, keyed by the canonical layout
-// bytes of serve/canonical.hpp.  Values are stored in *canonical* vertex
-// space so one entry serves all 16 symmetry variants of a layout; the
-// service maps edges back through the request's inverse vertex permutation
-// on a hit.
+// DEPRECATED — superseded by experience::Store (DESIGN.md §18).
+//
+// ResultCache was the ad-hoc string-keyed LRU the serving layer used
+// before the tiered experience store existed.  It survives for one
+// release as a thin shim over a memory-only experience::Store so external
+// callers keep compiling; RouterService itself now talks to the store
+// directly (typed CanonicalKey, disk tier, hit provenance).
+//
+// The shim also repairs the long-standing gauge bug this class shipped
+// with: the oar_serve_cache_entries gauge is refreshed at every mutation
+// (put, eviction, clear) instead of only at scrape time, so clear() can no
+// longer leave it stale.
 
 #include <cstddef>
-#include <list>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "experience/store.hpp"
 #include "route/route_tree.hpp"
 
 namespace oar::serve {
@@ -28,9 +33,11 @@ struct CachedRoute {
   bool connected = false;
 };
 
-class ResultCache {
+class [[deprecated(
+    "serve::ResultCache is a compatibility shim; use experience::Store "
+    "(experience/store.hpp)")]] ResultCache {
  public:
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit ResultCache(std::size_t capacity);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -47,12 +54,8 @@ class ResultCache {
   void clear();
 
  private:
-  using Entry = std::pair<std::string, CachedRoute>;
-
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  experience::Store store_;  // memory tier only (no path configured)
 };
 
 }  // namespace oar::serve

@@ -107,6 +107,10 @@ void RouterServiceConfig::validate() const {
   util::check_field(batch_wait_ms >= 0.0 && std::isfinite(batch_wait_ms),
                     "RouterServiceConfig", "batch_wait_ms",
                     "be finite and non-negative", batch_wait_ms);
+  util::check_field(!experience_read_only || !experience_path.empty(),
+                    "RouterServiceConfig", "experience_read_only",
+                    "require experience_path to name an existing file",
+                    experience_read_only);
   slo.validate();
 }
 
@@ -133,14 +137,37 @@ bool same_shape(const HananGrid& a, const HananGrid& b) {
 
 }  // namespace
 
+namespace {
+
+experience::StoreConfig store_config_of(const RouterServiceConfig& config) {
+  experience::StoreConfig sc;
+  sc.memory_capacity = config.cache_capacity;
+  sc.path = config.experience_path;
+  sc.read_only = config.experience_read_only;
+  sc.flush_batch = config.experience_flush_batch;
+  return sc;
+}
+
+}  // namespace
+
 RouterService::RouterService(std::shared_ptr<rl::SteinerSelector> selector,
                              RouterServiceConfig config)
+    : RouterService(std::move(selector), config,
+                    std::make_shared<experience::Store>(
+                        store_config_of(config))) {}
+
+RouterService::RouterService(std::shared_ptr<rl::SteinerSelector> selector,
+                             RouterServiceConfig config,
+                             std::shared_ptr<experience::Store> store)
     : config_(config),
       selector_(std::move(selector)),
-      cache_(config.cache_capacity),
+      store_(std::move(store)),
       pool_(config.worker_threads) {
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
   config_.validate();
+  if (store_ == nullptr) {
+    store_ = std::make_shared<experience::Store>(store_config_of(config_));
+  }
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -170,14 +197,17 @@ std::future<RouteReply> RouterService::submit(RouteRequest request) {
   }
   std::future<RouteReply> fut = pending.promise.get_future();
 
-  // A symmetry-cache hit is answered even when the deadline is hopeless —
+  // A symmetry-store hit is answered even when the deadline is hopeless —
   // the reply is free, so rejecting it would only discard useful work.
-  if (cache_.capacity() > 0) {
+  if (caching_enabled()) {
     pending.canon = canonicalize(*pending.request.grid);
-    if (std::optional<CachedRoute> hit = cache_.get(pending.canon.key)) {
+    experience::HitTier tier = experience::HitTier::kMiss;
+    if (std::optional<experience::ExperienceRecord> hit = store_->get(
+            experience::CanonicalKey::from_bytes(pending.canon.key), &tier)) {
       metrics_.add_cache_hit();
       serve_obs().cache_hits.inc();
       RouteReply reply = replay_cached(pending.request, pending.canon, *hit);
+      reply.hit_tier = tier;
       const Clock::time_point done = Clock::now();
       reply.total_seconds = seconds_between(now, done);
       if (pending.deadline) {
@@ -366,24 +396,16 @@ void RouterService::process_batch(Batch batch_in) {
     Pending& p = batch[i];
     route::OarmstResult& res = results[i];
 
-    if (cache_.capacity() > 0 && res.connected) {
-      // Store in canonical vertex space so symmetry variants hit too.
-      CachedRoute entry;
-      entry.cost = res.cost;
-      entry.connected = res.connected;
-      entry.edges.reserve(res.tree.edges().size());
+    if (caching_enabled() && res.connected) {
+      // Stored in canonical vertex space so symmetry variants hit too.
+      // The record also carries the fsp inference and kept Steiner set in
+      // pin-stripped base space — the warm-start payload MCTS mines for
+      // near-miss priors (experience/record.hpp).
       const HananGrid& grid = *p.request.grid;
-      for (const route::GridEdge& e : res.tree.edges()) {
-        Vertex a = rl::transform_vertex(grid, e.a, p.canon.spec);
-        Vertex b = rl::transform_vertex(grid, e.b, p.canon.spec);
-        if (b < a) std::swap(a, b);
-        entry.edges.push_back(route::GridEdge{a, b});
-      }
-      entry.steiner.reserve(res.kept_steiner.size());
-      for (Vertex v : res.kept_steiner) {
-        entry.steiner.push_back(rl::transform_vertex(grid, v, p.canon.spec));
-      }
-      cache_.put(p.canon.key, std::move(entry));
+      std::vector<float> fsp_f(fsp[i].begin(), fsp[i].end());
+      store_->put(experience::build_record(grid, p.canon, res, fsp_f,
+                                           res.kept_steiner));
+      serve_obs().cache_entries.set(double(store_->memory_entries()));
     }
 
     RouteReply reply;
@@ -417,7 +439,7 @@ void RouterService::refresh_gauges() {
     std::lock_guard<std::mutex> lock(mutex_);
     o.queue_depth.set(double(queue_.size()));
   }
-  o.cache_entries.set(double(cache_.size()));
+  o.cache_entries.set(double(store_->memory_entries()));
   // Percentile gauges are point-in-time views over the retained samples —
   // recomputed at every scrape, like the liveness gauges above.
   const MetricsSnapshot snap = metrics_.snapshot();
@@ -436,9 +458,15 @@ std::string RouterService::scrape_json() {
   return obs::scrape_json();
 }
 
-RouteReply RouterService::replay_cached(const RouteRequest& request,
-                                        const CanonicalForm& canon,
-                                        const CachedRoute& cached) const {
+bool RouterService::caching_enabled() const {
+  // The injected-store case must consult the store's own config (our
+  // config_'s cache fields are ignored then).
+  return store_->config().memory_capacity > 0 || store_->has_disk_tier();
+}
+
+RouteReply RouterService::replay_cached(
+    const RouteRequest& request, const CanonicalForm& canon,
+    const experience::ExperienceRecord& cached) const {
   const HananGrid& grid = *request.grid;
   const std::vector<Vertex> inv = inverse_vertex_map(grid, canon.spec);
 

@@ -14,11 +14,15 @@
 //   3. fulfils each request's promise, recording per-stage latencies in
 //      ServiceMetrics.
 //
-// Results are memoized in an LRU cache keyed by the canonical layout hash
-// (serve/canonical.hpp), so a request equal to a previous one *up to the 16
-// augmentation symmetries* is answered synchronously from submit() without
-// touching the network.  Cached trees are stored in canonical vertex space
-// and mapped back through the request's symmetry on a hit.
+// Results are memoized in a tiered experience::Store keyed by the
+// canonical layout hash (experience/canonical.hpp), so a request equal to
+// a previous one *up to the 16 augmentation symmetries* is answered
+// synchronously from submit() without touching the network — from the
+// in-memory LRU tier, or, when RouterServiceConfig::experience_path is
+// set, from the persistent disk tier, which means exact hits survive
+// process restarts and deploys.  Stored trees live in canonical vertex
+// space and are mapped back through the request's symmetry on a hit; the
+// answering tier is reported in RouteReply::hit_tier.
 //
 // With max_batch == 1 the service degrades to the legacy single-sample
 // router path — that configuration is the baseline the serve bench compares
@@ -46,10 +50,10 @@
 #include <thread>
 #include <vector>
 
+#include "experience/store.hpp"
 #include "route/oarmst.hpp"
 #include "serve/canonical.hpp"
 #include "serve/metrics.hpp"
-#include "serve/result_cache.hpp"
 #include "rl/selector.hpp"
 #include "util/thread_pool.hpp"
 
@@ -88,6 +92,10 @@ struct RouteReply {
   /// (result is then empty and deadline_met is false).
   ReplyStatus status = ReplyStatus::kOk;
   bool cache_hit = false;
+  /// Which experience tier answered: kMemory (LRU), kDisk (persistent
+  /// file, survives restarts), or kMiss (freshly routed).  cache_hit ==
+  /// (hit_tier != kMiss).
+  experience::HitTier hit_tier = experience::HitTier::kMiss;
   /// False when the reply finished after the request's effective deadline
   /// (or was rejected at admission).
   bool deadline_met = true;
@@ -129,8 +137,17 @@ struct RouterServiceConfig {
   /// waiting: the batcher harvests what is queued and dispatches without
   /// ever entering a timed wait.
   double batch_wait_ms = 2.0;
-  /// LRU entries; 0 disables the cache.
+  /// Memory-tier LRU entries; 0 disables the memory tier.
   std::size_t cache_capacity = 256;
+  /// Persistent experience file backing the cache (experience::Store disk
+  /// tier).  Empty = memory-only, the legacy behaviour; set, exact hits
+  /// survive process restarts.  Ignored when a Store is injected.
+  std::string experience_path;
+  /// Open the experience file read-only: serve from it, never append.
+  bool experience_read_only = false;
+  /// Appends buffered before the disk tier flushes (single-writer append
+  /// batching); 0 defers to shutdown.
+  std::size_t experience_flush_batch = 16;
   /// Worker threads for encode/routing fan-out; 0 = hardware concurrency.
   std::size_t worker_threads = 0;
   /// Latency-SLO policy (deadlines, admission control).
@@ -169,6 +186,12 @@ class RouterService {
  public:
   explicit RouterService(std::shared_ptr<rl::SteinerSelector> selector,
                          RouterServiceConfig config = {});
+  /// Shares an externally-owned experience store (e.g. one also feeding
+  /// MCTS warm starts).  config.cache_capacity / experience_* are then
+  /// ignored — the store's own tiers apply.
+  RouterService(std::shared_ptr<rl::SteinerSelector> selector,
+                RouterServiceConfig config,
+                std::shared_ptr<experience::Store> store);
   /// Drains the queue (every submitted future still completes), then stops.
   ~RouterService();
 
@@ -183,7 +206,13 @@ class RouterService {
 
   const RouterServiceConfig& config() const { return config_; }
   ServiceMetrics& metrics() { return metrics_; }
-  std::size_t cache_size() const { return cache_.size(); }
+  /// Entries resident in the memory tier (the legacy cache-size view).
+  std::size_t cache_size() const { return store_->memory_entries(); }
+  /// The tiered experience store backing result memoization.
+  experience::Store& experience() { return *store_; }
+  const std::shared_ptr<experience::Store>& experience_ptr() const {
+    return store_;
+  }
 
   /// Times the batcher entered a timed straggler wait (cv wait_until).
   /// With batch_wait_ms == 0 this stays at zero — the regression hook for
@@ -223,13 +252,15 @@ class RouterService {
   void process_batch(Batch batch);
   /// Refreshes the liveness + percentile gauges ahead of a scrape.
   void refresh_gauges();
-  /// Builds a reply from a cache entry (maps canonical -> request space).
+  /// Builds a reply from a stored record (maps canonical -> request space).
   RouteReply replay_cached(const RouteRequest& request, const CanonicalForm& canon,
-                           const CachedRoute& cached) const;
+                           const experience::ExperienceRecord& cached) const;
+  /// True when some tier can answer (memory capacity > 0 or a disk tier).
+  bool caching_enabled() const;
 
   RouterServiceConfig config_;
   std::shared_ptr<rl::SteinerSelector> selector_;
-  ResultCache cache_;
+  std::shared_ptr<experience::Store> store_;
   ServiceMetrics metrics_;
   util::ThreadPool pool_;
 

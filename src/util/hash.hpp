@@ -1,0 +1,27 @@
+#pragma once
+
+// FNV-1a 64-bit: the repo-wide content checksum.  The same constants guard
+// the OARCK1 checkpoint records (nn/serialize.cpp) and the OAREXP1
+// experience frames (experience/file_store.cpp); keeping one definition
+// here means the two formats can never drift apart.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace oar::util {
+
+inline std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace oar::util

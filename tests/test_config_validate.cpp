@@ -12,6 +12,7 @@
 
 #include "chip/chip_router.hpp"
 #include "core/router.hpp"
+#include "experience/store.hpp"
 #include "gen/random_netlist.hpp"
 #include "mcts/comb_mcts.hpp"
 #include "mcts/eval_server.hpp"
@@ -160,6 +161,8 @@ TEST(ConfigValidate, RouterService) {
                     "RouterServiceConfig.batch_wait_ms");
   expect_rejects<C>([](C& c) { c.batch_wait_ms = kNan; },
                     "RouterServiceConfig.batch_wait_ms");
+  expect_rejects<C>([](C& c) { c.experience_read_only = true; },
+                    "RouterServiceConfig.experience_read_only");
   // The nested SLO policy is validated through the service config.
   expect_rejects<C>([](C& c) { c.slo.default_deadline_ms = -1.0; },
                     "SloConfig.default_deadline_ms");
@@ -197,6 +200,23 @@ TEST(ConfigValidate, CombMcts) {
                     "CombMctsConfig.search_workers");
   expect_rejects<C>([](C& c) { c.eval_batch = 0; }, "CombMctsConfig.eval_batch");
   expect_rejects<C>([](C& c) { c.flush_us = -1; }, "CombMctsConfig.flush_us");
+  expect_rejects<C>([](C& c) { c.warm_start_weight = 1.5; },
+                    "CombMctsConfig.warm_start_weight");
+  expect_rejects<C>([](C& c) { c.warm_start_weight = -0.1; },
+                    "CombMctsConfig.warm_start_weight");
+  expect_rejects<C>([](C& c) { c.warm_start_visits = -1; },
+                    "CombMctsConfig.warm_start_visits");
+}
+
+TEST(ConfigValidate, ExperienceStore) {
+  using C = experience::StoreConfig;
+  EXPECT_NO_THROW(C{}.validate());
+  expect_rejects<C>(
+      [](C& c) {
+        c.read_only = true;
+        c.path.clear();
+      },
+      "StoreConfig.read_only");
 }
 
 TEST(ConfigValidate, EvalServer) {
@@ -301,6 +321,8 @@ TEST(ConfigValidate, RouterOptions) {
         c.use_service = true;
       },
       "RouterOptions.use_service");
+  expect_rejects<C>([](C& c) { c.experience_read_only = true; },
+                    "RouterOptions.experience_read_only");
   // The nested service config is validated through the facade too.
   expect_rejects<C>([](C& c) { c.service.max_batch = 0; },
                     "RouterServiceConfig.max_batch");

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "gen/random_layout.hpp"
+#include "obs/metrics.hpp"
 #include "serve/batched_selector.hpp"
 #include "serve/canonical.hpp"
 #include "serve/metrics.hpp"
@@ -104,6 +105,11 @@ TEST(Canonical, InverseVertexMapRoundTrips) {
   }
 }
 
+// ResultCache is a deprecated shim over experience::Store; these tests
+// exercise the shim itself, so the warning is expected noise here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(ResultCache, LruEvictsOldestAndGetRefreshes) {
   ResultCache cache(2);
   CachedRoute value;
@@ -124,6 +130,24 @@ TEST(ResultCache, ZeroCapacityStoresNothing) {
   EXPECT_FALSE(cache.get("a").has_value());
   EXPECT_EQ(cache.size(), 0u);
 }
+
+TEST(ResultCache, ClearResetsEntriesGauge) {
+  // Regression: clear() used to leave oar_serve_cache_entries at its old
+  // value until the next scrape refreshed it.  Mutations now maintain it.
+  if (!obs::enabled()) GTEST_SKIP() << "metrics disabled";
+  obs::Gauge& gauge = obs::MetricsRegistry::instance().gauge(
+      "oar_serve_cache_entries", "Entries resident in the result cache");
+  ResultCache cache(4);
+  CachedRoute value;
+  cache.put("a", value);
+  cache.put("b", value);
+  EXPECT_EQ(gauge.value(), 2.0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+#pragma GCC diagnostic pop
 
 TEST(BatchedSelector, MatchesSingleSampleInference) {
   rl::SteinerSelector selector(tiny_config());
